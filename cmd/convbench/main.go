@@ -1,0 +1,132 @@
+// Command convbench regenerates the paper's convolution experiment
+// (§5.1): Figs. 5(a)–5(d) and the Fig. 6 bound table, on the modeled
+// Nehalem cluster.
+//
+// Usage:
+//
+//	convbench [-fig 5a|5b|5c|5d|6|all] [-quick] [-reps N] [-steps N]
+//	          [-seed N] [-csv out.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("convbench: ")
+	fig := flag.String("fig", "all", "figure to print: 5a, 5b, 5c, 5d, 6 or all")
+	quick := flag.Bool("quick", false, "reduced sweep (seconds instead of minutes)")
+	reps := flag.Int("reps", 0, "override repetitions per point")
+	steps := flag.Int("steps", 0, "override convolution steps")
+	seed := flag.Uint64("seed", 0, "override base seed")
+	csvPath := flag.String("csv", "", "also write the raw sweep as CSV")
+	plot := flag.Bool("plot", false, "also draw ASCII charts for Figs. 5(c) and 5(d)")
+	weak := flag.Bool("weak", false, "additionally run the weak-scaling (Gustafson) sweep")
+	decomp := flag.Bool("decomp", false, "additionally run the 1-D vs 2-D decomposition ablation (§3)")
+	fit := flag.Bool("fit", false, "additionally fit T(p)=A+B/p+C·p per section and predict inflexions")
+	flag.Parse()
+
+	opts := experiments.PaperConvOptions()
+	if *quick {
+		opts = experiments.QuickConvOptions()
+	}
+	if *reps > 0 {
+		opts.Reps = *reps
+	}
+	if *steps > 0 {
+		opts.Steps = *steps
+	}
+	if *seed != 0 {
+		opts.Seed = *seed
+	}
+
+	fmt.Printf("machine: %s  |  image 5616x3744 RGB, %d steps, %d reps, scales %v\n\n",
+		opts.Model.Name, opts.Steps, opts.Reps, opts.Ps)
+	res, err := experiments.RunConvolution(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	switch *fig {
+	case "5a":
+		fmt.Println(res.Fig5a())
+	case "5b":
+		fmt.Println(res.Fig5b())
+	case "5c":
+		fmt.Println(res.Fig5c())
+	case "5d":
+		fmt.Println(res.Fig5d())
+	case "6":
+		fmt.Println(res.Fig6())
+	case "all":
+		fmt.Println(res.Fig5a())
+		fmt.Println(res.Fig5b())
+		fmt.Println(res.Fig5c())
+		fmt.Println(res.Fig5d())
+		fmt.Println(res.Fig6())
+	default:
+		log.Fatalf("unknown figure %q (want 5a, 5b, 5c, 5d, 6 or all)", *fig)
+	}
+
+	if *plot {
+		for _, render := range []func() (string, error){res.PlotSections, res.PlotSpeedup} {
+			out, err := render()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(out)
+		}
+	}
+
+	if *fit {
+		fmt.Println(res.FitReport())
+	}
+
+	if *weak {
+		wopts := experiments.PaperWeakOptions()
+		if *quick {
+			wopts = experiments.QuickWeakOptions()
+		}
+		wres, err := experiments.RunWeakConvolution(wopts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		table, err := wres.Table()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(table)
+	}
+
+	if *decomp {
+		dopts := experiments.PaperDecompOptions()
+		if *quick {
+			dopts = experiments.QuickDecompOptions()
+		}
+		dres, err := experiments.RunDecompComparison(dopts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(dres.Table())
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := res.WriteCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("raw sweep written to %s\n", *csvPath)
+	}
+}

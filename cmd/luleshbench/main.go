@@ -1,0 +1,173 @@
+// Command luleshbench regenerates the paper's LULESH MPI+OpenMP experiment
+// (§5.2): the Fig. 7 configuration table and the Figs. 8–10 scaling series
+// on the modeled dual-Broadwell and KNL machines.
+//
+// Usage:
+//
+//	luleshbench [-fig 7|8|9|10|all] [-quick] [-steps N] [-seed N]
+//	            [-csv out.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/balance"
+	"repro/internal/experiments"
+	"repro/internal/lulesh"
+	"repro/internal/machine"
+	"repro/internal/mpi"
+	"repro/internal/prof"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("luleshbench: ")
+	fig := flag.String("fig", "all", "figure to print: 7, 8, 9, 10 or all")
+	quick := flag.Bool("quick", false, "reduced sweep")
+	steps := flag.Int("steps", 0, "override timesteps per run")
+	seed := flag.Uint64("seed", 0, "override seed")
+	csvPath := flag.String("csv", "", "also write the KNL sweep as CSV")
+	plot := flag.Bool("plot", false, "also draw ASCII charts for the sweeps")
+	inspect := flag.Bool("inspect", false, "run one p=8 configuration and print the section tree, load-balance report and communication matrix")
+	flag.Parse()
+
+	if *inspect {
+		if err := inspectRun(); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	adjust := func(o experiments.HybridOptions) experiments.HybridOptions {
+		if *quick {
+			o.Threads = []int{1, 2, 4, 8, 24, 64}
+			o.Steps = 3
+		}
+		if *steps > 0 {
+			o.Steps = *steps
+		}
+		if *seed != 0 {
+			o.Seed = *seed
+		}
+		return o
+	}
+
+	needBW := *fig == "8" || *fig == "all"
+	needKNL := *fig == "9" || *fig == "10" || *fig == "all" || *csvPath != ""
+
+	if *fig == "7" || *fig == "all" {
+		fmt.Println(experiments.Fig7())
+	}
+
+	if needBW {
+		o := adjust(experiments.PaperBroadwellOptions())
+		res, err := experiments.RunHybrid(o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res.ScalingTable(
+			"Fig 8 — Lulesh MPI Sections on a dual Broadwell machine (avg time per process, s)"))
+		if *plot {
+			out, err := res.PlotWalltimes("Fig 8 — dual Broadwell walltimes")
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(out)
+		}
+	}
+
+	if needKNL {
+		o := adjust(experiments.PaperKNLOptions())
+		res, err := experiments.RunHybrid(o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *fig == "9" || *fig == "all" {
+			fmt.Println(res.ScalingTable(
+				"Fig 9 — Lulesh MPI Sections on an Intel KNL (avg time per process, s)"))
+			if *plot {
+				out, err := res.PlotWalltimes("Fig 9 — KNL walltimes")
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Println(out)
+			}
+		}
+		if *fig == "10" || *fig == "all" {
+			a, err := res.AnalyzeFig10()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(a.Render())
+			if *plot {
+				out, err := a.Plot()
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Println(out)
+			}
+		}
+		if *csvPath != "" {
+			f, err := os.Create(*csvPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := res.WriteCSV(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("KNL sweep written to %s\n", *csvPath)
+		}
+	}
+
+	switch *fig {
+	case "7", "8", "9", "10", "all":
+	default:
+		log.Fatalf("unknown figure %q (want 7, 8, 9, 10 or all)", *fig)
+	}
+}
+
+// inspectRun executes one Table 7 configuration (p=8, s=24, 4 threads) on
+// the KNL model with the full tool stack and prints every analysis view
+// this repository offers: the section profile, the hierarchy tree, the
+// load-balance verdicts and the communication matrix.
+func inspectRun() error {
+	profiler := prof.New()
+	matrix := prof.NewCommMatrix()
+	cfg := mpi.Config{
+		Ranks:          8,
+		ThreadsPerRank: 4,
+		Model:          machine.KNL(),
+		Seed:           2017,
+		Tools:          []mpi.Tool{profiler, matrix},
+		CheckSections:  true,
+		Timeout:        10 * time.Minute,
+	}
+	params := lulesh.Params{S: 24, Steps: 10, Threads: 4, Scale: 4, SedovEnergy: 1e4}
+	res, err := lulesh.Run(cfg, params)
+	if err != nil {
+		return err
+	}
+	profile, err := profiler.Result()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("LULESH p=8 s=24 threads=4 on %s: wall %.4g s; mass drift %.3g\n\n",
+		cfg.Model.Name, res.Report.WallTime,
+		(res.Diag.Mass1-res.Diag.Mass0)/res.Diag.Mass0)
+	fmt.Println(profile.Table())
+	fmt.Println(profile.WorldTree())
+	report, err := balance.Report(profile, 3)
+	if err != nil {
+		return err
+	}
+	fmt.Println(report)
+	fmt.Println(matrix.Render())
+	return nil
+}

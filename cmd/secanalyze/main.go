@@ -1,0 +1,181 @@
+// Command secanalyze performs partial-speedup-bounding analysis (paper §2,
+// Eq. 6) on a section profile produced by the prof package's CSV writer:
+// for every section it prints the average per-process time and the speedup
+// bound it imposes given the sequential baseline, tightest bound first.
+//
+// Usage:
+//
+//	secanalyze -profile run.csv -seq 5589.84
+//
+// It can also render an ASCII timeline from a trace CSV:
+//
+//	secanalyze -trace trace.csv [-width 100] [-focus HALO,CONVOLVE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/balance"
+	"repro/internal/core"
+	"repro/internal/prof"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("secanalyze: ")
+	profilePath := flag.String("profile", "", "profile CSV (from prof.Profile.WriteCSV)")
+	seq := flag.Float64("seq", 0, "sequential baseline time in seconds (required with -profile)")
+	perRankPath := flag.String("perrank", "", "per-rank profile CSV (from prof.Profile.WritePerRankCSV): load-balance analysis")
+	tracePath := flag.String("trace", "", "trace CSV (from trace.Buffer.WriteCSV)")
+	width := flag.Int("width", 100, "timeline width in columns")
+	focus := flag.String("focus", "", "comma-separated section labels for the timeline")
+	flag.Parse()
+
+	switch {
+	case *profilePath != "":
+		if err := analyzeProfile(*profilePath, *seq); err != nil {
+			log.Fatal(err)
+		}
+	case *perRankPath != "":
+		if err := analyzeBalance(*perRankPath); err != nil {
+			log.Fatal(err)
+		}
+	case *tracePath != "":
+		if err := renderTimeline(*tracePath, *width, *focus); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// analyzeBalance groups per-rank rows by section and prints the
+// load-balance verdicts, most imbalance-weighted first.
+func analyzeBalance(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rows, err := prof.ReadPerRankCSV(f)
+	if err != nil {
+		return err
+	}
+	type key struct {
+		comm  int64
+		label string
+	}
+	groups := map[key][]prof.PerRankRow{}
+	var order []key
+	for _, r := range rows {
+		k := key{r.Comm, r.Label}
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], r)
+	}
+	var analyses []*balance.Analysis
+	for _, k := range order {
+		a, err := balance.AnalyzeRows(groups[k])
+		if err != nil {
+			return err
+		}
+		analyses = append(analyses, a)
+	}
+	sort.Slice(analyses, func(i, j int) bool {
+		wi := analyses[i].Imbalance * analyses[i].MeanTotal
+		wj := analyses[j].Imbalance * analyses[j].MeanTotal
+		return wi > wj
+	})
+	fmt.Printf("%-28s %6s %12s %9s %11s %7s\n",
+		"section", "ranks", "mean/rank(s)", "max/µ-1", "persistent", "gini")
+	for _, a := range analyses {
+		fmt.Printf("%-28s %6d %12.5g %9.3f %10.0f%% %7.3f\n",
+			a.Label, a.Ranks, a.MeanTotal, a.Imbalance, 100*a.PersistentShare, a.Gini)
+	}
+	fmt.Println()
+	for _, a := range analyses {
+		fmt.Println(a.Verdict())
+	}
+	return nil
+}
+
+func analyzeProfile(path string, seq float64) error {
+	if seq <= 0 {
+		return fmt.Errorf("-seq must be a positive sequential time")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rows, err := prof.ReadCSV(f)
+	if err != nil {
+		return err
+	}
+	type analyzed struct {
+		prof.CSVRow
+		bound float64
+	}
+	var out []analyzed
+	for _, r := range rows {
+		if r.AvgPerProc <= 0 {
+			continue
+		}
+		b, err := core.PartialBound(seq, r.AvgPerProc)
+		if err != nil {
+			return err
+		}
+		out = append(out, analyzed{CSVRow: r, bound: b})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].bound < out[j].bound })
+	fmt.Printf("partial speedup bounds (Eq. 6) for seq = %g s, tightest first\n", seq)
+	fmt.Printf("%-28s %6s %10s %12s %14s %10s\n",
+		"section", "ranks", "instances", "avg/proc(s)", "bound B", "imb(s)")
+	for _, a := range out {
+		fmt.Printf("%-28s %6d %10d %12.5g %14.5g %10.4g\n",
+			a.Label, a.Ranks, a.Instances, a.AvgPerProc, a.bound, a.ImbMean)
+	}
+	// Call out the tightest bound from an actual code section — MPI_MAIN
+	// wraps the whole run, so its "bound" is just the measured speedup.
+	for _, a := range out {
+		if a.Label == "MPI_MAIN" {
+			continue
+		}
+		fmt.Printf("\ntightest bound: section %q caps the strong-scaling speedup at %.5g×\n",
+			a.Label, a.bound)
+		break
+	}
+	return nil
+}
+
+func renderTimeline(path string, width int, focus string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := trace.ReadCSV(f)
+	if err != nil {
+		return err
+	}
+	var labels []string
+	if focus != "" {
+		labels = strings.Split(focus, ",")
+	}
+	fmt.Printf("%-28s %10s %12s %12s %12s\n", "section", "intervals", "total(s)", "mean(s)", "span(s)")
+	for _, s := range trace.Summarize(events) {
+		fmt.Printf("%-28s %10d %12.5g %12.5g %12.5g\n",
+			s.Label, s.Intervals, s.Total, s.Mean, s.Last-s.First)
+	}
+	fmt.Println()
+	fmt.Print(trace.Timeline(events, width, labels...))
+	return nil
+}

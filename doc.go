@@ -1,0 +1,13 @@
+// Package repro reproduces "Towards a Better Expressiveness of the Speedup
+// Metric in MPI Context" (Besnard, Malony, Shende, Pérache, Carribault,
+// Jaeger — ICPP Workshops 2017) as a Go library: an in-process MPI runtime
+// with virtual-time machine models, the MPI_Section abstraction with its
+// PMPI-style tool layer, the partial-speedup-bounding analysis, and the
+// paper's two instrumented benchmarks (image convolution and a LULESH
+// proxy) with drivers regenerating every table and figure of §5.
+//
+// See README.md for the tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results. The root package holds only
+// the benchmark harness (bench_test.go); the implementation lives under
+// internal/.
+package repro

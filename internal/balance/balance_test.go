@@ -1,0 +1,266 @@
+package balance
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/mpi"
+	"repro/internal/prof"
+	"repro/internal/stats"
+)
+
+// runProfile executes fn on ranks ideal ranks and returns the profile.
+func runProfile(t *testing.T, ranks int, fn func(*mpi.Comm) error) *prof.Profile {
+	t.Helper()
+	p := prof.New()
+	cfg := mpi.Config{
+		Ranks: ranks, Model: machine.Ideal(ranks, 1), Seed: 1,
+		Tools: []mpi.Tool{p}, Timeout: 60 * time.Second,
+	}
+	if _, err := mpi.Run(cfg, fn); err != nil {
+		t.Fatal(err)
+	}
+	profile, err := p.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return profile
+}
+
+func TestAnalyzeBalancedSection(t *testing.T) {
+	profile := runProfile(t, 4, func(c *mpi.Comm) error {
+		for i := 0; i < 5; i++ {
+			c.SectionEnter("even")
+			c.Sleep(1)
+			c.SectionExit("even")
+		}
+		return nil
+	})
+	a, err := Analyze(profile.Section("even"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Imbalance > 1e-9 || a.Gini > 1e-9 {
+		t.Errorf("balanced section: imbalance=%g gini=%g", a.Imbalance, a.Gini)
+	}
+	if len(a.Outliers) != 0 {
+		t.Errorf("outliers on balanced data: %v", a.Outliers)
+	}
+	if !strings.Contains(a.Verdict(), "balanced") {
+		t.Errorf("verdict = %q", a.Verdict())
+	}
+}
+
+func TestAnalyzePersistentImbalance(t *testing.T) {
+	// Rank 3 is always 3× slower: persistent.
+	profile := runProfile(t, 4, func(c *mpi.Comm) error {
+		for i := 0; i < 10; i++ {
+			c.SectionEnter("skewed")
+			d := 1.0
+			if c.Rank() == 3 {
+				d = 3
+			}
+			c.Sleep(d)
+			c.SectionExit("skewed")
+		}
+		return nil
+	})
+	a, err := Analyze(profile.Section("skewed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PersistentShare < 0.9 {
+		t.Errorf("persistent share = %g, want ~1", a.PersistentShare)
+	}
+	if a.SlowestRank != 3 {
+		t.Errorf("slowest rank = %d", a.SlowestRank)
+	}
+	if math.Abs(a.Imbalance-1.0) > 1e-9 { // totals [10,10,10,30]: 30/15 − 1
+		t.Errorf("imbalance = %g, want 1", a.Imbalance)
+	}
+	if !strings.Contains(a.Verdict(), "persistent") {
+		t.Errorf("verdict = %q", a.Verdict())
+	}
+}
+
+func TestAnalyzeTransientImbalance(t *testing.T) {
+	// Every rank alternates fast/slow out of phase: per-rank means are
+	// equal, within-rank variance is high → transient.
+	profile := runProfile(t, 4, func(c *mpi.Comm) error {
+		for i := 0; i < 10; i++ {
+			c.SectionEnter("jittery")
+			if (i+c.Rank())%2 == 0 {
+				c.Sleep(0.5)
+			} else {
+				c.Sleep(1.5)
+			}
+			c.SectionExit("jittery")
+		}
+		return nil
+	})
+	a, err := Analyze(profile.Section("jittery"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PersistentShare > 0.1 {
+		t.Errorf("persistent share = %g, want ~0", a.PersistentShare)
+	}
+	if a.Imbalance > 0.01 {
+		t.Errorf("totals imbalance = %g, want ~0 (phases cancel)", a.Imbalance)
+	}
+}
+
+func TestAnalyzeOutlierDetection(t *testing.T) {
+	profile := runProfile(t, 16, func(c *mpi.Comm) error {
+		c.SectionEnter("spike")
+		d := 1.0
+		if c.Rank() == 7 {
+			d = 5
+		}
+		c.Sleep(d)
+		c.SectionExit("spike")
+		return nil
+	})
+	a, err := Analyze(profile.Section("spike"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Outliers) != 1 || a.Outliers[0] != 7 {
+		t.Errorf("outliers = %v, want [7]", a.Outliers)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if _, err := Analyze(nil); err == nil {
+		t.Error("nil section accepted")
+	}
+	if _, err := Analyze(&prof.SectionStats{}); err == nil {
+		t.Error("empty section accepted")
+	}
+}
+
+func TestGini(t *testing.T) {
+	if g := gini(nil); g != 0 {
+		t.Errorf("gini(nil) = %g", g)
+	}
+	if g := gini([]float64{1, 1, 1, 1}); math.Abs(g) > 1e-12 {
+		t.Errorf("uniform gini = %g", g)
+	}
+	if g := gini([]float64{0, 0, 0}); g != 0 {
+		t.Errorf("all-zero gini = %g", g)
+	}
+	// One rank holds everything: gini → (n-1)/n.
+	g := gini([]float64{0, 0, 0, 10})
+	if math.Abs(g-0.75) > 1e-12 {
+		t.Errorf("concentrated gini = %g, want 0.75", g)
+	}
+	// Order must not matter.
+	if gini([]float64{3, 1, 2}) != gini([]float64{1, 2, 3}) {
+		t.Error("gini is order-sensitive")
+	}
+}
+
+func TestAnalyzeProfileSorting(t *testing.T) {
+	profile := runProfile(t, 4, func(c *mpi.Comm) error {
+		// "hot" is big and imbalanced; "cool" is big but balanced.
+		c.SectionEnter("hot")
+		c.Sleep(1 + float64(c.Rank()))
+		c.SectionExit("hot")
+		c.SectionEnter("cool")
+		c.Sleep(10)
+		c.SectionExit("cool")
+		return nil
+	})
+	analyses, err := AnalyzeProfile(profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := func(label string) int {
+		for i, a := range analyses {
+			if a.Label == label {
+				return i
+			}
+		}
+		return -1
+	}
+	// The imbalanced section must rank above the balanced one (MPI_MAIN
+	// inherits the skew, so only the relative order of hot/cool is
+	// deterministic here).
+	if hi, ci := idx("hot"), idx("cool"); hi < 0 || ci < 0 || hi > ci {
+		t.Errorf("hot at %d, cool at %d; want hot first", hi, ci)
+	}
+}
+
+func TestHeatStrip(t *testing.T) {
+	s := &prof.SectionStats{
+		Label:        "phase",
+		Ranks:        4,
+		PerRankTotal: []float64{0, 1, 2, 4},
+	}
+	h := Heat(s)
+	if !strings.HasPrefix(h, "phase") || !strings.Contains(h, "|") {
+		t.Errorf("heat = %q", h)
+	}
+	cells := h[strings.IndexByte(h, '|')+1 : strings.LastIndexByte(h, '|')]
+	if len(cells) != 4 {
+		t.Fatalf("cells = %q", cells)
+	}
+	if cells[0] != ' ' || cells[3] != '@' {
+		t.Errorf("scaling wrong: %q", cells)
+	}
+	// Zero section renders without dividing by zero.
+	zero := &prof.SectionStats{Label: "z", Ranks: 2, PerRankTotal: []float64{0, 0}}
+	if !strings.Contains(Heat(zero), "|  |") {
+		t.Errorf("zero heat = %q", Heat(zero))
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	profile := runProfile(t, 4, func(c *mpi.Comm) error {
+		c.SectionEnter("work")
+		c.Sleep(1 + float64(c.Rank()))
+		c.SectionExit("work")
+		return nil
+	})
+	out, err := Report(profile, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"section", "work", "persistent", "per-rank heat"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Without heat strips.
+	out, err = Report(profile, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "per-rank heat") {
+		t.Error("heat strips rendered despite topHeat=0")
+	}
+}
+
+func TestPersistentShareDecompositionExact(t *testing.T) {
+	// Hand-built stats: two ranks, constant per-instance durations 1 and 3
+	// → within-variance 0 → persistent share 1.
+	s := &prof.SectionStats{
+		Label: "x", Ranks: 2,
+		PerRankTotal: []float64{10, 30},
+		PerRank:      make([]stats.Welford, 2),
+	}
+	for i := 0; i < 10; i++ {
+		s.PerRank[0].Add(1)
+		s.PerRank[1].Add(3)
+	}
+	a, err := Analyze(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.PersistentShare-1) > 1e-12 {
+		t.Errorf("persistent share = %g, want 1", a.PersistentShare)
+	}
+}

@@ -1,0 +1,89 @@
+package balance
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/mpi"
+	"repro/internal/prof"
+)
+
+func TestAnalyzeRowsFromCSVRoundtrip(t *testing.T) {
+	// Full pipeline: run → per-rank CSV → rows → offline analysis must
+	// agree with the live analysis.
+	p := prof.New()
+	cfg := mpi.Config{
+		Ranks: 4, Model: machine.Ideal(4, 1), Seed: 1,
+		Tools: []mpi.Tool{p}, Timeout: 60 * time.Second,
+	}
+	_, err := mpi.Run(cfg, func(c *mpi.Comm) error {
+		for i := 0; i < 5; i++ {
+			c.SectionEnter("skew")
+			c.Sleep(1 + float64(c.Rank()))
+			c.SectionExit("skew")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile, err := p.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := Analyze(profile.Section("skew"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := profile.WritePerRankCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := prof.ReadPerRankCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var skew []prof.PerRankRow
+	for _, r := range rows {
+		if r.Label == "skew" {
+			skew = append(skew, r)
+		}
+	}
+	offline, err := AnalyzeRows(skew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(offline.Imbalance-live.Imbalance) > 1e-9 {
+		t.Errorf("imbalance: offline %g vs live %g", offline.Imbalance, live.Imbalance)
+	}
+	if math.Abs(offline.PersistentShare-live.PersistentShare) > 1e-9 {
+		t.Errorf("persistent: offline %g vs live %g", offline.PersistentShare, live.PersistentShare)
+	}
+	if math.Abs(offline.Gini-live.Gini) > 1e-9 {
+		t.Errorf("gini: offline %g vs live %g", offline.Gini, live.Gini)
+	}
+	if offline.SlowestRank != 3 {
+		t.Errorf("slowest = %d", offline.SlowestRank)
+	}
+}
+
+func TestAnalyzeRowsValidation(t *testing.T) {
+	if _, err := AnalyzeRows(nil); err == nil {
+		t.Error("empty rows accepted")
+	}
+	mixed := []prof.PerRankRow{
+		{Label: "a", Ranks: 2, Rank: 0},
+		{Label: "b", Ranks: 2, Rank: 1},
+	}
+	if _, err := AnalyzeRows(mixed); err == nil {
+		t.Error("mixed labels accepted")
+	}
+	oob := []prof.PerRankRow{{Label: "a", Ranks: 2, Rank: 5}}
+	if _, err := AnalyzeRows(oob); err == nil {
+		t.Error("out-of-range rank accepted")
+	}
+}

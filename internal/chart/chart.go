@@ -1,0 +1,248 @@
+// Package chart renders small ASCII line/scatter charts for the experiment
+// binaries: the paper's figures are log-scale plots (time or speedup vs.
+// process/thread count), and seeing the curve — not just the table — is how
+// one spots an inflexion point at a glance.
+package chart
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Options controls the plot.
+type Options struct {
+	// Title is printed above the plot.
+	Title string
+	// Width and Height of the plotting area in characters (defaults 72×20).
+	Width, Height int
+	// LogX/LogY select logarithmic axes (points must then be positive).
+	LogX, LogY bool
+	// XLabel/YLabel annotate the axes.
+	XLabel, YLabel string
+}
+
+// glyphs assigns a marker per series.
+const glyphs = "*+ox#@%&"
+
+// ErrNoData is returned when nothing plottable was supplied.
+var ErrNoData = errors.New("chart: no plottable data")
+
+// Render draws the series into a string.
+func Render(opts Options, series ...Series) (string, error) {
+	w, h := opts.Width, opts.Height
+	if w <= 0 {
+		w = 72
+	}
+	if h <= 0 {
+		h = 20
+	}
+	if w < 16 || h < 4 {
+		return "", fmt.Errorf("chart: plot area %dx%d too small", w, h)
+	}
+
+	tx := func(v float64) (float64, bool) { return axis(v, opts.LogX) }
+	ty := func(v float64) (float64, bool) { return axis(v, opts.LogY) }
+
+	// Collect transformed points and ranges.
+	type pt struct {
+		x, y float64
+		s    int
+	}
+	var pts []pt
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for si, s := range series {
+		n := len(s.X)
+		if len(s.Y) < n {
+			n = len(s.Y)
+		}
+		for i := 0; i < n; i++ {
+			x, okx := tx(s.X[i])
+			y, oky := ty(s.Y[i])
+			if !okx || !oky {
+				continue
+			}
+			pts = append(pts, pt{x: x, y: y, s: si})
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if len(pts) == 0 {
+		return "", ErrNoData
+	}
+	if minX == maxX {
+		minX, maxX = minX-1, maxX+1
+	}
+	if minY == maxY {
+		minY, maxY = minY-1, maxY+1
+	}
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	col := func(x float64) int {
+		c := int((x - minX) / (maxX - minX) * float64(w-1))
+		return clamp(c, 0, w-1)
+	}
+	row := func(y float64) int {
+		r := int((y - minY) / (maxY - minY) * float64(h-1))
+		return h - 1 - clamp(r, 0, h-1) // invert: big values on top
+	}
+	// Connect consecutive points of each series with interpolated markers,
+	// then stamp the points themselves on top.
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		var prev *pt
+		n := len(s.X)
+		if len(s.Y) < n {
+			n = len(s.Y)
+		}
+		for i := 0; i < n; i++ {
+			x, okx := tx(s.X[i])
+			y, oky := ty(s.Y[i])
+			if !okx || !oky {
+				prev = nil
+				continue
+			}
+			cur := pt{x: x, y: y, s: si}
+			if prev != nil {
+				drawLine(grid, col(prev.x), row(prev.y), col(cur.x), row(cur.y), '.')
+			}
+			prev = &cur
+		}
+		prev = nil
+		for i := 0; i < n; i++ {
+			x, okx := tx(s.X[i])
+			y, oky := ty(s.Y[i])
+			if !okx || !oky {
+				continue
+			}
+			grid[row(y)][col(x)] = g
+		}
+	}
+
+	var sb strings.Builder
+	if opts.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", opts.Title)
+	}
+	yLo, yHi := untransform(minY, opts.LogY), untransform(maxY, opts.LogY)
+	for r := 0; r < h; r++ {
+		label := "          "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%10.3g", yHi)
+		case h - 1:
+			label = fmt.Sprintf("%10.3g", yLo)
+		case h / 2:
+			label = fmt.Sprintf("%10.3g", untransform((minY+maxY)/2, opts.LogY))
+		}
+		fmt.Fprintf(&sb, "%s |%s|\n", label, grid[r])
+	}
+	xLo, xHi := untransform(minX, opts.LogX), untransform(maxX, opts.LogX)
+	fmt.Fprintf(&sb, "%10s  %-.3g%s%.3g\n", "",
+		xLo, strings.Repeat(" ", max(1, w-12)), xHi)
+	if opts.XLabel != "" || opts.YLabel != "" {
+		fmt.Fprintf(&sb, "%10s  x: %s   y: %s", "", opts.XLabel, opts.YLabel)
+		if opts.LogX || opts.LogY {
+			sb.WriteString("   (log")
+			if opts.LogX {
+				sb.WriteString(" x")
+			}
+			if opts.LogY {
+				sb.WriteString(" y")
+			}
+			sb.WriteString(")")
+		}
+		sb.WriteString("\n")
+	}
+	// Legend.
+	if len(series) > 0 {
+		fmt.Fprintf(&sb, "%10s  ", "")
+		for si, s := range series {
+			if si > 0 {
+				sb.WriteString("   ")
+			}
+			fmt.Fprintf(&sb, "%c %s", glyphs[si%len(glyphs)], s.Name)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String(), nil
+}
+
+// axis transforms one coordinate, reporting false for unplottable values.
+func axis(v float64, log bool) (float64, bool) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, false
+	}
+	if !log {
+		return v, true
+	}
+	if v <= 0 {
+		return 0, false
+	}
+	return math.Log10(v), true
+}
+
+func untransform(v float64, log bool) float64 {
+	if log {
+		return math.Pow(10, v)
+	}
+	return v
+}
+
+// drawLine stamps ch along the straight segment (x0,y0)-(x1,y1), leaving
+// existing non-space cells alone so markers and earlier series survive.
+func drawLine(grid [][]byte, x0, y0, x1, y1 int, ch byte) {
+	dx, dy := abs(x1-x0), -abs(y1-y0)
+	sx, sy := 1, 1
+	if x0 > x1 {
+		sx = -1
+	}
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	for {
+		if grid[y0][x0] == ' ' {
+			grid[y0][x0] = ch
+		}
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,178 @@
+package chart
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	s := Series{Name: "speedup", X: []float64{1, 2, 4, 8}, Y: []float64{1, 2, 3.5, 6}}
+	out, err := Render(Options{Title: "demo", XLabel: "p", YLabel: "S"}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "demo") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "* speedup") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(out, "x: p") || !strings.Contains(out, "y: S") {
+		t.Error("axis labels missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("no markers drawn")
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	if _, err := Render(Options{}); err != ErrNoData {
+		t.Errorf("no series: err = %v", err)
+	}
+	if _, err := Render(Options{}, Series{Name: "empty"}); err != ErrNoData {
+		t.Errorf("empty series: err = %v", err)
+	}
+	nan := Series{Name: "nan", X: []float64{1}, Y: []float64{math.NaN()}}
+	if _, err := Render(Options{}, nan); err != ErrNoData {
+		t.Errorf("NaN-only series: err = %v", err)
+	}
+	if _, err := Render(Options{Width: 4, Height: 2}, Series{X: []float64{1}, Y: []float64{1}}); err == nil {
+		t.Error("tiny plot area accepted")
+	}
+}
+
+// plotRows returns only the bordered plotting rows (excluding legend and
+// axis annotations).
+func plotRows(out string) []string {
+	var rows []string
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "|") {
+			rows = append(rows, l)
+		}
+	}
+	return rows
+}
+
+// countMarkers counts occurrences of ch inside the plot area only.
+func countMarkers(out string, ch byte) int {
+	n := 0
+	for _, l := range plotRows(out) {
+		n += strings.Count(l, string(ch))
+	}
+	return n
+}
+
+func TestRenderLogAxes(t *testing.T) {
+	s := Series{Name: "t", X: []float64{1, 10, 100, 1000}, Y: []float64{100, 10, 1, 0.1}}
+	out, err := Render(Options{LogX: true, LogY: true, XLabel: "p", YLabel: "s"}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "(log x y)") {
+		t.Error("log annotation missing")
+	}
+	// On log-log, a power law is a straight line: the marker columns must
+	// be evenly spaced. Extract marker positions from the plot rows.
+	var cols []int
+	for _, l := range plotRows(out) {
+		if i := strings.IndexByte(l, '*'); i >= 0 {
+			cols = append(cols, i)
+		}
+	}
+	if len(cols) != 4 {
+		t.Fatalf("marker rows = %d, want 4:\n%s", len(cols), out)
+	}
+	d1 := cols[1] - cols[0]
+	for i := 2; i < len(cols); i++ {
+		d := cols[i] - cols[i-1]
+		if absInt(d-d1) > 1 {
+			t.Errorf("log-x spacing uneven: %v", cols)
+		}
+	}
+}
+
+func TestRenderLogSkipsNonPositive(t *testing.T) {
+	s := Series{Name: "mixed", X: []float64{0, 1, 10}, Y: []float64{-1, 1, 10}}
+	out, err := Render(Options{LogX: true, LogY: true}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countMarkers(out, '*') != 2 {
+		t.Errorf("expected 2 plottable markers:\n%s", out)
+	}
+}
+
+func TestRenderMultipleSeriesDistinctGlyphs(t *testing.T) {
+	a := Series{Name: "a", X: []float64{1, 2}, Y: []float64{1, 2}}
+	b := Series{Name: "b", X: []float64{1, 2}, Y: []float64{2, 1}}
+	out, err := Render(Options{}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Errorf("glyphs missing:\n%s", out)
+	}
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "+ b") {
+		t.Errorf("legend wrong:\n%s", out)
+	}
+}
+
+func TestRenderExtremesOnEdges(t *testing.T) {
+	s := Series{Name: "s", X: []float64{0, 10}, Y: []float64{0, 100}}
+	out, err := Render(Options{Width: 40, Height: 10}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(out, "\n")
+	// Max value appears on the first plot row, min on the last.
+	if !strings.Contains(lines[0], "100") {
+		t.Errorf("top label missing: %q", lines[0])
+	}
+	first := lines[0]
+	if !strings.Contains(first, "*") {
+		t.Errorf("max point not on top row:\n%s", out)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	s := Series{Name: "flat", X: []float64{1, 2, 3}, Y: []float64{5, 5, 5}}
+	out, err := Render(Options{}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countMarkers(out, '*') < 3 {
+		t.Errorf("flat series markers missing:\n%s", out)
+	}
+}
+
+func TestRenderMismatchedLengths(t *testing.T) {
+	s := Series{Name: "s", X: []float64{1, 2, 3}, Y: []float64{1}}
+	out, err := Render(Options{}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countMarkers(out, '*') != 1 {
+		t.Errorf("length clamping wrong:\n%s", out)
+	}
+}
+
+func TestRenderDefaultDimensions(t *testing.T) {
+	s := Series{Name: "s", X: []float64{1, 2}, Y: []float64{1, 2}}
+	out, err := Render(Options{}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// 20 plot rows + x-axis + legend (no title/labels).
+	if len(lines) != 22 {
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

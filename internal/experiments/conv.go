@@ -1,0 +1,290 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/convolution"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/mpi"
+	"repro/internal/prof"
+)
+
+// ConvOptions configures the convolution scaling study of §5.1.
+type ConvOptions struct {
+	// Ps are the MPI process counts to sweep.
+	Ps []int
+	// Steps is the number of convolution time-steps per run.
+	Steps int
+	// Reps averages each point over this many repetitions with distinct
+	// seeds ("runs were done twenty times and averaged" — default 3 keeps
+	// the harness fast while still smoothing jitter).
+	Reps int
+	// Scale divides the executed image dimensions.
+	Scale int
+	// Seed is the base seed; rep r uses Seed+r.
+	Seed uint64
+	// Model is the machine (default: the Nehalem cluster of the paper).
+	Model *machine.Model
+}
+
+// PaperConvOptions reproduces the paper's setup: the 5616×3744 image,
+// 1000 steps, up to 456 cores of the Nehalem cluster.
+func PaperConvOptions() ConvOptions {
+	return ConvOptions{
+		Ps:    []int{8, 16, 32, 64, 80, 96, 112, 128, 144, 192, 256, 320, 456},
+		Steps: 1000,
+		Reps:  3,
+		Scale: 8,
+		Seed:  2017,
+		Model: machine.NehalemCluster(),
+	}
+}
+
+// QuickConvOptions is a reduced sweep for tests and smoke runs. Speedups
+// and bounds are ratios of per-step quantities, so shapes survive the
+// shorter run.
+func QuickConvOptions() ConvOptions {
+	return ConvOptions{
+		Ps:    []int{2, 4, 8, 16},
+		Steps: 40,
+		Reps:  1,
+		Scale: 16,
+		Seed:  2017,
+		Model: machine.NehalemCluster(),
+	}
+}
+
+// ConvPoint is one measured scale, averaged over repetitions.
+type ConvPoint struct {
+	P       int
+	Wall    float64
+	Speedup float64
+	// Totals: summed-over-ranks inclusive section time (Fig. 5(b), Fig. 6).
+	Totals map[string]float64
+	// AvgPerProc: Totals / P (Fig. 5(c)).
+	AvgPerProc map[string]float64
+	// Shares: fraction of total exclusive time (Fig. 5(a)).
+	Shares map[string]float64
+}
+
+// ConvResult is the full study.
+type ConvResult struct {
+	Opts    ConvOptions
+	SeqTime float64
+	Points  []ConvPoint
+	Study   *core.Study
+}
+
+// RunConvolution executes the sweep and assembles the partial-bounding
+// study.
+func RunConvolution(o ConvOptions) (*ConvResult, error) {
+	if o.Model == nil {
+		o.Model = machine.NehalemCluster()
+	}
+	if o.Reps < 1 {
+		o.Reps = 1
+	}
+	params := convolution.Params{
+		Width: 5616, Height: 3744,
+		Steps: o.Steps, Scale: o.Scale, Seed: o.Seed, SkipKernel: true,
+	}
+	_, seq, err := convolution.Sequential(params, o.Model)
+	if err != nil {
+		return nil, err
+	}
+	study, err := core.NewStudy(seq)
+	if err != nil {
+		return nil, err
+	}
+	res := &ConvResult{Opts: o, SeqTime: seq, Study: study}
+
+	for _, p := range o.Ps {
+		pt := ConvPoint{
+			P:          p,
+			Totals:     map[string]float64{},
+			AvgPerProc: map[string]float64{},
+			Shares:     map[string]float64{},
+		}
+		for rep := 0; rep < o.Reps; rep++ {
+			profiler := prof.New()
+			cfg := mpi.Config{
+				Ranks:   p,
+				Model:   o.Model,
+				Seed:    o.Seed + uint64(rep)*7919,
+				Tools:   []mpi.Tool{profiler},
+				Timeout: 10 * time.Minute,
+			}
+			if _, err := convolution.Run(cfg, params); err != nil {
+				return nil, fmt.Errorf("experiments: convolution p=%d rep=%d: %w", p, rep, err)
+			}
+			profile, err := profiler.Result()
+			if err != nil {
+				return nil, err
+			}
+			pt.Wall += profile.WallTime
+			shares := profile.Shares()
+			for _, label := range convolution.Labels() {
+				if s := profile.Section(label); s != nil {
+					pt.Totals[label] += s.TotalTime()
+					pt.Shares[label] += shares[label]
+				}
+			}
+		}
+		inv := 1 / float64(o.Reps)
+		pt.Wall *= inv
+		for label := range pt.Totals {
+			pt.Totals[label] *= inv
+			pt.Shares[label] *= inv
+			pt.AvgPerProc[label] = pt.Totals[label] / float64(p)
+		}
+		pt.Speedup = seq / pt.Wall
+		if err := study.AddPoint(p, pt.Wall, pt.Totals); err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, pt)
+	}
+	sort.Slice(res.Points, func(i, j int) bool { return res.Points[i].P < res.Points[j].P })
+	return res, nil
+}
+
+// sectionColumns is the section ordering of the Fig. 5 tables.
+func sectionColumns() []string { return convolution.Labels() }
+
+// Fig5a renders the percentage of execution time per section vs. process
+// count — the paper's Fig. 5(a).
+func (r *ConvResult) Fig5a() string {
+	t := newTable(append([]string{"#procs"}, sectionColumns()...)...)
+	for _, pt := range r.Points {
+		cells := []string{fmt.Sprintf("%d", pt.P)}
+		for _, label := range sectionColumns() {
+			cells = append(cells, fmt.Sprintf("%.2f%%", 100*pt.Shares[label]))
+		}
+		t.addRow(cells...)
+	}
+	return "Fig 5(a) — percentage of execution time per MPI Section\n" + t.String()
+}
+
+// Fig5b renders the total (summed over ranks) time per section — Fig. 5(b).
+func (r *ConvResult) Fig5b() string {
+	t := newTable(append([]string{"#procs"}, sectionColumns()...)...)
+	for _, pt := range r.Points {
+		cells := []string{fmt.Sprintf("%d", pt.P)}
+		for _, label := range sectionColumns() {
+			cells = append(cells, fmt.Sprintf("%.4g", pt.Totals[label]))
+		}
+		t.addRow(cells...)
+	}
+	return "Fig 5(b) — total time per MPI Section (s, summed over ranks)\n" + t.String()
+}
+
+// Fig5c renders the average per-process time per section — Fig. 5(c).
+func (r *ConvResult) Fig5c() string {
+	t := newTable(append([]string{"#procs"}, sectionColumns()...)...)
+	for _, pt := range r.Points {
+		cells := []string{fmt.Sprintf("%d", pt.P)}
+		for _, label := range sectionColumns() {
+			cells = append(cells, fmt.Sprintf("%.4g", pt.AvgPerProc[label]))
+		}
+		t.addRow(cells...)
+	}
+	return fmt.Sprintf("Fig 5(c) — average time per process per MPI Section (s); sequential total %.6g s\n",
+		r.SeqTime) + t.String()
+}
+
+// Fig5d renders the measured speedup next to the HALO partial bound B(p) —
+// Fig. 5(d).
+func (r *ConvResult) Fig5d() string {
+	t := newTable("#procs", "speedup", "HALO bound B(p)")
+	rows := map[int]float64{}
+	for _, row := range r.Study.BoundTable(convolution.SecHalo) {
+		rows[row.Scale] = row.Bound
+	}
+	for _, pt := range r.Points {
+		bound := "-"
+		if b, ok := rows[pt.P]; ok {
+			bound = fmt.Sprintf("%.4g", b)
+		}
+		t.addRow(fmt.Sprintf("%d", pt.P), fmt.Sprintf("%.4g", pt.Speedup), bound)
+	}
+	return "Fig 5(d) — average speedup and predicted partial speedup boundaries (HALO)\n" + t.String()
+}
+
+// fig6Scales are the process counts of the paper's Fig. 6 table.
+var fig6Scales = []int{64, 80, 112, 128, 144}
+
+// Fig6 renders the inferred partial speedup boundaries from the HALO time —
+// the paper's Fig. 6 table.
+func (r *ConvResult) Fig6() string {
+	t := newTable("#Processes", "Tot. HALO Time", "Speedup Bound (B)")
+	for _, row := range r.Study.BoundTable(convolution.SecHalo) {
+		if !contains(fig6Scales, row.Scale) && len(r.Points) > 6 {
+			continue
+		}
+		t.addRow(fmt.Sprintf("%d", row.Scale),
+			fmt.Sprintf("%.2f", row.Total), fmt.Sprintf("%.2f", row.Bound))
+	}
+	return "Fig 6 — inferred partial speedup boundaries from HALO section\n" + t.String()
+}
+
+// FitReport fits the three-term law T(p) = A + B/p + C·p (core.FitSectionTime)
+// to each section's per-process time and reports the fitted coefficients,
+// the fit quality, and — where the law has an interior minimum — the
+// predicted inflexion scale. This extends the paper's empirical inflexion
+// detection with a forecast usable before the section has stopped scaling.
+func (r *ConvResult) FitReport() string {
+	t := newTable("section", "A (serial s)", "B (parallel s)", "C (overhead s/p)",
+		"RMSE", "predicted p*")
+	for _, label := range sectionColumns() {
+		fit, pStar, ok, err := r.Study.PredictStudyInflexion(label)
+		if err != nil {
+			continue
+		}
+		pCell := "- (monotone)"
+		if ok {
+			pCell = fmt.Sprintf("%.4g", pStar)
+		}
+		t.addRow(label,
+			fmt.Sprintf("%.4g", fit.A), fmt.Sprintf("%.4g", fit.B),
+			fmt.Sprintf("%.4g", fit.C), fmt.Sprintf("%.3g", fit.RMSE), pCell)
+	}
+	return "Section-time model fits T(p) = A + B/p + C·p and predicted inflexions\n" + t.String()
+}
+
+// WriteCSV emits every point with all per-section columns.
+func (r *ConvResult) WriteCSV(w io.Writer) error {
+	cols := sectionColumns()
+	header := []string{"p", "wall", "speedup"}
+	for _, c := range cols {
+		header = append(header, "total_"+c, "share_"+c)
+	}
+	if _, err := io.WriteString(w, csvLine(header...)); err != nil {
+		return err
+	}
+	for _, pt := range r.Points {
+		cells := []string{
+			fmt.Sprintf("%d", pt.P),
+			fmt.Sprintf("%g", pt.Wall),
+			fmt.Sprintf("%g", pt.Speedup),
+		}
+		for _, c := range cols {
+			cells = append(cells, fmt.Sprintf("%g", pt.Totals[c]), fmt.Sprintf("%g", pt.Shares[c]))
+		}
+		if _, err := io.WriteString(w, csvLine(cells...)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/convolution"
+	"repro/internal/machine"
+	"repro/internal/mpi"
+	"repro/internal/prof"
+)
+
+// Decomposition ablation: the paper's §3 ties communication overhead to
+// the decomposition's halo volume ("the halo-cells ratio directly linked
+// with communication size is smaller for large memory areas... higher
+// dimension domain decompositions require larger local domains"). This
+// driver runs the convolution benchmark with 1-D and 2-D splits at the
+// same scales and compares the modeled halo volume with the measured HALO
+// section — the quantity partial bounding turns into a speedup ceiling.
+
+// DecompPoint is one scale of the comparison.
+type DecompPoint struct {
+	P       int
+	Grid    string // "1×p" vs "px×py"
+	Bytes1D int    // modeled per-process halo volume per step
+	Bytes2D int
+	Halo1D  float64 // measured avg per-process HALO time
+	Halo2D  float64
+	Wall1D  float64
+	Wall2D  float64
+}
+
+// DecompResult is the sweep.
+type DecompResult struct {
+	Points []DecompPoint
+}
+
+// DecompOptions configures the comparison.
+type DecompOptions struct {
+	Ps    []int
+	Steps int
+	Scale int
+	Seed  uint64
+	Model *machine.Model
+}
+
+// QuickDecompOptions is a reduced comparison for tests.
+func QuickDecompOptions() DecompOptions {
+	return DecompOptions{
+		Ps:    []int{4, 16},
+		Steps: 20,
+		Scale: 16,
+		Seed:  2017,
+		Model: machine.NehalemCluster(),
+	}
+}
+
+// PaperDecompOptions compares at the paper's scales.
+func PaperDecompOptions() DecompOptions {
+	return DecompOptions{
+		Ps:    []int{16, 64, 144, 256},
+		Steps: 200,
+		Scale: 8,
+		Seed:  2017,
+		Model: machine.NehalemCluster(),
+	}
+}
+
+// RunDecompComparison executes the comparison.
+func RunDecompComparison(o DecompOptions) (*DecompResult, error) {
+	if o.Model == nil {
+		o.Model = machine.NehalemCluster()
+	}
+	params := convolution.Params{
+		Width: 5616, Height: 3744,
+		Steps: o.Steps, Scale: o.Scale, Seed: o.Seed, SkipKernel: true,
+	}
+	res := &DecompResult{}
+	for _, p := range o.Ps {
+		px, py, err := convolution.Grid2D(p)
+		if err != nil {
+			return nil, err
+		}
+		pt := DecompPoint{
+			P:       p,
+			Grid:    fmt.Sprintf("%dx%d", px, py),
+			Bytes1D: params.Halo1DBytesPerProc(),
+			Bytes2D: params.Halo2DBytesPerProc(px, py),
+		}
+		run := func(runner func(mpi.Config, convolution.Params) (*convolution.Result, error)) (halo, wall float64, err error) {
+			profiler := prof.New()
+			cfg := mpi.Config{
+				Ranks: p, Model: o.Model, Seed: o.Seed,
+				Tools: []mpi.Tool{profiler}, Timeout: 10 * time.Minute,
+			}
+			if _, err := runner(cfg, params); err != nil {
+				return 0, 0, err
+			}
+			profile, err := profiler.Result()
+			if err != nil {
+				return 0, 0, err
+			}
+			return profile.Section(convolution.SecHalo).AvgPerProcess(), profile.WallTime, nil
+		}
+		if pt.Halo1D, pt.Wall1D, err = run(convolution.Run); err != nil {
+			return nil, fmt.Errorf("experiments: 1-D p=%d: %w", p, err)
+		}
+		if pt.Halo2D, pt.Wall2D, err = run(convolution.Run2D); err != nil {
+			return nil, fmt.Errorf("experiments: 2-D p=%d: %w", p, err)
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// Table renders the comparison.
+func (r *DecompResult) Table() string {
+	t := newTable("p", "2D grid", "halo B/proc 1D", "halo B/proc 2D",
+		"HALO/proc 1D (s)", "HALO/proc 2D (s)", "wall 1D (s)", "wall 2D (s)")
+	for _, pt := range r.Points {
+		t.addRow(
+			fmt.Sprintf("%d", pt.P),
+			pt.Grid,
+			fmt.Sprintf("%d", pt.Bytes1D),
+			fmt.Sprintf("%d", pt.Bytes2D),
+			fmt.Sprintf("%.4g", pt.Halo1D),
+			fmt.Sprintf("%.4g", pt.Halo2D),
+			fmt.Sprintf("%.4g", pt.Wall1D),
+			fmt.Sprintf("%.4g", pt.Wall2D),
+		)
+	}
+	return "Decomposition ablation (§3): 1-D rows vs 2-D tiles\n" + t.String()
+}

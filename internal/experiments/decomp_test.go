@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDecompComparison(t *testing.T) {
+	res, err := RunDecompComparison(QuickDecompOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for _, pt := range res.Points {
+		if pt.Bytes2D >= pt.Bytes1D {
+			t.Errorf("p=%d: 2-D halo bytes %d not below 1-D %d", pt.P, pt.Bytes2D, pt.Bytes1D)
+		}
+		if pt.Halo1D <= 0 || pt.Halo2D <= 0 || pt.Wall1D <= 0 || pt.Wall2D <= 0 {
+			t.Errorf("p=%d: degenerate point %+v", pt.P, pt)
+		}
+	}
+	// The modeled byte advantage grows with p.
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	r0 := float64(first.Bytes1D) / float64(first.Bytes2D)
+	r1 := float64(last.Bytes1D) / float64(last.Bytes2D)
+	if r1 <= r0 {
+		t.Errorf("2-D advantage did not grow: %g -> %g", r0, r1)
+	}
+	out := res.Table()
+	for _, want := range []string{"Decomposition ablation", "2D grid", "HALO/proc"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDecompDefaults(t *testing.T) {
+	o := QuickDecompOptions()
+	o.Model = nil
+	o.Ps = []int{4}
+	if _, err := RunDecompComparison(o); err != nil {
+		t.Fatal(err)
+	}
+}

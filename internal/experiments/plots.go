@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/chart"
+	"repro/internal/convolution"
+)
+
+// PlotSpeedup renders Fig. 5(d) as an ASCII chart: measured speedup and the
+// HALO partial bound against the process count (log-x).
+func (r *ConvResult) PlotSpeedup() (string, error) {
+	var ps, sp []float64
+	for _, pt := range r.Points {
+		ps = append(ps, float64(pt.P))
+		sp = append(sp, pt.Speedup)
+	}
+	var bx, by []float64
+	for _, row := range r.Study.BoundTable(convolution.SecHalo) {
+		bx = append(bx, float64(row.Scale))
+		by = append(by, row.Bound)
+	}
+	return chart.Render(chart.Options{
+		Title:  "Fig 5(d) — speedup and HALO partial bound",
+		LogX:   true,
+		LogY:   true,
+		XLabel: "MPI processes",
+		YLabel: "speedup",
+	},
+		chart.Series{Name: "measured speedup", X: ps, Y: sp},
+		chart.Series{Name: "HALO bound B(p)", X: bx, Y: by},
+	)
+}
+
+// PlotSections renders Fig. 5(c): average per-process time of the two
+// dominant sections against the process count (log-log).
+func (r *ConvResult) PlotSections() (string, error) {
+	series := make([]chart.Series, 0, 2)
+	for _, label := range []string{convolution.SecConvolve, convolution.SecHalo} {
+		var xs, ys []float64
+		for _, pt := range r.Points {
+			xs = append(xs, float64(pt.P))
+			ys = append(ys, pt.AvgPerProc[label])
+		}
+		series = append(series, chart.Series{Name: label, X: xs, Y: ys})
+	}
+	return chart.Render(chart.Options{
+		Title:  "Fig 5(c) — average time per process per section",
+		LogX:   true,
+		LogY:   true,
+		XLabel: "MPI processes",
+		YLabel: "seconds",
+	}, series...)
+}
+
+// Plot renders the Fig. 10 panel: walltime and the two Lagrange sections
+// against the thread count (log-x), with the speedup curve.
+func (a *Fig10Analysis) Plot() (string, error) {
+	xs := make([]float64, len(a.Threads))
+	for i, th := range a.Threads {
+		xs[i] = float64(th)
+	}
+	timesPlot, err := chart.Render(chart.Options{
+		Title:  "Fig 10 — walltime and Lagrange sections vs OpenMP threads",
+		LogX:   true,
+		LogY:   true,
+		XLabel: "OpenMP threads",
+		YLabel: "seconds",
+	},
+		chart.Series{Name: "walltime", X: xs, Y: a.Wall},
+		chart.Series{Name: "LagrangeNodal", X: xs, Y: a.Nodal},
+		chart.Series{Name: "LagrangeElements", X: xs, Y: a.Elements},
+	)
+	if err != nil {
+		return "", err
+	}
+	speedupPlot, err := chart.Render(chart.Options{
+		Title:  "Fig 10 — speedup vs OpenMP threads",
+		LogX:   true,
+		XLabel: "OpenMP threads",
+		YLabel: "speedup",
+	}, chart.Series{Name: "speedup", X: xs, Y: a.Speedup})
+	if err != nil {
+		return "", err
+	}
+	return timesPlot + "\n" + speedupPlot, nil
+}
+
+// PlotWalltimes renders the Figs. 8/9 walltime curves: one series per MPI
+// process count, over the thread sweep (log-log).
+func (r *HybridResult) PlotWalltimes(caption string) (string, error) {
+	byRanks := map[int]*chart.Series{}
+	var order []int
+	for _, pt := range r.Points {
+		s := byRanks[pt.Ranks]
+		if s == nil {
+			s = &chart.Series{Name: fmt.Sprintf("p=%d", pt.Ranks)}
+			byRanks[pt.Ranks] = s
+			order = append(order, pt.Ranks)
+		}
+		s.X = append(s.X, float64(pt.Threads))
+		s.Y = append(s.Y, pt.Wall)
+	}
+	series := make([]chart.Series, 0, len(order))
+	for _, rk := range order {
+		series = append(series, *byRanks[rk])
+	}
+	return chart.Render(chart.Options{
+		Title:  caption,
+		LogX:   true,
+		LogY:   true,
+		XLabel: "OpenMP threads",
+		YLabel: "walltime (s)",
+	}, series...)
+}

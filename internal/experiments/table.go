@@ -1,0 +1,67 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (§5): the convolution scaling study (Figs. 5–6) and
+// the LULESH MPI+OpenMP study (Table 7, Figs. 8–10). Each driver runs the
+// instrumented benchmark under the section profiler on the corresponding
+// machine model and renders the same rows/series the paper reports, as
+// aligned text and as CSV.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// textTable renders rows of cells with aligned columns.
+type textTable struct {
+	header []string
+	rows   [][]string
+}
+
+func newTable(header ...string) *textTable {
+	return &textTable{header: header}
+}
+
+func (t *textTable) addRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+func (t *textTable) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// csvLine joins cells with commas (cells are known not to contain commas).
+func csvLine(cells ...string) string {
+	return strings.Join(cells, ",") + "\n"
+}

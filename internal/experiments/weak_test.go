@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWeakScalingSweep(t *testing.T) {
+	res, err := RunWeakConvolution(QuickWeakOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	if res.Points[0].Efficiency != 1 {
+		t.Errorf("baseline efficiency = %g", res.Points[0].Efficiency)
+	}
+	for _, pt := range res.Points {
+		// Weak scaling keeps efficiency high: per-rank slab constant, halo
+		// constant per process. Allow generous jitter slack.
+		if pt.Efficiency < 0.5 || pt.Efficiency > 1.2 {
+			t.Errorf("p=%d: weak efficiency %g implausible", pt.P, pt.Efficiency)
+		}
+		if pt.ScaledSpeedup <= 0 {
+			t.Errorf("p=%d: scaled speedup %g", pt.P, pt.ScaledSpeedup)
+		}
+	}
+	// Scaled speedup grows with p (Gustafson's point) even though a
+	// strong-scaling run at these sizes would have flattened.
+	last := res.Points[len(res.Points)-1]
+	first := res.Points[0]
+	if last.ScaledSpeedup <= first.ScaledSpeedup {
+		t.Errorf("scaled speedup did not grow: %g -> %g",
+			first.ScaledSpeedup, last.ScaledSpeedup)
+	}
+}
+
+func TestWeakScalingTable(t *testing.T) {
+	res, err := RunWeakConvolution(QuickWeakOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := res.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Weak scaling", "weak-eff", "Gustafson", "Amdahl", "implied serial share"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWeakScalingValidation(t *testing.T) {
+	o := QuickWeakOptions()
+	o.Ps = []int{2, 4} // must start at 1
+	if _, err := RunWeakConvolution(o); err == nil {
+		t.Error("sweep without baseline accepted")
+	}
+	empty := QuickWeakOptions()
+	empty.Ps = nil
+	if _, err := RunWeakConvolution(empty); err == nil {
+		t.Error("empty sweep accepted")
+	}
+	var r WeakResult
+	if _, err := r.Table(); err == nil {
+		t.Error("empty result table accepted")
+	}
+}

@@ -1,0 +1,318 @@
+package lulesh
+
+import (
+	"fmt"
+	"math"
+)
+
+// Physical constants of the ideal-gas solver.
+const (
+	gammaGas = 1.4
+	cflLimit = 0.3
+	rhoFloor = 1e-12
+	pFloor   = 1e-12
+)
+
+// initState allocates and initializes the per-rank state: uniform quiescent
+// gas with a Sedov energy deposit in the global corner cell (owned by rank
+// (0,0,0)), mirroring LULESH's -s Sedov setup.
+func initState(s *state) {
+	v := s.volume()
+	s.rho = make([]float64, v)
+	s.mx = make([]float64, v)
+	s.my = make([]float64, v)
+	s.mz = make([]float64, v)
+	s.en = make([]float64, v)
+	s.nrho = make([]float64, v)
+	s.nmx = make([]float64, v)
+	s.nmy = make([]float64, v)
+	s.nmz = make([]float64, v)
+	s.nen = make([]float64, v)
+	for k := 1; k <= s.n; k++ {
+		for j := 1; j <= s.n; j++ {
+			for i := 1; i <= s.n; i++ {
+				id := s.idx(i, j, k)
+				s.rho[id] = 1.0
+				s.en[id] = 1e-6 // quiescent background internal energy
+			}
+		}
+	}
+	if s.ix == 0 && s.iy == 0 && s.iz == 0 {
+		// Corner energy deposit (energy density), like LULESH's Sedov -s
+		// setup with the blast origin at the global (0,0,0) element.
+		s.en[s.idx(1, 1, 1)] = s.p.SedovEnergy
+	}
+}
+
+// soundSpeed returns c for one cell's conserved state.
+func soundSpeed(rho, mx, my, mz, en float64) float64 {
+	u, v, w := mx/rho, my/rho, mz/rho
+	ke := 0.5 * rho * (u*u + v*v + w*w)
+	p := (gammaGas - 1) * (en - ke)
+	if p < pFloor {
+		p = pFloor
+	}
+	return math.Sqrt(gammaGas * p / rho)
+}
+
+// pressure returns p for one cell.
+func pressure(rho, mx, my, mz, en float64) float64 {
+	u, v, w := mx/rho, my/rho, mz/rho
+	ke := 0.5 * rho * (u*u + v*v + w*w)
+	p := (gammaGas - 1) * (en - ke)
+	if p < pFloor {
+		p = pFloor
+	}
+	return p
+}
+
+// flux computes the Euler flux component along the given axis
+// (0=x, 1=y, 2=z) for one conserved state.
+func flux(axis int, rho, mx, my, mz, en float64) (frho, fmx, fmy, fmz, fen float64) {
+	u := mx / rho
+	switch axis {
+	case 1:
+		u = my / rho
+	case 2:
+		u = mz / rho
+	}
+	p := pressure(rho, mx, my, mz, en)
+	frho = rho * u
+	fmx = mx * u
+	fmy = my * u
+	fmz = mz * u
+	switch axis {
+	case 0:
+		fmx += p
+	case 1:
+		fmy += p
+	case 2:
+		fmz += p
+	}
+	fen = (en + p) * u
+	return
+}
+
+// rusanov computes the Rusanov (local Lax–Friedrichs) numerical flux along
+// axis between left state L and right state R.
+func rusanov(axis int, rhoL, mxL, myL, mzL, enL, rhoR, mxR, myR, mzR, enR float64) (f [5]float64) {
+	fl0, fl1, fl2, fl3, fl4 := flux(axis, rhoL, mxL, myL, mzL, enL)
+	fr0, fr1, fr2, fr3, fr4 := flux(axis, rhoR, mxR, myR, mzR, enR)
+	var uL, uR float64
+	switch axis {
+	case 0:
+		uL, uR = mxL/rhoL, mxR/rhoR
+	case 1:
+		uL, uR = myL/rhoL, myR/rhoR
+	case 2:
+		uL, uR = mzL/rhoL, mzR/rhoR
+	}
+	sL := math.Abs(uL) + soundSpeed(rhoL, mxL, myL, mzL, enL)
+	sR := math.Abs(uR) + soundSpeed(rhoR, mxR, myR, mzR, enR)
+	smax := math.Max(sL, sR)
+	f[0] = 0.5*(fl0+fr0) - 0.5*smax*(rhoR-rhoL)
+	f[1] = 0.5*(fl1+fr1) - 0.5*smax*(mxR-mxL)
+	f[2] = 0.5*(fl2+fr2) - 0.5*smax*(myR-myL)
+	f[3] = 0.5*(fl3+fr3) - 0.5*smax*(mzR-mzL)
+	f[4] = 0.5*(fl4+fr4) - 0.5*smax*(enR-enL)
+	return
+}
+
+// computeIncrements fills the scratch arrays with dt/dx times the flux
+// divergence of every interior cell in plane k (the "force" computation,
+// the solver's dominant loop). The increments are stored negated so the
+// later phases simply add them.
+func (s *state) computeIncrements(k int) {
+	st := s.stride()
+	lam := s.dt / s.dx
+	offs := [3]int{1, st, st * st} // +x, +y, +z neighbor strides
+	for j := 1; j <= s.n; j++ {
+		for i := 1; i <= s.n; i++ {
+			id := s.idx(i, j, k)
+			var d [5]float64
+			for axis := 0; axis < 3; axis++ {
+				o := offs[axis]
+				lo, hi := id-o, id+o
+				fm := rusanov(axis,
+					s.rho[lo], s.mx[lo], s.my[lo], s.mz[lo], s.en[lo],
+					s.rho[id], s.mx[id], s.my[id], s.mz[id], s.en[id])
+				fp := rusanov(axis,
+					s.rho[id], s.mx[id], s.my[id], s.mz[id], s.en[id],
+					s.rho[hi], s.mx[hi], s.my[hi], s.mz[hi], s.en[hi])
+				for c := 0; c < 5; c++ {
+					d[c] += fp[c] - fm[c]
+				}
+			}
+			s.nrho[id] = -lam * d[0]
+			s.nmx[id] = -lam * d[1]
+			s.nmy[id] = -lam * d[2]
+			s.nmz[id] = -lam * d[3]
+			s.nen[id] = -lam * d[4]
+		}
+	}
+}
+
+// applyMomentum adds the momentum increments in plane k ("acceleration").
+func (s *state) applyMomentum(k int) {
+	for j := 1; j <= s.n; j++ {
+		for i := 1; i <= s.n; i++ {
+			id := s.idx(i, j, k)
+			s.nmx[id] += s.mx[id]
+			s.nmy[id] += s.my[id]
+			s.nmz[id] += s.mz[id]
+		}
+	}
+}
+
+// applyContinuity adds the density increments in plane k ("kinematics":
+// the volume/density change of the Lagrange element update).
+func (s *state) applyContinuity(k int) {
+	for j := 1; j <= s.n; j++ {
+		for i := 1; i <= s.n; i++ {
+			id := s.idx(i, j, k)
+			v := s.nrho[id] + s.rho[id]
+			if v < rhoFloor {
+				v = rhoFloor
+			}
+			s.nrho[id] = v
+		}
+	}
+}
+
+// applyEnergy adds the energy increments in plane k and floors internal
+// energy ("apply material properties": the EOS/energy update).
+func (s *state) applyEnergy(k int) {
+	for j := 1; j <= s.n; j++ {
+		for i := 1; i <= s.n; i++ {
+			id := s.idx(i, j, k)
+			e := s.nen[id] + s.en[id]
+			if e < pFloor {
+				e = pFloor
+			}
+			s.nen[id] = e
+		}
+	}
+}
+
+// viscosityScan computes the artificial-viscosity diagnostic of plane k:
+// the maximum q = ρ·c·|Δu| over faces — the quantity LULESH's CalcQForElems
+// produces; for the Rusanov scheme it measures the built-in dissipation.
+func (s *state) viscosityScan(k int) float64 {
+	st := s.stride()
+	maxQ := 0.0
+	for j := 1; j <= s.n; j++ {
+		for i := 1; i <= s.n; i++ {
+			id := s.idx(i, j, k)
+			u0 := s.mx[id] / s.rho[id]
+			du := math.Abs(s.mx[id+1]/s.rho[id+1]-u0) +
+				math.Abs(s.my[id+st]/s.rho[id+st]-s.my[id]/s.rho[id]) +
+				math.Abs(s.mz[id+st*st]/s.rho[id+st*st]-s.mz[id]/s.rho[id])
+			q := s.rho[id] * soundSpeed(s.rho[id], s.mx[id], s.my[id], s.mz[id], s.en[id]) * du
+			if q > maxQ {
+				maxQ = q
+			}
+		}
+	}
+	return maxQ
+}
+
+// swapState promotes the scratch arrays to current ("update volumes") and
+// returns the plane's maximum relative density change — the raw material of
+// the hydro timestep constraint.
+func (s *state) swapState(k int) float64 {
+	maxRate := 0.0
+	for j := 1; j <= s.n; j++ {
+		for i := 1; i <= s.n; i++ {
+			id := s.idx(i, j, k)
+			rate := math.Abs(s.nrho[id]-s.rho[id]) / s.rho[id]
+			if rate > maxRate {
+				maxRate = rate
+			}
+			s.rho[id] = s.nrho[id]
+			s.mx[id] = s.nmx[id]
+			s.my[id] = s.nmy[id]
+			s.mz[id] = s.nmz[id]
+			s.en[id] = s.nen[id]
+		}
+	}
+	return maxRate
+}
+
+// courantScan returns the maximum wavespeed |u|+c in plane k.
+func (s *state) courantScan(k int) float64 {
+	m := 0.0
+	for j := 1; j <= s.n; j++ {
+		for i := 1; i <= s.n; i++ {
+			id := s.idx(i, j, k)
+			rho := s.rho[id]
+			u := math.Abs(s.mx[id] / rho)
+			v := math.Abs(s.my[id] / rho)
+			w := math.Abs(s.mz[id] / rho)
+			speed := math.Max(u, math.Max(v, w)) + soundSpeed(rho, s.mx[id], s.my[id], s.mz[id], s.en[id])
+			if speed > m {
+				m = speed
+			}
+		}
+	}
+	return m
+}
+
+// velocityScan returns the maximum |velocity component| of plane k based on
+// the freshly updated momentum ("calc velocity for nodes").
+func (s *state) velocityScan(k int) float64 {
+	m := 0.0
+	for j := 1; j <= s.n; j++ {
+		for i := 1; i <= s.n; i++ {
+			id := s.idx(i, j, k)
+			// New momentum over the pre-update density: the predictor
+			// velocity (the density update happens in LagrangeElements).
+			rho := s.rho[id]
+			for _, mom := range [3]float64{s.nmx[id], s.nmy[id], s.nmz[id]} {
+				if v := math.Abs(mom / rho); v > m {
+					m = v
+				}
+			}
+		}
+	}
+	return m
+}
+
+// displacementScan sums |u|·dt over plane k — the Lagrangian marker motion
+// of "calc position for nodes" (a pure diagnostic; it never feeds back).
+func (s *state) displacementScan(k int) float64 {
+	sum := 0.0
+	for j := 1; j <= s.n; j++ {
+		for i := 1; i <= s.n; i++ {
+			id := s.idx(i, j, k)
+			rho := s.rho[id]
+			sum += s.dt * (math.Abs(s.mx[id]) + math.Abs(s.my[id]) + math.Abs(s.mz[id])) / rho
+		}
+	}
+	return sum
+}
+
+// boundaryScan verifies finiteness of wall-adjacent cells — the (cheap,
+// serialized) boundary-condition pass.
+func (s *state) boundaryScan() error {
+	check := func(id int) error {
+		if math.IsNaN(s.rho[id]) || math.IsInf(s.rho[id], 0) ||
+			math.IsNaN(s.en[id]) || math.IsInf(s.en[id], 0) {
+			return fmt.Errorf("lulesh: non-finite boundary state at %d", id)
+		}
+		return nil
+	}
+	for j := 1; j <= s.n; j++ {
+		for i := 1; i <= s.n; i++ {
+			for _, id := range []int{
+				s.idx(i, j, 1), s.idx(i, j, s.n),
+				s.idx(i, 1, j), s.idx(i, s.n, j),
+				s.idx(1, i, j), s.idx(s.n, i, j),
+			} {
+				if err := check(id); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

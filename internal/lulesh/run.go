@@ -1,0 +1,483 @@
+package lulesh
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"repro/internal/machine"
+	"repro/internal/mpi"
+	"repro/internal/omp"
+)
+
+// Tags for the face exchanges (one pair per axis) and the final gather.
+const (
+	tagFaceLow = 500 + 2*iota
+	tagFaceLowY
+	tagFaceLowZ
+	tagGatherField
+)
+
+func faceTags(axis int) (low, high int) {
+	base := tagFaceLow + 2*axis
+	return base, base + 1
+}
+
+// runRank executes the solver on one rank and returns diagnostics (only
+// rank 0's return value is meaningful).
+func runRank(c *mpi.Comm, p Params) (Diagnostics, error) {
+	var diag Diagnostics
+	px := cubeRoot(c.Size())
+	s := &state{
+		c:     c,
+		team:  omp.New(c, p.Threads),
+		p:     p,
+		px:    px,
+		n:     p.S / p.Scale,
+		fullN: p.S,
+	}
+	s.ix = c.Rank() % px
+	s.iy = (c.Rank() / px) % px
+	s.iz = c.Rank() / (px * px)
+	s.globalN = s.n * px
+	s.dx = 1.0 / float64(s.globalN)
+	if p.SedovEnergy <= 0 {
+		s.p.SedovEnergy = 1e4
+	}
+
+	c.SectionEnter(SecMain)
+	defer c.SectionExit(SecMain)
+
+	// ---- InitMeshDecomp: allocate, set Sedov state, initial constraints.
+	err := c.Section(SecInit, func() error {
+		initState(s)
+		s.maxWave = 0
+		for k := 1; k <= s.n; k++ {
+			if w := s.courantScan(k); w > s.maxWave {
+				s.maxWave = w
+			}
+		}
+		// Modeled mesh-construction cost: ~300 flops/element once.
+		c.Compute(machine.Work{Flops: 300 * s.elemsFull(), Bytes: 64 * s.elemsFull()})
+		return nil
+	})
+	if err != nil {
+		return diag, err
+	}
+	diag.Mass0, diag.Energy0, err = s.totals()
+	if err != nil {
+		return diag, err
+	}
+
+	// ---- timeloop: the 99% section.
+	err = c.Section(SecTimeLoop, func() error {
+		for step := 0; step < p.Steps; step++ {
+			if err := s.doStep(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return diag, err
+	}
+
+	// ---- FinalOutput: diagnostics + field gather for the checksum.
+	err = c.Section(SecFinalOutput, func() error {
+		var err error
+		diag.Mass1, diag.Energy1, err = s.totals()
+		if err != nil {
+			return err
+		}
+		minRho, maxRho, minP := math.Inf(1), math.Inf(-1), math.Inf(1)
+		for k := 1; k <= s.n; k++ {
+			for j := 1; j <= s.n; j++ {
+				for i := 1; i <= s.n; i++ {
+					id := s.idx(i, j, k)
+					if s.rho[id] < minRho {
+						minRho = s.rho[id]
+					}
+					if s.rho[id] > maxRho {
+						maxRho = s.rho[id]
+					}
+					pv := pressure(s.rho[id], s.mx[id], s.my[id], s.mz[id], s.en[id])
+					if pv < minP {
+						minP = pv
+					}
+				}
+			}
+		}
+		var agg []float64
+		agg, err = c.Allreduce([]float64{-minRho, maxRho, -minP}, mpi.OpMax)
+		if err != nil {
+			return err
+		}
+		diag.MinRho, diag.MaxRho, diag.MinP = -agg[0], agg[1], -agg[2]
+		diag.FinalDt = s.dt
+		diag.FieldHash, err = s.gatherFieldHash()
+		return err
+	})
+	return diag, err
+}
+
+// doStep advances one explicit timestep with the paper's section anatomy.
+func (s *state) doStep() error {
+	c := s.c
+	// TimeIncrement: global CFL timestep from the previous constraints.
+	err := c.Section(SecTimeIncrement, func() error {
+		local := cflLimit * s.dx / math.Max(s.maxWave, 1e-30)
+		dt, err := c.AllreduceFloat64(-local, mpi.OpMax) // min via negated max
+		if err != nil {
+			return err
+		}
+		s.dt = -dt
+		s.team.Serial(s.charge(workTable.dtSerial), nil)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	return c.Section(SecLeapFrog, func() error {
+		if err := s.lagrangeNodal(); err != nil {
+			return err
+		}
+		if err := s.lagrangeElements(); err != nil {
+			return err
+		}
+		return s.calcTimeConstraints()
+	})
+}
+
+// lagrangeNodal: halo exchange, force (flux) computation, momentum update,
+// boundary handling, velocity and position passes.
+func (s *state) lagrangeNodal() error {
+	c := s.c
+	return c.Section(SecNodal, func() error {
+		if err := c.Section(SecCommSBN, s.exchangeHalos); err != nil {
+			return err
+		}
+		if err := c.Section(SecForce, func() error {
+			s.team.ForModeled(s.fullN, s.n, s.perPlane(workTable.force), s.planeBody(s.computeIncrements))
+			return nil
+		}); err != nil {
+			return err
+		}
+		if err := c.Section(SecAccel, func() error {
+			s.team.ForModeled(s.fullN, s.n, s.perPlane(workTable.accel), s.planeBody(s.applyMomentum))
+			return nil
+		}); err != nil {
+			return err
+		}
+		if err := c.Section(SecAccelBC, func() error {
+			var scanErr error
+			s.team.Serial(s.charge(workTable.bcSerial), func() {
+				scanErr = s.boundaryScan()
+			})
+			return scanErr
+		}); err != nil {
+			return err
+		}
+		if err := c.Section(SecVelocity, func() error {
+			maxV := 0.0
+			s.team.ForModeled(s.fullN, s.n, s.perPlane(workTable.velocity), func(k int) {
+				if v := s.velocityScan(k + 1); v > maxV {
+					maxV = v
+				}
+			})
+			s.velMax = maxV
+			return nil
+		}); err != nil {
+			return err
+		}
+		return c.Section(SecPosition, func() error {
+			total := 0.0
+			s.team.ForModeled(s.fullN, s.n, s.perPlane(workTable.position), func(k int) {
+				total += s.displacementScan(k + 1)
+			})
+			s.team.Serial(s.charge(workTable.positionSerial), nil)
+			s.displacement += total
+			return nil
+		})
+	})
+}
+
+// lagrangeElements: continuity, artificial viscosity, EOS/energy, volume
+// promotion.
+func (s *state) lagrangeElements() error {
+	c := s.c
+	return c.Section(SecElements, func() error {
+		if err := c.Section(SecKinematics, func() error {
+			s.team.ForModeled(s.fullN, s.n, s.perPlane(workTable.kinematics), s.planeBody(s.applyContinuity))
+			return nil
+		}); err != nil {
+			return err
+		}
+		if err := c.Section(SecQ, func() error {
+			maxQ := 0.0
+			s.team.ForModeled(s.fullN, s.n, s.perPlane(workTable.q), func(k int) {
+				if q := s.viscosityScan(k + 1); q > maxQ {
+					maxQ = q
+				}
+			})
+			s.qMax = maxQ
+			s.team.Serial(s.charge(workTable.qSerial), nil)
+			return nil
+		}); err != nil {
+			return err
+		}
+		if err := c.Section(SecMaterial, func() error {
+			s.team.ForModeled(s.fullN, s.n, s.perPlane(workTable.material), s.planeBody(s.applyEnergy))
+			return nil
+		}); err != nil {
+			return err
+		}
+		return c.Section(SecUpdateVol, func() error {
+			maxRate := 0.0
+			s.team.ForModeled(s.fullN, s.n, s.perPlane(workTable.updateVol), func(k int) {
+				if r := s.swapState(k + 1); r > maxRate {
+					maxRate = r
+				}
+			})
+			s.hydroRate = maxRate
+			return nil
+		})
+	})
+}
+
+// calcTimeConstraints: courant + hydro scans feeding the next TimeIncrement.
+func (s *state) calcTimeConstraints() error {
+	c := s.c
+	return c.Section(SecTimeConstraints, func() error {
+		if err := c.Section(SecCourant, func() error {
+			maxW := 0.0
+			s.team.ForModeled(s.fullN, s.n, s.perPlane(workTable.courant), func(k int) {
+				if w := s.courantScan(k + 1); w > maxW {
+					maxW = w
+				}
+			})
+			s.maxWave = maxW
+			return nil
+		}); err != nil {
+			return err
+		}
+		return c.Section(SecHydro, func() error {
+			// The hydro constraint tightens dt when density changes too
+			// fast; fold it into the wavespeed-based constraint so the
+			// next TimeIncrement sees a single local bound.
+			s.team.ForModeled(s.fullN, s.n, s.perPlane(workTable.hydro), func(k int) {})
+			if s.hydroRate > 0.25 {
+				s.maxWave *= s.hydroRate / 0.25
+			}
+			return nil
+		})
+	})
+}
+
+// perPlane converts a per-element work rate into per-FULL-SCALE-plane work
+// for the OpenMP loops: loop timing is modeled over fullN planes even when
+// only n execute (ForModeled), so chunk-tail imbalance reflects the real
+// problem size.
+func (s *state) perPlane(w perElem) machine.Work {
+	return s.charge(w).Scale(1 / float64(s.fullN))
+}
+
+// planeBody adapts a plane-indexed method to ParallelFor's 0-based index.
+func (s *state) planeBody(f func(k int)) func(int) {
+	return func(k int) { f(k + 1) }
+}
+
+// exchangeHalos refreshes the ghost layer: mirror walls at the global
+// boundary, Sendrecv with cube neighbors elsewhere. Virtual message sizes
+// are the full-scale face sizes.
+func (s *state) exchangeHalos() error {
+	fields := [5][]float64{s.rho, s.mx, s.my, s.mz, s.en}
+	// Which momentum component flips at a mirror wall, per axis.
+	flip := [3]int{1, 2, 3}
+	vbytes := int(s.faceElemsFull() * 5 * 8)
+
+	for axis := 0; axis < 3; axis++ {
+		lowTag, highTag := faceTags(axis)
+		for _, side := range [2]int{-1, +1} {
+			var off [3]int
+			off[axis] = side
+			nb := s.neighbor(off[0], off[1], off[2])
+			if nb < 0 {
+				s.mirrorWall(axis, side, fields, flip[axis])
+				continue
+			}
+			sendTag, recvTag := lowTag, highTag
+			if side > 0 {
+				sendTag, recvTag = highTag, lowTag
+			}
+			payload := s.packFace(axis, side, fields)
+			got, _, err := s.c.SendrecvSized(nb, sendTag, mpi.Float64sToBytes(payload),
+				vbytes, nb, recvTag)
+			if err != nil {
+				return err
+			}
+			face, err := mpi.BytesToFloat64s(got)
+			if err != nil {
+				return err
+			}
+			if err := s.unpackFace(axis, side, fields, face); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// facePlane iterates the (j2, j1) coordinates of a face and calls f with
+// the source (interior) and destination (ghost) flat indices for the given
+// axis/side.
+func (s *state) facePlane(axis, side int, f func(interior, ghost int)) {
+	inner, outer := 1, s.n
+	ghostIn, ghostOut := 0, s.n+1
+	var fixed, gfixed int
+	if side < 0 {
+		fixed, gfixed = inner, ghostIn
+	} else {
+		fixed, gfixed = outer, ghostOut
+	}
+	for b := 1; b <= s.n; b++ {
+		for a := 1; a <= s.n; a++ {
+			var ii, gi int
+			switch axis {
+			case 0:
+				ii, gi = s.idx(fixed, a, b), s.idx(gfixed, a, b)
+			case 1:
+				ii, gi = s.idx(a, fixed, b), s.idx(a, gfixed, b)
+			default:
+				ii, gi = s.idx(a, b, fixed), s.idx(a, b, gfixed)
+			}
+			f(ii, gi)
+		}
+	}
+}
+
+// packFace flattens the interior boundary plane of every field.
+func (s *state) packFace(axis, side int, fields [5][]float64) []float64 {
+	out := make([]float64, 0, 5*s.n*s.n)
+	for _, fld := range fields {
+		s.facePlane(axis, side, func(interior, _ int) {
+			out = append(out, fld[interior])
+		})
+	}
+	return out
+}
+
+// unpackFace writes a received neighbor plane into the ghost layer.
+func (s *state) unpackFace(axis, side int, fields [5][]float64, face []float64) error {
+	if len(face) != 5*s.n*s.n {
+		return fmt.Errorf("lulesh: face payload %d != %d", len(face), 5*s.n*s.n)
+	}
+	pos := 0
+	for _, fld := range fields {
+		s.facePlane(axis, side, func(_, ghost int) {
+			fld[ghost] = face[pos]
+			pos++
+		})
+	}
+	return nil
+}
+
+// mirrorWall fills a global-boundary ghost plane with the mirrored interior
+// state, negating the wall-normal momentum (reflective BC).
+func (s *state) mirrorWall(axis, side int, fields [5][]float64, flipField int) {
+	for fi, fld := range fields {
+		sign := 1.0
+		if fi == flipField {
+			sign = -1
+		}
+		s.facePlane(axis, side, func(interior, ghost int) {
+			fld[ghost] = sign * fld[interior]
+		})
+	}
+}
+
+// totals computes global mass and energy (cell volume × densities).
+func (s *state) totals() (mass, energy float64, err error) {
+	var m, e float64
+	for k := 1; k <= s.n; k++ {
+		for j := 1; j <= s.n; j++ {
+			for i := 1; i <= s.n; i++ {
+				id := s.idx(i, j, k)
+				m += s.rho[id]
+				e += s.en[id]
+			}
+		}
+	}
+	cell := s.dx * s.dx * s.dx
+	agg, err := s.c.Allreduce([]float64{m * cell, e * cell}, mpi.OpSum)
+	if err != nil {
+		return 0, 0, err
+	}
+	return agg[0], agg[1], nil
+}
+
+// gatherFieldHash assembles the global density field on rank 0 (in global
+// index order, independent of the decomposition) and hashes it; the hash is
+// then broadcast so every rank returns the same value.
+func (s *state) gatherFieldHash() (uint64, error) {
+	c := s.c
+	// Flatten my interior in local order.
+	local := make([]float64, 0, s.n*s.n*s.n)
+	for k := 1; k <= s.n; k++ {
+		for j := 1; j <= s.n; j++ {
+			for i := 1; i <= s.n; i++ {
+				local = append(local, s.rho[s.idx(i, j, k)])
+			}
+		}
+	}
+	parts, err := c.Gather(0, mpi.Float64sToBytes(local))
+	if err != nil {
+		return 0, err
+	}
+	var hash uint64
+	if c.Rank() == 0 {
+		g := s.globalN
+		global := make([]float64, g*g*g)
+		for r, raw := range parts {
+			vals, err := mpi.BytesToFloat64s(raw)
+			if err != nil {
+				return 0, err
+			}
+			rx := r % s.px
+			ry := (r / s.px) % s.px
+			rz := r / (s.px * s.px)
+			pos := 0
+			for k := 0; k < s.n; k++ {
+				for j := 0; j < s.n; j++ {
+					for i := 0; i < s.n; i++ {
+						gi := rx*s.n + i
+						gj := ry*s.n + j
+						gk := rz*s.n + k
+						global[(gk*g+gj)*g+gi] = vals[pos]
+						pos++
+					}
+				}
+			}
+		}
+		h := fnv.New64a()
+		var buf [8]byte
+		for _, v := range global {
+			bits := math.Float64bits(v)
+			for b := 0; b < 8; b++ {
+				buf[b] = byte(bits >> (8 * b))
+			}
+			if _, err := h.Write(buf[:]); err != nil {
+				return 0, err
+			}
+		}
+		hash = h.Sum64()
+	}
+	got, err := c.Bcast(0, []byte(fmt.Sprintf("%d", hash)))
+	if err != nil {
+		return 0, err
+	}
+	if _, err := fmt.Sscan(string(got), &hash); err != nil {
+		return 0, err
+	}
+	return hash, nil
+}

@@ -1,0 +1,308 @@
+package mpi
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestCartCreateValidation(t *testing.T) {
+	_, err := Run(testCfg(6), func(c *Comm) error {
+		if _, err := c.CartCreate(nil, nil); err == nil {
+			t.Error("empty dims accepted")
+		}
+		if _, err := c.CartCreate([]int{2, 2}, nil); err == nil {
+			t.Error("wrong-size grid accepted")
+		}
+		if _, err := c.CartCreate([]int{-2, -3}, nil); err == nil {
+			t.Error("negative dims accepted")
+		}
+		if _, err := c.CartCreate([]int{2, 3}, []bool{true}); err == nil {
+			t.Error("mismatched periodic accepted")
+		}
+		cart, err := c.CartCreate([]int{2, 3}, []bool{false, true})
+		if err != nil {
+			return err
+		}
+		if !reflect.DeepEqual(cart.Dims(), []int{2, 3}) {
+			t.Errorf("Dims = %v", cart.Dims())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCartCoordsRoundtrip(t *testing.T) {
+	_, err := Run(testCfg(12), func(c *Comm) error {
+		cart, err := c.CartCreate([]int{3, 2, 2}, nil)
+		if err != nil {
+			return err
+		}
+		coords := cart.Coords()
+		// Row-major: rank = (x*2 + y)*2 + z.
+		want := []int{c.Rank() / 4, (c.Rank() / 2) % 2, c.Rank() % 2}
+		if !reflect.DeepEqual(coords, want) {
+			t.Errorf("rank %d coords = %v, want %v", c.Rank(), coords, want)
+		}
+		back, err := cart.CoordsToRank(coords)
+		if err != nil || back != c.Rank() {
+			t.Errorf("roundtrip %v -> %d (err %v)", coords, back, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCartCoordsToRankBounds(t *testing.T) {
+	_, err := Run(testCfg(4), func(c *Comm) error {
+		cart, err := c.CartCreate([]int{2, 2}, []bool{true, false})
+		if err != nil {
+			return err
+		}
+		// Periodic dim wraps.
+		r, err := cart.CoordsToRank([]int{-1, 0})
+		if err != nil || r != 2 {
+			t.Errorf("periodic wrap = %d, %v", r, err)
+		}
+		// Non-periodic dim rejects.
+		if _, err := cart.CoordsToRank([]int{0, 2}); err == nil {
+			t.Error("out-of-range non-periodic coordinate accepted")
+		}
+		if _, err := cart.CoordsToRank([]int{0}); err == nil {
+			t.Error("short coords accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCartShift(t *testing.T) {
+	_, err := Run(testCfg(4), func(c *Comm) error {
+		cart, err := c.CartCreate([]int{4}, []bool{false})
+		if err != nil {
+			return err
+		}
+		src, dst, err := cart.Shift(0, 1)
+		if err != nil {
+			return err
+		}
+		wantSrc, wantDst := c.Rank()-1, c.Rank()+1
+		if wantSrc < 0 {
+			wantSrc = ProcNull
+		}
+		if wantDst > 3 {
+			wantDst = ProcNull
+		}
+		if src != wantSrc || dst != wantDst {
+			t.Errorf("rank %d shift = (%d, %d), want (%d, %d)", c.Rank(), src, dst, wantSrc, wantDst)
+		}
+		if _, _, err := cart.Shift(1, 1); err == nil {
+			t.Error("invalid dimension accepted")
+		}
+		// Periodic ring.
+		ring, err := c.CartCreate([]int{4}, []bool{true})
+		if err != nil {
+			return err
+		}
+		src, dst, _ = ring.Shift(0, 1)
+		if src != (c.Rank()+3)%4 || dst != (c.Rank()+1)%4 {
+			t.Errorf("ring shift = (%d, %d)", src, dst)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCartNeighborSendrecvLine(t *testing.T) {
+	const p = 5
+	_, err := Run(testCfg(p), func(c *Comm) error {
+		cart, err := c.CartCreate([]int{p}, nil)
+		if err != nil {
+			return err
+		}
+		got, st, err := cart.NeighborSendrecv(0, 1, 7, []byte{byte(c.Rank())})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			if got != nil {
+				t.Errorf("rank 0 received %v from nowhere", got)
+			}
+			return nil
+		}
+		if got[0] != byte(c.Rank()-1) || st.Source != c.Rank()-1 {
+			t.Errorf("rank %d got %v from %d", c.Rank(), got, st.Source)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCartNeighborSendrecvTorus(t *testing.T) {
+	_, err := Run(testCfg(6), func(c *Comm) error {
+		cart, err := c.CartCreate([]int{2, 3}, []bool{true, true})
+		if err != nil {
+			return err
+		}
+		for dim := 0; dim < 2; dim++ {
+			got, st, err := cart.NeighborSendrecv(dim, 1, 20+dim, []byte{byte(c.Rank())})
+			if err != nil {
+				return err
+			}
+			coords := cart.Coords()
+			coords[dim]--
+			want, err := cart.CoordsToRank(coords)
+			if err != nil {
+				return err
+			}
+			if got == nil || int(got[0]) != want || st.Source != want {
+				t.Errorf("rank %d dim %d got %v from %d, want %d",
+					c.Rank(), dim, got, st.Source, want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCartRankCoordsProperty(t *testing.T) {
+	f := func(a, b, cRaw uint8) bool {
+		dims := []int{int(a)%3 + 1, int(b)%3 + 1, int(cRaw)%3 + 1}
+		size := dims[0] * dims[1] * dims[2]
+		ok := true
+		_, err := Run(testCfg(size), func(c *Comm) error {
+			cart, err := c.CartCreate(dims, nil)
+			if err != nil {
+				return err
+			}
+			back, err := cart.CoordsToRank(cart.Coords())
+			if err != nil || back != c.Rank() {
+				ok = false
+			}
+			for i, v := range cart.Coords() {
+				if v < 0 || v >= dims[i] {
+					ok = false
+				}
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScanInclusive(t *testing.T) {
+	for _, p := range []int{1, 2, 5, 8} {
+		p := p
+		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
+			_, err := Run(testCfg(p), func(c *Comm) error {
+				got, err := c.Scan([]float64{float64(c.Rank() + 1)}, OpSum)
+				if err != nil {
+					return err
+				}
+				want := float64((c.Rank() + 1) * (c.Rank() + 2) / 2)
+				if got[0] != want {
+					t.Errorf("rank %d scan = %g, want %g", c.Rank(), got[0], want)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestScanNonCommutativeOrder(t *testing.T) {
+	// With OpMax the result is order-insensitive, so use Sum on distinct
+	// magnitudes to confirm the prefix covers exactly ranks [0, r].
+	_, err := Run(testCfg(4), func(c *Comm) error {
+		got, err := c.Scan([]float64{float64(int(1) << (4 * c.Rank()))}, OpSum)
+		if err != nil {
+			return err
+		}
+		want := 0.0
+		for r := 0; r <= c.Rank(); r++ {
+			want += float64(int(1) << (4 * r))
+		}
+		if got[0] != want {
+			t.Errorf("rank %d scan = %g, want %g", c.Rank(), got[0], want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExscan(t *testing.T) {
+	_, err := Run(testCfg(5), func(c *Comm) error {
+		got, err := c.Exscan([]float64{1}, OpSum)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			if got != nil {
+				t.Errorf("rank 0 exscan = %v, want nil", got)
+			}
+			return nil
+		}
+		if got[0] != float64(c.Rank()) {
+			t.Errorf("rank %d exscan = %g, want %d", c.Rank(), got[0], c.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanMatchesAllreducePrefixProperty(t *testing.T) {
+	f := func(vals []float64, pRaw uint8) bool {
+		p := int(pRaw)%6 + 1
+		if len(vals) < p {
+			return true
+		}
+		for i := range vals[:p] {
+			if vals[i] != vals[i] { // NaN
+				return true
+			}
+		}
+		ok := true
+		_, err := Run(testCfg(p), func(c *Comm) error {
+			got, err := c.Scan([]float64{vals[c.Rank()]}, OpMax)
+			if err != nil {
+				return err
+			}
+			want := vals[0]
+			for r := 1; r <= c.Rank(); r++ {
+				if vals[r] > want {
+					want = vals[r]
+				}
+			}
+			if got[0] != want {
+				ok = false
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

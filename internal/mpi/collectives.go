@@ -1,0 +1,361 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+)
+
+// Collective internal tags. User tags are >= 0; the runtime reserves the
+// space below internalTagBase. Per-pair FIFO matching keeps successive
+// collectives from interfering even though they reuse tags.
+const (
+	tagBarrier = internalTagBase - iota
+	tagBcast
+	tagReduce
+	tagGather
+	tagScatter
+	tagAllgather
+	tagAlltoall
+)
+
+// Op identifies a reduction operator over float64 vectors.
+type Op int
+
+// Reduction operators.
+const (
+	OpSum Op = iota
+	OpMax
+	OpMin
+	OpProd
+)
+
+func (op Op) String() string {
+	switch op {
+	case OpSum:
+		return "sum"
+	case OpMax:
+		return "max"
+	case OpMin:
+		return "min"
+	case OpProd:
+		return "prod"
+	default:
+		return fmt.Sprintf("Op(%d)", int(op))
+	}
+}
+
+// apply folds src into dst element-wise.
+func (op Op) apply(dst, src []float64) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("mpi: reduction length mismatch %d vs %d", len(dst), len(src))
+	}
+	switch op {
+	case OpSum:
+		for i, v := range src {
+			dst[i] += v
+		}
+	case OpMax:
+		for i, v := range src {
+			if v > dst[i] {
+				dst[i] = v
+			}
+		}
+	case OpMin:
+		for i, v := range src {
+			if v < dst[i] {
+				dst[i] = v
+			}
+		}
+	case OpProd:
+		for i, v := range src {
+			dst[i] *= v
+		}
+	default:
+		return fmt.Errorf("mpi: unknown reduction %v", op)
+	}
+	return nil
+}
+
+func (c *Comm) collectiveBegin(name string) {
+	for _, t := range c.rs.world.cfg.Tools {
+		t.CollectiveBegin(c, name, c.rs.now())
+	}
+}
+
+func (c *Comm) collectiveEnd(name string) {
+	for _, t := range c.rs.world.cfg.Tools {
+		t.CollectiveEnd(c, name, c.rs.now())
+	}
+}
+
+// Barrier blocks until every rank of the communicator reaches it, using the
+// dissemination algorithm (ceil(log2 p) rounds), and aligns virtual clocks
+// accordingly.
+func (c *Comm) Barrier() error {
+	c.collectiveBegin("Barrier")
+	defer c.collectiveEnd("Barrier")
+	p := c.Size()
+	if p == 1 {
+		return nil
+	}
+	for step := 1; step < p; step *= 2 {
+		dst := (c.rank + step) % p
+		src := (c.rank - step + p) % p
+		if _, _, err := c.Sendrecv(dst, tagBarrier, nil, src, tagBarrier); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Bcast distributes root's buffer to every rank over a binomial tree and
+// returns the received copy (root returns its own data unchanged).
+func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
+	if err := c.checkRoot(root); err != nil {
+		return nil, err
+	}
+	c.collectiveBegin("Bcast")
+	defer c.collectiveEnd("Bcast")
+	p := c.Size()
+	if p == 1 {
+		return data, nil
+	}
+	// Standard binomial tree rooted at `root` (MPICH construction): a
+	// virtual rank receives from the peer that differs in its lowest set
+	// bit, then forwards down the remaining bits.
+	vrank := (c.rank - root + p) % p
+	mask := 1
+	for mask < p {
+		if vrank&mask != 0 {
+			parent := ((vrank - mask) + root) % p
+			b, _, err := c.Recv(parent, tagBcast)
+			if err != nil {
+				return nil, err
+			}
+			data = b
+			break
+		}
+		mask <<= 1
+	}
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if child := vrank + mask; child < p {
+			if err := c.Send((child+root)%p, tagBcast, data); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return data, nil
+}
+
+// Reduce folds each rank's vector with op; the reduced vector lands on
+// root (other ranks get nil). Binomial-tree reduction.
+func (c *Comm) Reduce(root int, xs []float64, op Op) ([]float64, error) {
+	if err := c.checkRoot(root); err != nil {
+		return nil, err
+	}
+	c.collectiveBegin("Reduce")
+	defer c.collectiveEnd("Reduce")
+	p := c.Size()
+	acc := make([]float64, len(xs))
+	copy(acc, xs)
+	if p == 1 {
+		return acc, nil
+	}
+	vrank := (c.rank - root + p) % p
+	for step := 1; step < p; step *= 2 {
+		if vrank%(2*step) == 0 {
+			peer := vrank + step
+			if peer < p {
+				b, _, err := c.RecvFloat64s((peer+root)%p, tagReduce)
+				if err != nil {
+					return nil, err
+				}
+				if err := op.apply(acc, b); err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			parent := vrank - step
+			if err := c.SendFloat64s((parent+root)%p, tagReduce, acc); err != nil {
+				return nil, err
+			}
+			break
+		}
+	}
+	if c.rank == root {
+		return acc, nil
+	}
+	return nil, nil
+}
+
+// Allreduce is Reduce to rank 0 followed by Bcast; every rank receives the
+// reduced vector.
+func (c *Comm) Allreduce(xs []float64, op Op) ([]float64, error) {
+	c.collectiveBegin("Allreduce")
+	defer c.collectiveEnd("Allreduce")
+	red, err := c.Reduce(0, xs, op)
+	if err != nil {
+		return nil, err
+	}
+	var payload []byte
+	if c.rank == 0 {
+		payload = Float64sToBytes(red)
+	}
+	b, err := c.Bcast(0, payload)
+	if err != nil {
+		return nil, err
+	}
+	return BytesToFloat64s(b)
+}
+
+// Gather collects each rank's buffer at root: root receives a slice indexed
+// by rank (its own entry is a copy of data); other ranks receive nil.
+// Linear algorithm — the root bottleneck is intentional, it is what the
+// paper's GATHER section measures.
+func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
+	if err := c.checkRoot(root); err != nil {
+		return nil, err
+	}
+	c.collectiveBegin("Gather")
+	defer c.collectiveEnd("Gather")
+	if c.rank != root {
+		return nil, c.Send(root, tagGather, data)
+	}
+	out := make([][]byte, c.Size())
+	own := make([]byte, len(data))
+	copy(own, data)
+	out[root] = own
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		b, _, err := c.Recv(r, tagGather)
+		if err != nil {
+			return nil, err
+		}
+		out[r] = b
+	}
+	return out, nil
+}
+
+// Scatter distributes parts[r] from root to every rank r and returns the
+// local part. parts is only read at root and must have one entry per rank.
+func (c *Comm) Scatter(root int, parts [][]byte) ([]byte, error) {
+	if err := c.checkRoot(root); err != nil {
+		return nil, err
+	}
+	c.collectiveBegin("Scatter")
+	defer c.collectiveEnd("Scatter")
+	if c.rank != root {
+		b, _, err := c.Recv(root, tagScatter)
+		return b, err
+	}
+	if len(parts) != c.Size() {
+		return nil, fmt.Errorf("mpi: Scatter needs %d parts, got %d", c.Size(), len(parts))
+	}
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		if err := c.Send(r, tagScatter, parts[r]); err != nil {
+			return nil, err
+		}
+	}
+	own := make([]byte, len(parts[root]))
+	copy(own, parts[root])
+	return own, nil
+}
+
+// Allgather gives every rank every rank's buffer, via the ring algorithm
+// (p-1 neighbor exchanges).
+func (c *Comm) Allgather(data []byte) ([][]byte, error) {
+	c.collectiveBegin("Allgather")
+	defer c.collectiveEnd("Allgather")
+	p := c.Size()
+	out := make([][]byte, p)
+	own := make([]byte, len(data))
+	copy(own, data)
+	out[c.rank] = own
+	if p == 1 {
+		return out, nil
+	}
+	right := (c.rank + 1) % p
+	left := (c.rank - 1 + p) % p
+	send := own
+	for step := 0; step < p-1; step++ {
+		recvFrom := (c.rank - step - 1 + 2*p) % p
+		b, _, err := c.Sendrecv(right, tagAllgather, send, left, tagAllgather)
+		if err != nil {
+			return nil, err
+		}
+		out[recvFrom] = b
+		send = b
+	}
+	return out, nil
+}
+
+// Alltoall performs a personalized all-to-all exchange: rank r receives
+// parts[r] from every rank. parts must have one entry per rank.
+func (c *Comm) Alltoall(parts [][]byte) ([][]byte, error) {
+	c.collectiveBegin("Alltoall")
+	defer c.collectiveEnd("Alltoall")
+	p := c.Size()
+	if len(parts) != p {
+		return nil, fmt.Errorf("mpi: Alltoall needs %d parts, got %d", p, len(parts))
+	}
+	out := make([][]byte, p)
+	own := make([]byte, len(parts[c.rank]))
+	copy(own, parts[c.rank])
+	out[c.rank] = own
+	reqs := make([]*Request, 0, p-1)
+	for off := 1; off < p; off++ {
+		src := (c.rank - off + p) % p
+		req, err := c.Irecv(src, tagAlltoall)
+		if err != nil {
+			return nil, err
+		}
+		reqs = append(reqs, req)
+	}
+	for off := 1; off < p; off++ {
+		dst := (c.rank + off) % p
+		if err := c.Send(dst, tagAlltoall, parts[dst]); err != nil {
+			return nil, err
+		}
+	}
+	for _, req := range reqs {
+		b, st, err := req.Wait()
+		if err != nil {
+			return nil, err
+		}
+		out[st.Source] = b
+	}
+	return out, nil
+}
+
+// ReduceFloat64 reduces a scalar; a convenience over Reduce.
+func (c *Comm) ReduceFloat64(root int, x float64, op Op) (float64, error) {
+	v, err := c.Reduce(root, []float64{x}, op)
+	if err != nil {
+		return 0, err
+	}
+	if c.rank != root {
+		return math.NaN(), nil
+	}
+	return v[0], nil
+}
+
+// AllreduceFloat64 all-reduces a scalar.
+func (c *Comm) AllreduceFloat64(x float64, op Op) (float64, error) {
+	v, err := c.Allreduce([]float64{x}, op)
+	if err != nil {
+		return 0, err
+	}
+	return v[0], nil
+}
+
+func (c *Comm) checkRoot(root int) error {
+	if root < 0 || root >= c.Size() {
+		return fmt.Errorf("mpi: root %d out of range (size %d)", root, c.Size())
+	}
+	return nil
+}

@@ -1,0 +1,326 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Wildcards for Recv.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// internalTagBase marks the tag space reserved for collective algorithms;
+// user tags must be >= 0.
+const internalTagBase = -1000
+
+// Status describes a received message.
+type Status struct {
+	Source int // sender's rank in the communicator
+	Tag    int
+	Bytes  int
+}
+
+// envelope is a message in flight. Data is owned by the envelope (copied on
+// send), so callers may reuse their buffers immediately. vbytes is the
+// virtual (modeled) message size, normally len(data); scaled-down benchmark
+// executions transport reduced real payloads while charging full-size
+// transfer time.
+type envelope struct {
+	src, tag int
+	data     []byte
+	vbytes   int
+	arrival  float64 // virtual time at which the payload is available
+}
+
+// posted is an outstanding receive.
+type posted struct {
+	src, tag int
+	ch       chan *envelope
+}
+
+func (p *posted) matches(e *envelope) bool {
+	return (p.src == AnySource || p.src == e.src) &&
+		(p.tag == AnyTag || p.tag == e.tag)
+}
+
+// mailbox holds the unmatched traffic addressed to one rank.
+type mailbox struct {
+	mu    sync.Mutex
+	sends []*envelope
+	recvs []*posted
+}
+
+func newMailbox() *mailbox { return &mailbox{} }
+
+// deliver matches e against posted receives or queues it. Called with the
+// box unlocked.
+func (b *mailbox) deliver(e *envelope) {
+	b.mu.Lock()
+	for i, p := range b.recvs {
+		if p.matches(e) {
+			b.recvs = append(b.recvs[:i], b.recvs[i+1:]...)
+			b.mu.Unlock()
+			p.ch <- e
+			return
+		}
+	}
+	b.sends = append(b.sends, e)
+	b.mu.Unlock()
+}
+
+// post matches a receive against queued sends or registers it. It returns
+// either an immediately matched envelope or a channel to wait on.
+func (b *mailbox) post(p *posted) *envelope {
+	b.mu.Lock()
+	for i, e := range b.sends {
+		if p.matches(e) {
+			b.sends = append(b.sends[:i], b.sends[i+1:]...)
+			b.mu.Unlock()
+			return e
+		}
+	}
+	b.recvs = append(b.recvs, p)
+	b.mu.Unlock()
+	return nil
+}
+
+// Request represents a nonblocking operation; Wait completes it.
+type Request struct {
+	comm *Comm
+	// recv side; nil for completed sends
+	pending *posted
+	env     *envelope
+	done    bool
+	status  Status
+	data    []byte
+}
+
+// Send transmits data to dst with the given tag. The runtime buffers
+// eagerly, so Send never blocks on the receiver; it charges the sender's
+// software overhead and stamps the message with its model-derived arrival
+// time. data is copied.
+func (c *Comm) Send(dst, tag int, data []byte) error {
+	_, err := c.sendInternal(dst, tag, data, len(data))
+	return err
+}
+
+// SendSized is Send with an explicit virtual message size: the receiver
+// gets data, but transfer time is modeled for virtualBytes. Scaled-down
+// benchmark executions use it to charge full-problem communication costs
+// while moving reduced real payloads (see DESIGN.md §5).
+func (c *Comm) SendSized(dst, tag int, data []byte, virtualBytes int) error {
+	if virtualBytes < 0 {
+		return fmt.Errorf("mpi: negative virtual size %d", virtualBytes)
+	}
+	_, err := c.sendInternal(dst, tag, data, virtualBytes)
+	return err
+}
+
+// Isend is Send; the returned request completes immediately (eager
+// buffering). It exists so ported MPI code keeps its shape.
+func (c *Comm) Isend(dst, tag int, data []byte) (*Request, error) {
+	if _, err := c.sendInternal(dst, tag, data, len(data)); err != nil {
+		return nil, err
+	}
+	return &Request{comm: c, done: true}, nil
+}
+
+func (c *Comm) sendInternal(dst, tag int, data []byte, vbytes int) (float64, error) {
+	if dst < 0 || dst >= c.Size() {
+		return 0, fmt.Errorf("mpi: Send to invalid rank %d (size %d)", dst, c.Size())
+	}
+	if tag < 0 && tag > internalTagBase {
+		return 0, fmt.Errorf("mpi: negative tag %d is reserved", tag)
+	}
+	w := c.rs.world
+	model := w.cfg.Model
+	c.rs.advance(model.Net.SendOverhead)
+
+	srcWorld := c.shared.group[c.rank]
+	dstWorld := c.shared.group[dst]
+	sameNode := w.placement.SameNode(srcWorld, dstWorld)
+	contenders := w.placement.NodesInUse()
+	transfer := model.MsgTime(vbytes, sameNode, contenders, c.rs.rng)
+	arrival := c.rs.now() + transfer
+
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	e := &envelope{src: c.rank, tag: tag, data: buf, vbytes: vbytes, arrival: arrival}
+	c.shared.boxes[dst].deliver(e)
+
+	for _, t := range w.cfg.Tools {
+		t.MessageSent(c, dst, tag, vbytes, c.rs.now())
+	}
+	return arrival, nil
+}
+
+// Irecv posts a nonblocking receive for a message from src (or AnySource)
+// with the given tag (or AnyTag). Complete it with Wait.
+func (c *Comm) Irecv(src, tag int) (*Request, error) {
+	if src != AnySource && (src < 0 || src >= c.Size()) {
+		return nil, fmt.Errorf("mpi: Irecv from invalid rank %d (size %d)", src, c.Size())
+	}
+	p := &posted{src: src, tag: tag, ch: make(chan *envelope, 1)}
+	req := &Request{comm: c, pending: p}
+	if e := c.shared.boxes[c.rank].post(p); e != nil {
+		req.env = e
+		req.pending = nil
+	}
+	return req, nil
+}
+
+// Wait completes a request. For receives it blocks until the message is
+// matched, advances the virtual clock to the arrival stamp, and returns the
+// payload and status. For sends it returns immediately.
+func (r *Request) Wait() ([]byte, Status, error) {
+	if r == nil {
+		return nil, Status{}, fmt.Errorf("mpi: Wait on nil request")
+	}
+	if r.done {
+		return r.data, r.status, nil
+	}
+	c := r.comm
+	e := r.env
+	if e == nil {
+		e = <-r.pending.ch
+	}
+	model := c.rs.world.cfg.Model
+	c.rs.advance(model.Net.RecvOverhead)
+	c.rs.advanceTo(e.arrival)
+	r.done = true
+	r.data = e.data
+	r.status = Status{Source: e.src, Tag: e.tag, Bytes: e.vbytes}
+	for _, tool := range c.rs.world.cfg.Tools {
+		tool.MessageRecv(c, e.src, e.tag, e.vbytes, c.rs.now())
+	}
+	return r.data, r.status, nil
+}
+
+// Waitall completes every request in order and returns their payloads and
+// statuses — MPI_Waitall. It fails on the first erroring request.
+func Waitall(reqs []*Request) ([][]byte, []Status, error) {
+	data := make([][]byte, len(reqs))
+	sts := make([]Status, len(reqs))
+	for i, r := range reqs {
+		var err error
+		if data[i], sts[i], err = r.Wait(); err != nil {
+			return nil, nil, fmt.Errorf("mpi: Waitall request %d: %w", i, err)
+		}
+	}
+	return data, sts, nil
+}
+
+// Waitany completes one not-yet-completed request and reports its index —
+// MPI_Waitany. Completed requests are skipped; with none pending it returns
+// index -1. Unlike MPI it serves requests in array order when several are
+// ready (our eager transport makes readiness unobservable without waiting).
+func Waitany(reqs []*Request) (int, []byte, Status, error) {
+	for i, r := range reqs {
+		if r == nil || r.done {
+			continue
+		}
+		data, st, err := r.Wait()
+		return i, data, st, err
+	}
+	return -1, nil, Status{}, nil
+}
+
+// Iprobe reports whether a message from src (or AnySource) with tag (or
+// AnyTag) is already waiting, and its status when so — MPI_Iprobe. The
+// message stays queued; a subsequent Recv retrieves it.
+func (c *Comm) Iprobe(src, tag int) (Status, bool, error) {
+	if src != AnySource && (src < 0 || src >= c.Size()) {
+		return Status{}, false, fmt.Errorf("mpi: Iprobe from invalid rank %d (size %d)", src, c.Size())
+	}
+	probe := &posted{src: src, tag: tag}
+	box := c.shared.boxes[c.rank]
+	box.mu.Lock()
+	defer box.mu.Unlock()
+	for _, e := range box.sends {
+		if probe.matches(e) {
+			return Status{Source: e.src, Tag: e.tag, Bytes: e.vbytes}, true, nil
+		}
+	}
+	return Status{}, false, nil
+}
+
+// Recv blocks for a message from src (or AnySource) with tag (or AnyTag)
+// and returns its payload.
+func (c *Comm) Recv(src, tag int) ([]byte, Status, error) {
+	req, err := c.Irecv(src, tag)
+	if err != nil {
+		return nil, Status{}, err
+	}
+	return req.Wait()
+}
+
+// Sendrecv sends to dst and receives from src in one logically concurrent
+// operation, the stencil workhorse. Deadlock-free under eager buffering.
+func (c *Comm) Sendrecv(dst, sendTag int, data []byte, src, recvTag int) ([]byte, Status, error) {
+	return c.SendrecvSized(dst, sendTag, data, len(data), src, recvTag)
+}
+
+// SendrecvSized is Sendrecv with an explicit virtual size for the outgoing
+// message (see SendSized).
+func (c *Comm) SendrecvSized(dst, sendTag int, data []byte, virtualBytes, src, recvTag int) ([]byte, Status, error) {
+	req, err := c.Irecv(src, recvTag)
+	if err != nil {
+		return nil, Status{}, err
+	}
+	if err := c.SendSized(dst, sendTag, data, virtualBytes); err != nil {
+		return nil, Status{}, err
+	}
+	return req.Wait()
+}
+
+// --- typed float64 helpers -------------------------------------------------
+
+// Float64sToBytes encodes xs little-endian; the inverse of BytesToFloat64s.
+func Float64sToBytes(xs []float64) []byte {
+	buf := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(x))
+	}
+	return buf
+}
+
+// BytesToFloat64s decodes a buffer produced by Float64sToBytes.
+func BytesToFloat64s(b []byte) ([]float64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("mpi: payload length %d is not a multiple of 8", len(b))
+	}
+	xs := make([]float64, len(b)/8)
+	for i := range xs {
+		xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return xs, nil
+}
+
+// SendFloat64s sends a float64 vector.
+func (c *Comm) SendFloat64s(dst, tag int, xs []float64) error {
+	return c.Send(dst, tag, Float64sToBytes(xs))
+}
+
+// RecvFloat64s receives a float64 vector.
+func (c *Comm) RecvFloat64s(src, tag int) ([]float64, Status, error) {
+	b, st, err := c.Recv(src, tag)
+	if err != nil {
+		return nil, st, err
+	}
+	xs, err := BytesToFloat64s(b)
+	return xs, st, err
+}
+
+// SendrecvFloat64s exchanges float64 vectors with neighbors.
+func (c *Comm) SendrecvFloat64s(dst, sendTag int, xs []float64, src, recvTag int) ([]float64, Status, error) {
+	b, st, err := c.Sendrecv(dst, sendTag, Float64sToBytes(xs), src, recvTag)
+	if err != nil {
+		return nil, st, err
+	}
+	out, err := BytesToFloat64s(b)
+	return out, st, err
+}

@@ -1,0 +1,509 @@
+package mpi
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/machine"
+)
+
+// testCfg returns a small deterministic config with a watchdog so broken
+// topologies fail instead of hanging the suite.
+func testCfg(ranks int) Config {
+	return Config{
+		Ranks:   ranks,
+		Model:   machine.Ideal(ranks, 1),
+		Seed:    1,
+		Timeout: 30 * time.Second,
+	}
+}
+
+func TestRunValidatesConfig(t *testing.T) {
+	if _, err := Run(Config{Ranks: 0}, func(*Comm) error { return nil }); err == nil {
+		t.Error("zero ranks accepted")
+	}
+	if _, err := Run(Config{Ranks: -3}, func(*Comm) error { return nil }); err == nil {
+		t.Error("negative ranks accepted")
+	}
+}
+
+func TestRunSingleRank(t *testing.T) {
+	ran := false
+	rep, err := Run(testCfg(1), func(c *Comm) error {
+		ran = true
+		if c.Rank() != 0 || c.Size() != 1 || c.WorldRank() != 0 {
+			t.Errorf("identity wrong: rank=%d size=%d", c.Rank(), c.Size())
+		}
+		return nil
+	})
+	if err != nil || !ran {
+		t.Fatalf("run failed: %v ran=%v", err, ran)
+	}
+	if len(rep.RankTimes) != 1 {
+		t.Fatalf("RankTimes = %v", rep.RankTimes)
+	}
+}
+
+func TestRunPropagatesRankErrors(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Run(testCfg(4), func(c *Comm) error {
+		if c.Rank() == 2 {
+			return boom
+		}
+		return nil
+	})
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+}
+
+func TestRunRecoversPanics(t *testing.T) {
+	_, err := Run(testCfg(2), func(c *Comm) error {
+		if c.Rank() == 1 {
+			panic("rank exploded")
+		}
+		// Rank 0 must not be left blocking on rank 1.
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panic not reported")
+	}
+}
+
+func TestWatchdogCatchesDeadlock(t *testing.T) {
+	cfg := testCfg(2)
+	cfg.Timeout = 200 * time.Millisecond
+	_, err := Run(cfg, func(c *Comm) error {
+		if c.Rank() == 0 {
+			_, _, err := c.Recv(1, 7) // rank 1 never sends
+			return err
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("deadlock not detected")
+	}
+}
+
+func TestSendRecvRoundtrip(t *testing.T) {
+	_, err := Run(testCfg(2), func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 5, []byte("hello"))
+		}
+		b, st, err := c.Recv(0, 5)
+		if err != nil {
+			return err
+		}
+		if string(b) != "hello" {
+			t.Errorf("payload = %q", b)
+		}
+		if st.Source != 0 || st.Tag != 5 || st.Bytes != 5 {
+			t.Errorf("status = %+v", st)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendCopiesBuffer(t *testing.T) {
+	_, err := Run(testCfg(2), func(c *Comm) error {
+		if c.Rank() == 0 {
+			buf := []byte{1, 2, 3}
+			if err := c.Send(1, 0, buf); err != nil {
+				return err
+			}
+			buf[0] = 99 // must not affect what rank 1 sees
+			return nil
+		}
+		b, _, err := c.Recv(0, 0)
+		if err != nil {
+			return err
+		}
+		if b[0] != 1 {
+			t.Errorf("send did not copy: got %v", b)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendValidation(t *testing.T) {
+	_, err := Run(testCfg(2), func(c *Comm) error {
+		if err := c.Send(5, 0, nil); err == nil {
+			t.Error("out-of-range destination accepted")
+		}
+		if err := c.Send(-1, 0, nil); err == nil {
+			t.Error("negative destination accepted")
+		}
+		if err := c.Send(1-c.Rank(), -7, nil); err == nil {
+			t.Error("reserved negative tag accepted")
+		}
+		// Keep both ranks alive for matched traffic below.
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvValidation(t *testing.T) {
+	_, err := Run(testCfg(1), func(c *Comm) error {
+		if _, err := c.Irecv(3, 0); err == nil {
+			t.Error("out-of-range source accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessageOrderingPerPair(t *testing.T) {
+	const n = 50
+	_, err := Run(testCfg(2), func(c *Comm) error {
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				if err := c.Send(1, 3, []byte{byte(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			b, _, err := c.Recv(0, 3)
+			if err != nil {
+				return err
+			}
+			if b[0] != byte(i) {
+				t.Errorf("message %d overtaken by %d", i, b[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagSelectivity(t *testing.T) {
+	_, err := Run(testCfg(2), func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, 1, []byte("one")); err != nil {
+				return err
+			}
+			return c.Send(1, 2, []byte("two"))
+		}
+		// Receive in reverse tag order: matching must be by tag, not FIFO.
+		b2, _, err := c.Recv(0, 2)
+		if err != nil {
+			return err
+		}
+		b1, _, err := c.Recv(0, 1)
+		if err != nil {
+			return err
+		}
+		if string(b2) != "two" || string(b1) != "one" {
+			t.Errorf("tag matching wrong: %q %q", b1, b2)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnySourceAnyTag(t *testing.T) {
+	_, err := Run(testCfg(3), func(c *Comm) error {
+		if c.Rank() != 0 {
+			return c.Send(0, 40+c.Rank(), []byte{byte(c.Rank())})
+		}
+		seen := map[int]bool{}
+		for i := 0; i < 2; i++ {
+			b, st, err := c.Recv(AnySource, AnyTag)
+			if err != nil {
+				return err
+			}
+			if int(b[0]) != st.Source || st.Tag != 40+st.Source {
+				t.Errorf("status inconsistent: %+v payload %v", st, b)
+			}
+			seen[st.Source] = true
+		}
+		if !seen[1] || !seen[2] {
+			t.Errorf("sources seen: %v", seen)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIrecvBeforeSend(t *testing.T) {
+	_, err := Run(testCfg(2), func(c *Comm) error {
+		if c.Rank() == 0 {
+			req, err := c.Irecv(1, 9)
+			if err != nil {
+				return err
+			}
+			b, st, err := req.Wait()
+			if err != nil {
+				return err
+			}
+			if string(b) != "late" || st.Source != 1 {
+				t.Errorf("posted recv got %q %+v", b, st)
+			}
+			// Waiting twice is idempotent.
+			b2, _, err := req.Wait()
+			if err != nil || !bytes.Equal(b2, b) {
+				t.Errorf("second Wait: %q %v", b2, err)
+			}
+			return nil
+		}
+		return c.Send(0, 9, []byte("late"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsendCompletesImmediately(t *testing.T) {
+	_, err := Run(testCfg(2), func(c *Comm) error {
+		if c.Rank() == 0 {
+			req, err := c.Isend(1, 0, []byte("x"))
+			if err != nil {
+				return err
+			}
+			if _, _, err := req.Wait(); err != nil {
+				return err
+			}
+			return nil
+		}
+		_, _, err := c.Recv(0, 0)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitNilRequest(t *testing.T) {
+	var r *Request
+	if _, _, err := r.Wait(); err == nil {
+		t.Error("nil request Wait did not error")
+	}
+}
+
+func TestSendrecvRing(t *testing.T) {
+	const p = 8
+	_, err := Run(testCfg(p), func(c *Comm) error {
+		right := (c.Rank() + 1) % p
+		left := (c.Rank() - 1 + p) % p
+		got, st, err := c.Sendrecv(right, 11, []byte{byte(c.Rank())}, left, 11)
+		if err != nil {
+			return err
+		}
+		if got[0] != byte(left) || st.Source != left {
+			t.Errorf("rank %d: ring got %v from %d", c.Rank(), got, st.Source)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat64Codec(t *testing.T) {
+	f := func(xs []float64) bool {
+		got, err := BytesToFloat64s(Float64sToBytes(xs))
+		if err != nil {
+			return false
+		}
+		if len(got) != len(xs) {
+			return false
+		}
+		for i := range xs {
+			// NaN-safe bit comparison.
+			if math.Float64bits(got[i]) != math.Float64bits(xs[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+	if _, err := BytesToFloat64s([]byte{1, 2, 3}); err == nil {
+		t.Error("misaligned payload accepted")
+	}
+}
+
+func TestWaitallAndWaitany(t *testing.T) {
+	_, err := Run(testCfg(4), func(c *Comm) error {
+		if c.Rank() == 0 {
+			for r := 1; r < 4; r++ {
+				if err := c.Send(r, 5, []byte{byte(r)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		// Each non-root posts two receives: one real, one matched later.
+		a, err := c.Irecv(0, 5)
+		if err != nil {
+			return err
+		}
+		data, sts, err := Waitall([]*Request{a})
+		if err != nil {
+			return err
+		}
+		if len(data) != 1 || data[0][0] != byte(c.Rank()) || sts[0].Source != 0 {
+			t.Errorf("rank %d: Waitall got %v %v", c.Rank(), data, sts)
+		}
+		// Waitany over an already-completed request returns -1.
+		idx, _, _, err := Waitany([]*Request{a})
+		if err != nil || idx != -1 {
+			t.Errorf("Waitany over done requests = %d, %v", idx, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitanyPicksPending(t *testing.T) {
+	_, err := Run(testCfg(2), func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 3, []byte("x"))
+		}
+		done, err := c.Isend(0, 99, nil) // completed immediately... but 0 never receives; harmless eager
+		if err != nil {
+			return err
+		}
+		_ = done
+		pending, err := c.Irecv(0, 3)
+		if err != nil {
+			return err
+		}
+		idx, data, st, err := Waitany([]*Request{done, pending})
+		if err != nil {
+			return err
+		}
+		if idx != 1 || string(data) != "x" || st.Tag != 3 {
+			t.Errorf("Waitany = %d %q %+v", idx, data, st)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIprobe(t *testing.T) {
+	_, err := Run(testCfg(2), func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, 9, []byte("peek")); err != nil {
+				return err
+			}
+			return c.Barrier()
+		}
+		// Nothing with tag 8.
+		if _, ok, err := c.Iprobe(0, 8); err != nil || ok {
+			t.Errorf("Iprobe(0,8) = %v, %v", ok, err)
+		}
+		if err := c.Barrier(); err != nil { // message surely enqueued
+			return err
+		}
+		st, ok, err := c.Iprobe(AnySource, AnyTag)
+		if err != nil || !ok {
+			t.Fatalf("Iprobe missed pending message: %v %v", ok, err)
+		}
+		if st.Source != 0 || st.Tag != 9 || st.Bytes != 4 {
+			t.Errorf("probe status = %+v", st)
+		}
+		// The message is still retrievable.
+		b, _, err := c.Recv(0, 9)
+		if err != nil || string(b) != "peek" {
+			t.Errorf("Recv after probe: %q %v", b, err)
+		}
+		// And now the queue is empty again.
+		if _, ok, _ := c.Iprobe(AnySource, AnyTag); ok {
+			t.Error("probe found a consumed message")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIprobeValidation(t *testing.T) {
+	_, err := Run(testCfg(1), func(c *Comm) error {
+		if _, _, err := c.Iprobe(5, 0); err == nil {
+			t.Error("invalid source accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecvFloat64s(t *testing.T) {
+	want := []float64{3.14, -2.72, 0, math.Inf(1)}
+	_, err := Run(testCfg(2), func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.SendFloat64s(1, 0, want)
+		}
+		got, _, err := c.RecvFloat64s(0, 0)
+		if err != nil {
+			return err
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("got %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyRanksAllPairs(t *testing.T) {
+	const p = 16
+	_, err := Run(testCfg(p), func(c *Comm) error {
+		// Everyone sends one message to everyone else, then receives p-1.
+		for d := 0; d < p; d++ {
+			if d == c.Rank() {
+				continue
+			}
+			if err := c.Send(d, 0, []byte{byte(c.Rank())}); err != nil {
+				return err
+			}
+		}
+		seen := make([]bool, p)
+		for i := 0; i < p-1; i++ {
+			b, st, err := c.Recv(AnySource, 0)
+			if err != nil {
+				return err
+			}
+			if seen[st.Source] || int(b[0]) != st.Source {
+				t.Errorf("duplicate or wrong source %d", st.Source)
+			}
+			seen[st.Source] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,67 @@
+package mpi
+
+// Prefix reductions (MPI_Scan / MPI_Exscan), implemented with the
+// linear-latency-hiding algorithm: rank r receives the prefix of ranks
+// [0, r) from rank r-1, folds its contribution, and forwards to r+1. The
+// paper's analysis code uses Scan to attribute cumulative imbalance.
+
+const tagScan = internalTagBase - 100
+
+// Scan computes the inclusive prefix reduction: rank r receives
+// op(xs_0, ..., xs_r).
+func (c *Comm) Scan(xs []float64, op Op) ([]float64, error) {
+	c.collectiveBegin("Scan")
+	defer c.collectiveEnd("Scan")
+	acc := make([]float64, len(xs))
+	copy(acc, xs)
+	if c.rank > 0 {
+		prev, _, err := c.RecvFloat64s(c.rank-1, tagScan)
+		if err != nil {
+			return nil, err
+		}
+		// acc = prev ⊕ mine, preserving operand order.
+		tmp := make([]float64, len(prev))
+		copy(tmp, prev)
+		if err := op.apply(tmp, acc); err != nil {
+			return nil, err
+		}
+		acc = tmp
+	}
+	if c.rank+1 < c.Size() {
+		if err := c.SendFloat64s(c.rank+1, tagScan, acc); err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+// Exscan computes the exclusive prefix reduction: rank r receives
+// op(xs_0, ..., xs_(r-1)); rank 0 receives nil (undefined in MPI).
+func (c *Comm) Exscan(xs []float64, op Op) ([]float64, error) {
+	c.collectiveBegin("Exscan")
+	defer c.collectiveEnd("Exscan")
+	var prefix []float64
+	if c.rank > 0 {
+		prev, _, err := c.RecvFloat64s(c.rank-1, tagScan)
+		if err != nil {
+			return nil, err
+		}
+		prefix = prev
+	}
+	if c.rank+1 < c.Size() {
+		forward := make([]float64, len(xs))
+		copy(forward, xs)
+		if prefix != nil {
+			tmp := make([]float64, len(prefix))
+			copy(tmp, prefix)
+			if err := op.apply(tmp, forward); err != nil {
+				return nil, err
+			}
+			forward = tmp
+		}
+		if err := c.SendFloat64s(c.rank+1, tagScan, forward); err != nil {
+			return nil, err
+		}
+	}
+	return prefix, nil
+}

@@ -1,0 +1,88 @@
+package mpi
+
+import "repro/internal/machine"
+
+// WorkUnit aliases machine.Work so benchmark code built on the mpi package
+// does not need a second import for the common case.
+type WorkUnit = machine.Work
+
+// WorldInfo carries the run-wide facts handed to tools at Init.
+type WorldInfo struct {
+	Size           int
+	ThreadsPerRank int
+	Model          *machine.Model
+}
+
+// ToolDataSize is the size of the opaque per-section tool payload the
+// runtime preserves between enter and leave events (32 bytes, Fig. 2 of
+// the paper).
+const ToolDataSize = 32
+
+// ToolData is the opaque payload tools may stash on a section instance,
+// e.g. their own synchronized timestamps.
+type ToolData = [ToolDataSize]byte
+
+// Tool is the PMPI-analogue interception interface. A profiling or tracing
+// tool implements it (usually by embedding BaseTool) and is attached via
+// Config.Tools; the runtime then invokes the hooks inline from the rank
+// goroutines. Implementations must be safe for concurrent use — events
+// arrive from every rank.
+//
+// SectionEnter/SectionLeave mirror MPIX_Section_enter_cb and
+// MPIX_Section_leave_cb from the paper: they receive the communicator, the
+// label, the rank-local virtual timestamp, and the 32-byte data slot that
+// the runtime preserves between the two events of one section instance.
+type Tool interface {
+	Init(w *WorldInfo)
+	Finalize(r *Report)
+	SectionEnter(c *Comm, label string, t float64, data *ToolData)
+	SectionLeave(c *Comm, label string, t float64, data *ToolData)
+	Pcontrol(c *Comm, level int, t float64)
+	MessageSent(c *Comm, dst, tag, bytes int, t float64)
+	MessageRecv(c *Comm, src, tag, bytes int, t float64)
+	CollectiveBegin(c *Comm, name string, t float64)
+	CollectiveEnd(c *Comm, name string, t float64)
+}
+
+// BaseTool is a no-op Tool; embed it and override the hooks you need,
+// the way PMPI symbols default to their no-op library versions.
+type BaseTool struct{}
+
+// Init implements Tool.
+func (BaseTool) Init(*WorldInfo) {}
+
+// Finalize implements Tool.
+func (BaseTool) Finalize(*Report) {}
+
+// SectionEnter implements Tool.
+func (BaseTool) SectionEnter(*Comm, string, float64, *ToolData) {}
+
+// SectionLeave implements Tool.
+func (BaseTool) SectionLeave(*Comm, string, float64, *ToolData) {}
+
+// Pcontrol implements Tool.
+func (BaseTool) Pcontrol(*Comm, int, float64) {}
+
+// MessageSent implements Tool.
+func (BaseTool) MessageSent(*Comm, int, int, int, float64) {}
+
+// MessageRecv implements Tool.
+func (BaseTool) MessageRecv(*Comm, int, int, int, float64) {}
+
+// CollectiveBegin implements Tool.
+func (BaseTool) CollectiveBegin(*Comm, string, float64) {}
+
+// CollectiveEnd implements Tool.
+func (BaseTool) CollectiveEnd(*Comm, string, float64) {}
+
+var _ Tool = BaseTool{}
+
+// Pcontrol is the MPI_Pcontrol analogue: it only notifies attached tools.
+// The IPM-style phase-outlining baseline in internal/prof builds on it; the
+// paper contrasts its tool-defined semantics with the standardized
+// MPI_Section interface.
+func (c *Comm) Pcontrol(level int) {
+	for _, t := range c.rs.world.cfg.Tools {
+		t.Pcontrol(c, level, c.rs.now())
+	}
+}

@@ -1,0 +1,126 @@
+package mpi
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+)
+
+// Wallclock mode: timing comes from the host clock; the runtime and tools
+// behave identically otherwise.
+
+func wallclockCfg(ranks int) Config {
+	return Config{
+		Ranks:     ranks,
+		Model:     machine.Ideal(ranks, 1),
+		Seed:      1,
+		Wallclock: true,
+		Timeout:   30 * time.Second,
+	}
+}
+
+func TestWallclockTimeAdvancesByItself(t *testing.T) {
+	_, err := Run(wallclockCfg(1), func(c *Comm) error {
+		before := c.Now()
+		time.Sleep(20 * time.Millisecond)
+		after := c.Now()
+		if after-before < 0.015 {
+			t.Errorf("wallclock advanced only %g s across a 20ms sleep", after-before)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWallclockIgnoresModelCharges(t *testing.T) {
+	rep, err := Run(wallclockCfg(1), func(c *Comm) error {
+		// A virtual charge of 1000 seconds must NOT move the wall clock.
+		before := c.Now()
+		c.Compute(WorkUnit{Flops: 1e12})
+		c.Sleep(1000)
+		c.StorageRead(1 << 30)
+		if c.Now()-before > 1 {
+			t.Errorf("model charges moved the wall clock by %g s", c.Now()-before)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WallTime > 5 {
+		t.Errorf("report walltime %g s for a near-instant run", rep.WallTime)
+	}
+}
+
+func TestWallclockMessagingWorks(t *testing.T) {
+	_, err := Run(wallclockCfg(4), func(c *Comm) error {
+		sum, err := c.AllreduceFloat64(float64(c.Rank()), OpSum)
+		if err != nil {
+			return err
+		}
+		if sum != 6 {
+			t.Errorf("allreduce = %g", sum)
+		}
+		right := (c.Rank() + 1) % c.Size()
+		left := (c.Rank() - 1 + c.Size()) % c.Size()
+		got, _, err := c.Sendrecv(right, 0, []byte{byte(c.Rank())}, left, 0)
+		if err != nil {
+			return err
+		}
+		if got[0] != byte(left) {
+			t.Errorf("ring got %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWallclockSectionTimestampsMonotone(t *testing.T) {
+	var enterT, leaveT float64
+	tool := &funcTool{
+		enter: func(c *Comm, l string, tm float64, _ *ToolData) {
+			if l == "work" {
+				enterT = tm
+			}
+		},
+		leave: func(c *Comm, l string, tm float64, _ *ToolData) {
+			if l == "work" {
+				leaveT = tm
+			}
+		},
+	}
+	cfg := wallclockCfg(1)
+	cfg.Tools = []Tool{tool}
+	_, err := Run(cfg, func(c *Comm) error {
+		c.SectionEnter("work")
+		time.Sleep(10 * time.Millisecond)
+		c.SectionExit("work")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaveT-enterT < 0.008 {
+		t.Errorf("section duration %g s across a 10ms sleep", leaveT-enterT)
+	}
+}
+
+func TestWallclockReportRankTimesPositive(t *testing.T) {
+	rep, err := Run(wallclockCfg(3), func(c *Comm) error {
+		time.Sleep(5 * time.Millisecond)
+		return c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, rt := range rep.RankTimes {
+		if rt <= 0 {
+			t.Errorf("rank %d wall time %g", r, rt)
+		}
+	}
+}

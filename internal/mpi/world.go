@@ -1,0 +1,263 @@
+// Package mpi implements the in-process message-passing runtime this
+// repository uses in place of a real MPI library. One goroutine plays each
+// rank; communicators, tagged point-to-point messaging (with wildcards and
+// nonblocking operations) and tree-based collectives follow MPI semantics.
+//
+// Two things distinguish it from a toy:
+//
+//   - Virtual time. Every rank carries a virtual clock (float64 seconds).
+//     Real computation runs on real data, but its duration is charged
+//     through a machine.Model (see internal/machine), and messages carry
+//     model-derived arrival stamps. This reproduces the paper's 456-core
+//     cluster and 272-hardware-thread KNL experiments deterministically on
+//     a laptop.
+//
+//   - A PMPI-like tool layer. Tools (profilers, tracers) register hooks
+//     that the runtime invokes on message, collective, Pcontrol and —
+//     centrally for the paper — MPI_Section events (MPIX_Section_enter /
+//     MPIX_Section_exit, Figs. 1–2 of the paper), including the 32-byte
+//     tool-data payload preserved between enter and leave.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/stats"
+)
+
+// Config describes one parallel run.
+type Config struct {
+	// Ranks is the number of MPI processes (required, >= 1).
+	Ranks int
+	// ThreadsPerRank is the software team each rank may use for
+	// OpenMP-style regions (default 1). It determines placement density.
+	ThreadsPerRank int
+	// Model is the machine cost model; nil selects an ideal machine with
+	// one node per rank.
+	Model *machine.Model
+	// Seed drives every stochastic model component (jitter, OS noise).
+	// Runs with equal seeds and configs produce identical virtual times.
+	Seed uint64
+	// Tools are attached in order; each receives every profiling hook.
+	// They are shared across ranks and must be safe for concurrent use.
+	Tools []Tool
+	// Wallclock switches timing from the virtual clock to real elapsed
+	// time: rank clocks read the host monotonic clock, model charges
+	// become no-ops, and messages arrive when they are delivered. Used to
+	// validate the runtime and the tools against physical execution; the
+	// paper-scale experiments always use virtual time.
+	Wallclock bool
+	// CheckSections enables verification of the MPI_Section collective
+	// invariants (identical enter/exit sequences on every rank of a
+	// communicator, perfect nesting). The paper recommends the checks be
+	// selectively enabled; they default off like its reference runtime.
+	CheckSections bool
+	// Timeout aborts the run if the ranks do not finish within this real
+	// duration (0 means no watchdog). Intended for tests: a deadlocked
+	// topology otherwise hangs the process.
+	Timeout time.Duration
+}
+
+func (c *Config) withDefaults() (Config, error) {
+	out := *c
+	if out.Ranks <= 0 {
+		return out, fmt.Errorf("mpi: Ranks must be >= 1, got %d", out.Ranks)
+	}
+	if out.ThreadsPerRank <= 0 {
+		out.ThreadsPerRank = 1
+	}
+	if out.Model == nil {
+		out.Model = machine.Ideal(out.Ranks, out.ThreadsPerRank)
+	}
+	return out, nil
+}
+
+// Report summarizes a completed run.
+type Report struct {
+	// WallTime is the virtual makespan: the largest final rank clock.
+	WallTime float64
+	// RankTimes holds each rank's final virtual clock.
+	RankTimes []float64
+}
+
+// World owns the shared state of one run.
+type World struct {
+	cfg       Config
+	placement *machine.Placement
+	ranks     []*rankState
+	nextComm  int64
+	commMu    sync.Mutex
+
+	sectionErrMu sync.Mutex
+	sectionErrs  []error
+}
+
+// rankState is the per-rank mutable context, touched only by its goroutine.
+type rankState struct {
+	id    int
+	clock float64
+	rng   *stats.RNG
+	world *World
+	start time.Time // wallclock epoch (Wallclock mode only)
+}
+
+func (r *rankState) advance(d float64) {
+	if r.world.cfg.Wallclock {
+		return
+	}
+	if d > 0 {
+		r.clock += d
+	}
+}
+
+// now reports the rank's current time: the virtual clock, or real elapsed
+// seconds in Wallclock mode.
+func (r *rankState) now() float64 {
+	if r.world.cfg.Wallclock {
+		return time.Since(r.start).Seconds()
+	}
+	return r.clock
+}
+
+// advanceTo moves the clock to at least t (no-op in Wallclock mode, where
+// time moves by itself).
+func (r *rankState) advanceTo(t float64) {
+	if r.world.cfg.Wallclock {
+		return
+	}
+	if t > r.clock {
+		r.clock = t
+	}
+}
+
+// MainSection is the label of the implicit outermost section, entered in
+// Init and left in Finalize, as the paper specifies.
+const MainSection = "MPI_MAIN"
+
+// Run executes fn on cfg.Ranks rank goroutines and blocks until every rank
+// returns. The *Comm passed to fn is that rank's handle on MPI_COMM_WORLD,
+// already inside the implicit MPI_MAIN section. Rank errors are aggregated;
+// section-invariant violations (when enabled) are reported after the run.
+func Run(cfg Config, fn func(*Comm) error) (*Report, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	placement, err := machine.NewPlacement(c.Model, c.Ranks, c.ThreadsPerRank)
+	if err != nil {
+		return nil, err
+	}
+	w := &World{cfg: c, placement: placement}
+	w.ranks = make([]*rankState, c.Ranks)
+	for i := range w.ranks {
+		w.ranks[i] = &rankState{
+			id:    i,
+			rng:   stats.NewRNG(mixSeed(c.Seed, uint64(i))),
+			world: w,
+		}
+	}
+	shared := w.newCommShared(identityGroup(c.Ranks))
+
+	info := &WorldInfo{
+		Size:           c.Ranks,
+		ThreadsPerRank: c.ThreadsPerRank,
+		Model:          c.Model,
+	}
+	for _, tool := range c.Tools {
+		tool.Init(info)
+	}
+
+	errs := make([]error, c.Ranks)
+	finals := make([]float64, c.Ranks)
+	done := make(chan struct{})
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(c.Ranks)
+	for i := 0; i < c.Ranks; i++ {
+		w.ranks[i].start = start
+		go func(rank int) {
+			defer wg.Done()
+			rs := w.ranks[rank]
+			comm := &Comm{shared: shared, rank: rank, rs: rs}
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
+				}
+				finals[rank] = rs.now()
+			}()
+			comm.SectionEnter(MainSection)
+			err := fn(comm)
+			comm.SectionExit(MainSection)
+			if err != nil {
+				errs[rank] = fmt.Errorf("mpi: rank %d: %w", rank, err)
+			}
+		}(i)
+	}
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	if c.Timeout > 0 {
+		select {
+		case <-done:
+		case <-time.After(c.Timeout):
+			return nil, fmt.Errorf("mpi: run exceeded %v watchdog (deadlock?)", c.Timeout)
+		}
+	} else {
+		<-done
+	}
+
+	rep := &Report{RankTimes: make([]float64, c.Ranks)}
+	for i := range w.ranks {
+		rep.RankTimes[i] = finals[i]
+		if finals[i] > rep.WallTime {
+			rep.WallTime = finals[i]
+		}
+	}
+	for _, tool := range c.Tools {
+		tool.Finalize(rep)
+	}
+
+	var all []error
+	for _, e := range errs {
+		if e != nil {
+			all = append(all, e)
+		}
+	}
+	w.sectionErrMu.Lock()
+	all = append(all, w.sectionErrs...)
+	w.sectionErrMu.Unlock()
+	if len(all) > 0 {
+		return rep, errors.Join(all...)
+	}
+	return rep, nil
+}
+
+// mixSeed derives a per-rank seed from the run seed; splitmix64 finalizer.
+func mixSeed(seed, rank uint64) uint64 {
+	z := seed + 0x9e3779b97f4a7c15*(rank+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func identityGroup(n int) []int {
+	g := make([]int, n)
+	for i := range g {
+		g[i] = i
+	}
+	return g
+}
+
+func (w *World) reportSectionError(err error) {
+	w.sectionErrMu.Lock()
+	defer w.sectionErrMu.Unlock()
+	// Bound the list: one misnested loop could otherwise flood memory.
+	if len(w.sectionErrs) < 64 {
+		w.sectionErrs = append(w.sectionErrs, err)
+	}
+}

@@ -1,0 +1,275 @@
+package omp
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/mpi"
+)
+
+// runSingle executes fn on a 1-rank world with the given model and returns
+// the final virtual clock.
+func runSingle(t *testing.T, model *machine.Model, threadsPerRank int, fn func(c *mpi.Comm)) float64 {
+	t.Helper()
+	cfg := mpi.Config{
+		Ranks:          1,
+		ThreadsPerRank: threadsPerRank,
+		Model:          model,
+		Seed:           1,
+		Timeout:        30 * time.Second,
+	}
+	rep, err := mpi.Run(cfg, func(c *mpi.Comm) error {
+		fn(c)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep.WallTime
+}
+
+func quietBroadwell() *machine.Model {
+	m := machine.DualBroadwell()
+	m.Noise = machine.Noise{}
+	return m
+}
+
+func TestParallelForExecutesEveryIteration(t *testing.T) {
+	model := quietBroadwell()
+	sum := 0
+	runSingle(t, model, 4, func(c *mpi.Comm) {
+		team := New(c, 4)
+		team.ParallelFor(100, machine.Work{Flops: 1}, func(i int) { sum += i })
+	})
+	if sum != 4950 {
+		t.Errorf("iterations wrong: sum = %d", sum)
+	}
+}
+
+func TestParallelForZeroAndNegativeN(t *testing.T) {
+	model := quietBroadwell()
+	called := false
+	wall := runSingle(t, model, 2, func(c *mpi.Comm) {
+		team := New(c, 2)
+		team.ParallelFor(0, machine.Work{Flops: 1e9}, func(int) { called = true })
+		team.ParallelFor(-5, machine.Work{Flops: 1e9}, func(int) { called = true })
+	})
+	if called {
+		t.Error("body called for empty loop")
+	}
+	if wall != 0 {
+		t.Errorf("empty loops charged %g seconds", wall)
+	}
+}
+
+func TestTeamSizeClamped(t *testing.T) {
+	team := New(nil, 0)
+	if team.Threads() != 1 {
+		t.Errorf("Threads = %d, want 1", team.Threads())
+	}
+	if New(nil, -5).Threads() != 1 {
+		t.Error("negative size not clamped")
+	}
+}
+
+func TestMoreThreadsFasterUntilOverhead(t *testing.T) {
+	model := quietBroadwell()
+	w := machine.Work{Flops: 1e10}
+	var t1, t8 float64
+	runSingle(t, model, 8, func(c *mpi.Comm) {
+		team1 := New(c, 1)
+		t0 := c.Now()
+		team1.ParallelFor(1000, w.Scale(1e-3), func(int) {})
+		t1 = c.Now() - t0
+		team8 := New(c, 8)
+		t0 = c.Now()
+		team8.ParallelFor(1000, w.Scale(1e-3), func(int) {})
+		t8 = c.Now() - t0
+	})
+	if t8 >= t1 {
+		t.Errorf("8 threads (%g) not faster than 1 (%g)", t8, t1)
+	}
+	// But 8 threads cannot be a perfect 8x: fork/join overhead exists.
+	if t1/t8 >= 8 {
+		t.Errorf("speedup %g ≥ 8: overhead missing", t1/t8)
+	}
+}
+
+func TestStaticTailImbalanceCharged(t *testing.T) {
+	model := quietBroadwell()
+	w := machine.Work{Flops: 1e7}
+	var even, uneven float64
+	runSingle(t, model, 4, func(c *mpi.Comm) {
+		team := New(c, 4)
+		t0 := c.Now()
+		team.ParallelFor(8, w, func(int) {}) // 2 iters/thread
+		even = c.Now() - t0
+		t0 = c.Now()
+		team.ParallelFor(9, w, func(int) {}) // 3 on one thread
+		uneven = c.Now() - t0
+	})
+	// 9 iterations statically on 4 threads must cost like 12 (3 per
+	// thread), not like 9.
+	if uneven <= even*1.2 {
+		t.Errorf("tail imbalance not charged: 8 iters %g, 9 iters %g", even, uneven)
+	}
+}
+
+func TestDynamicBeatsStaticOnTail(t *testing.T) {
+	model := quietBroadwell()
+	w := machine.Work{Flops: 1e7}
+	var static, dynamic float64
+	runSingle(t, model, 4, func(c *mpi.Comm) {
+		team := New(c, 4)
+		t0 := c.Now()
+		team.ParallelForSched(Static, 0, 9, w, func(int) {})
+		static = c.Now() - t0
+		t0 = c.Now()
+		team.ParallelForSched(Dynamic, 1, 9, w, func(int) {})
+		dynamic = c.Now() - t0
+	})
+	if dynamic >= static {
+		t.Errorf("dynamic (%g) not better than static (%g) on a 9/4 tail", dynamic, static)
+	}
+}
+
+func TestDynamicChunkDefaulted(t *testing.T) {
+	model := quietBroadwell()
+	ran := 0
+	runSingle(t, model, 2, func(c *mpi.Comm) {
+		team := New(c, 2)
+		team.ParallelForSched(Dynamic, 0, 10, machine.Work{Flops: 1}, func(int) { ran++ })
+	})
+	if ran != 10 {
+		t.Errorf("dynamic with chunk 0 ran %d iters", ran)
+	}
+}
+
+func TestParallelForRangeCoversAll(t *testing.T) {
+	model := quietBroadwell()
+	covered := make([]bool, 103)
+	runSingle(t, model, 4, func(c *mpi.Comm) {
+		team := New(c, 4)
+		team.ParallelForRange(len(covered), machine.Work{Flops: 1}, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if covered[i] {
+					t.Errorf("index %d visited twice", i)
+				}
+				covered[i] = true
+			}
+		})
+	})
+	for i, ok := range covered {
+		if !ok {
+			t.Errorf("index %d not covered", i)
+		}
+	}
+}
+
+func TestParallelForRangeTimingMatchesParallelFor(t *testing.T) {
+	model := quietBroadwell()
+	w := machine.Work{Flops: 1e6}
+	var a, b float64
+	runSingle(t, model, 8, func(c *mpi.Comm) {
+		team := New(c, 8)
+		t0 := c.Now()
+		team.ParallelFor(1000, w, func(int) {})
+		a = c.Now() - t0
+		t0 = c.Now()
+		team.ParallelForRange(1000, w, func(lo, hi int) {})
+		b = c.Now() - t0
+	})
+	if math.Abs(a-b) > 1e-12 {
+		t.Errorf("range and indexed variants charge differently: %g vs %g", a, b)
+	}
+}
+
+func TestRegionAndSerial(t *testing.T) {
+	model := quietBroadwell()
+	w := machine.Work{Flops: 1e9}
+	var region, serial float64
+	ranRegion, ranSerial := false, false
+	runSingle(t, model, 4, func(c *mpi.Comm) {
+		team := New(c, 4)
+		t0 := c.Now()
+		team.Region(w, func() { ranRegion = true })
+		region = c.Now() - t0
+		t0 = c.Now()
+		team.Serial(w, func() { ranSerial = true })
+		serial = c.Now() - t0
+	})
+	if !ranRegion || !ranSerial {
+		t.Error("bodies not executed")
+	}
+	if region >= serial {
+		t.Errorf("region with 4 threads (%g) not faster than serial (%g)", region, serial)
+	}
+	// Nil bodies are legal (pure time accounting).
+	runSingle(t, model, 2, func(c *mpi.Comm) {
+		team := New(c, 2)
+		team.Region(w, nil)
+		team.Serial(w, nil)
+	})
+}
+
+func TestSingleThreadTeamHasNoForkCost(t *testing.T) {
+	model := quietBroadwell()
+	w := machine.Work{Flops: 1e9}
+	var teamed, direct float64
+	runSingle(t, model, 1, func(c *mpi.Comm) {
+		team := New(c, 1)
+		t0 := c.Now()
+		team.ParallelFor(10, w.Scale(0.1), func(int) {})
+		teamed = c.Now() - t0
+		t0 = c.Now()
+		c.Compute(w)
+		direct = c.Now() - t0
+	})
+	if math.Abs(teamed-direct) > 1e-12 {
+		t.Errorf("1-thread team charged %g, plain compute %g", teamed, direct)
+	}
+}
+
+// TestKNLInflexionExists: on the KNL model, for a fixed mid-sized workload
+// there is a thread count past which adding threads makes the region
+// slower — the paper's inflexion-point phenomenon (Fig. 10).
+func TestKNLInflexionExists(t *testing.T) {
+	model := machine.KNL()
+	model.Noise = machine.Noise{}
+	// Region-sized work: ~18 ms serial per region, the granularity of a
+	// timestep-loop phase at a mid problem size.
+	w := machine.Work{Flops: 2e7, Bytes: 2e6}
+	times := map[int]float64{}
+	threadCounts := []int{1, 2, 4, 8, 16, 24, 32, 48, 64, 128, 256}
+	runSingle(t, model, 1, func(c *mpi.Comm) {
+		for _, th := range threadCounts {
+			team := New(c, th)
+			t0 := c.Now()
+			for step := 0; step < 50; step++ { // many small regions, as in a timestep loop
+				team.ParallelFor(1000, w.Scale(1e-3), func(int) {})
+			}
+			times[th] = c.Now() - t0
+		}
+	})
+	if times[8] >= times[1] {
+		t.Errorf("8 threads (%g) not faster than 1 (%g)", times[8], times[1])
+	}
+	if times[256] <= times[24] {
+		t.Errorf("no inflexion: 256 threads (%g) still faster than 24 (%g)",
+			times[256], times[24])
+	}
+}
+
+func TestStringer(t *testing.T) {
+	model := quietBroadwell()
+	runSingle(t, model, 2, func(c *mpi.Comm) {
+		team := New(c, 2)
+		s := team.String()
+		if !strings.Contains(s, "threads: 2") {
+			t.Errorf("String() = %q", s)
+		}
+	})
+}

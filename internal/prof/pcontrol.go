@@ -1,0 +1,106 @@
+package prof
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/mpi"
+	"repro/internal/stats"
+)
+
+// PcontrolProfiler is the IPM-style baseline the paper's related-work
+// section discusses: phases are outlined by MPI_Pcontrol calls whose
+// semantics the tool, not the MPI standard, defines. Here the convention
+// (IPM's) is: Pcontrol(level > 0) enters phase `level`, Pcontrol(0) exits
+// the current phase. Contrast with MPI_Section: no labels, no nesting, no
+// collective semantics, no cross-rank instance matching — which is exactly
+// the expressiveness gap the paper's proposal fills.
+type PcontrolProfiler struct {
+	mpi.BaseTool
+	mu      sync.Mutex
+	open    map[int]pcOpen // key: world rank
+	perRank map[int]map[int]*stats.Welford
+}
+
+type pcOpen struct {
+	level  int
+	enterT float64
+	active bool
+}
+
+// NewPcontrol returns an empty PcontrolProfiler.
+func NewPcontrol() *PcontrolProfiler {
+	return &PcontrolProfiler{
+		open:    map[int]pcOpen{},
+		perRank: map[int]map[int]*stats.Welford{},
+	}
+}
+
+// Pcontrol implements mpi.Tool.
+func (p *PcontrolProfiler) Pcontrol(c *mpi.Comm, level int, t float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r := c.WorldRank()
+	cur := p.open[r]
+	if level > 0 {
+		// Entering a phase implicitly closes the previous one (IPM's flat
+		// model cannot nest).
+		if cur.active {
+			p.recordLocked(r, cur.level, t-cur.enterT)
+		}
+		p.open[r] = pcOpen{level: level, enterT: t, active: true}
+		return
+	}
+	if cur.active {
+		p.recordLocked(r, cur.level, t-cur.enterT)
+		p.open[r] = pcOpen{}
+	}
+}
+
+func (p *PcontrolProfiler) recordLocked(rank, level int, dur float64) {
+	m := p.perRank[rank]
+	if m == nil {
+		m = map[int]*stats.Welford{}
+		p.perRank[rank] = m
+	}
+	w := m[level]
+	if w == nil {
+		w = &stats.Welford{}
+		m[level] = w
+	}
+	w.Add(dur)
+}
+
+// PhaseTotal reports the summed duration of the numbered phase across all
+// ranks.
+func (p *PcontrolProfiler) PhaseTotal(level int) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := 0.0
+	for _, m := range p.perRank {
+		if w := m[level]; w != nil {
+			total += w.Mean() * float64(w.N())
+		}
+	}
+	return total
+}
+
+// Levels lists the phase numbers observed, ascending.
+func (p *PcontrolProfiler) Levels() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	set := map[int]bool{}
+	for _, m := range p.perRank {
+		for l := range m {
+			set[l] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Ints(out)
+	return out
+}
+
+var _ mpi.Tool = (*PcontrolProfiler)(nil)

@@ -1,0 +1,111 @@
+package prof
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Per-rank profile export: one row per (section, rank), carrying the
+// per-rank totals and per-instance distribution summary. cmd/secanalyze
+// feeds these rows to the internal/balance analysis offline.
+
+var perRankCSVHeader = []string{
+	"comm", "label", "rank", "ranks",
+	"total", "excl", "dur_mean", "dur_std", "instances",
+}
+
+// PerRankRow is one parsed row.
+type PerRankRow struct {
+	Comm      int64
+	Label     string
+	Rank      int
+	Ranks     int
+	Total     float64
+	Excl      float64
+	DurMean   float64
+	DurStd    float64
+	Instances int
+}
+
+// WritePerRankCSV emits every section × rank combination.
+func (p *Profile) WritePerRankCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(perRankCSVHeader); err != nil {
+		return err
+	}
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', 17, 64) }
+	for _, s := range p.Sections {
+		for r := 0; r < s.Ranks; r++ {
+			var mean, std float64
+			n := 0
+			if r < len(s.PerRank) {
+				mean = s.PerRank[r].Mean()
+				std = s.PerRank[r].Std()
+				n = s.PerRank[r].N()
+			}
+			rec := []string{
+				strconv.FormatInt(s.Comm, 10),
+				s.Label,
+				strconv.Itoa(r),
+				strconv.Itoa(s.Ranks),
+				g(s.PerRankTotal[r]),
+				g(s.PerRankExcl[r]),
+				g(mean),
+				g(std),
+				strconv.Itoa(n),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadPerRankCSV parses a stream produced by WritePerRankCSV.
+func ReadPerRankCSV(r io.Reader) ([]PerRankRow, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 || strings.Join(rows[0], ",") != strings.Join(perRankCSVHeader, ",") {
+		return nil, fmt.Errorf("prof: not a per-rank profile CSV")
+	}
+	out := make([]PerRankRow, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		if len(row) != len(perRankCSVHeader) {
+			return nil, fmt.Errorf("prof: per-rank row %d has %d fields", i+2, len(row))
+		}
+		var pr PerRankRow
+		var err error
+		fail := func(what string, e error) error {
+			return fmt.Errorf("prof: per-rank row %d %s: %w", i+2, what, e)
+		}
+		if pr.Comm, err = strconv.ParseInt(row[0], 10, 64); err != nil {
+			return nil, fail("comm", err)
+		}
+		pr.Label = row[1]
+		if pr.Rank, err = strconv.Atoi(row[2]); err != nil {
+			return nil, fail("rank", err)
+		}
+		if pr.Ranks, err = strconv.Atoi(row[3]); err != nil {
+			return nil, fail("ranks", err)
+		}
+		floats := []*float64{&pr.Total, &pr.Excl, &pr.DurMean, &pr.DurStd}
+		for j, dst := range floats {
+			if *dst, err = strconv.ParseFloat(row[4+j], 64); err != nil {
+				return nil, fail(perRankCSVHeader[4+j], err)
+			}
+		}
+		if pr.Instances, err = strconv.Atoi(row[8]); err != nil {
+			return nil, fail("instances", err)
+		}
+		out = append(out, pr)
+	}
+	return out, nil
+}

@@ -1,0 +1,77 @@
+package prof
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+// profForPerRank builds a 2-rank profile where each rank's "work" instances
+// last exactly rank+1 seconds, twice.
+func profForPerRank(t *testing.T) *Profile {
+	t.Helper()
+	return runProfiled(t, 2, func(c *mpi.Comm) error {
+		for i := 0; i < 2; i++ {
+			c.SectionEnter("work")
+			c.Sleep(float64(c.Rank() + 1))
+			c.SectionExit("work")
+		}
+		return nil
+	})
+}
+
+func TestPerRankCSV(t *testing.T) {
+	profile := profForPerRank(t)
+	var buf bytes.Buffer
+	if err := profile.WritePerRankCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := ReadPerRankCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 sections (work + MPI_MAIN) × 2 ranks.
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var work []PerRankRow
+	for _, r := range rows {
+		if r.Label == "work" {
+			work = append(work, r)
+		}
+	}
+	if len(work) != 2 {
+		t.Fatalf("work rows = %d", len(work))
+	}
+	for _, r := range work {
+		wantTotal := 2.0 * float64(r.Rank+1) // 2 instances of (rank+1)s
+		if math.Abs(r.Total-wantTotal) > 1e-9 {
+			t.Errorf("rank %d total = %g, want %g", r.Rank, r.Total, wantTotal)
+		}
+		if r.Instances != 2 {
+			t.Errorf("rank %d instances = %d", r.Rank, r.Instances)
+		}
+		if math.Abs(r.DurMean-float64(r.Rank+1)) > 1e-9 {
+			t.Errorf("rank %d mean = %g", r.Rank, r.DurMean)
+		}
+		if r.DurStd > 1e-9 {
+			t.Errorf("rank %d std = %g, want 0 (constant durations)", r.Rank, r.DurStd)
+		}
+	}
+}
+
+func TestReadPerRankCSVErrors(t *testing.T) {
+	if _, err := ReadPerRankCSV(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadPerRankCSV(strings.NewReader("a,b\n1,2\n")); err == nil {
+		t.Error("wrong header accepted")
+	}
+	bad := strings.Join(perRankCSVHeader, ",") + "\n0,l,x,2,1,1,1,1,1\n"
+	if _, err := ReadPerRankCSV(strings.NewReader(bad)); err == nil {
+		t.Error("bad rank field accepted")
+	}
+}

@@ -1,0 +1,318 @@
+// Package prof implements the reference section-profiling tool of the
+// paper: it intercepts MPI_Section events through the runtime's PMPI-like
+// tool layer and derives the temporal metrics of the paper's Fig. 3 —
+// Tmin (first entry), per-rank Tin/Tout, Tsection = Tout − Tmin, Tmax (last
+// exit), entry imbalance imb_in = Tin − Tmin, and section imbalance
+// imb = (Tmax − Tmin) − Tsection — aggregated over every instance of every
+// section, plus inclusive/exclusive per-rank time totals for speedup and
+// load-balance analysis.
+package prof
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/mpi"
+	"repro/internal/stats"
+)
+
+// SectionStats aggregates every instance of one (communicator, label)
+// section.
+type SectionStats struct {
+	Comm  int64
+	Label string
+	// Ranks is the communicator size.
+	Ranks int
+	// Instances counts completed section instances (entered and left by
+	// every rank of the communicator).
+	Instances int
+	// Dur aggregates per-rank inclusive durations (Tout − Tin).
+	Dur stats.Welford
+	// Excl aggregates per-rank exclusive durations (inclusive minus time
+	// spent in nested sections).
+	Excl stats.Welford
+	// EntryImb aggregates per-rank entry imbalance imb_in = Tin − Tmin.
+	EntryImb stats.Welford
+	// Imb aggregates the paper's per-rank section imbalance
+	// imb = (Tmax − Tmin) − Tsection, with Tsection = Tout − Tmin.
+	Imb stats.Welford
+	// SpanTotal sums the distributed span Tmax − Tmin over instances.
+	SpanTotal float64
+	// PerRankTotal[r] is rank r's summed inclusive time in the section.
+	PerRankTotal []float64
+	// PerRankExcl[r] is rank r's summed exclusive time.
+	PerRankExcl []float64
+	// PerRank[r] aggregates rank r's per-instance inclusive durations,
+	// the raw material of the load-balance analysis (internal/balance):
+	// cross-rank variance of the means is persistent imbalance, the mean
+	// of the per-rank variances is transient imbalance.
+	PerRank []stats.Welford
+	// Parent is the label of the section this one was first observed
+	// nested inside ("" for top-level sections). Together with the perfect
+	// nesting invariant it reconstructs the section hierarchy for
+	// Profile.Tree.
+	Parent string
+}
+
+// TotalTime reports the summed inclusive time across all ranks — the
+// paper's "Tot. Section Time" (Fig. 6 uses it for HALO).
+func (s *SectionStats) TotalTime() float64 { return stats.Sum(s.PerRankTotal) }
+
+// TotalExclusive reports the summed exclusive time across all ranks.
+func (s *SectionStats) TotalExclusive() float64 { return stats.Sum(s.PerRankExcl) }
+
+// AvgPerProcess reports TotalTime divided by the communicator size —
+// Fig. 5(c)'s "average time per process".
+func (s *SectionStats) AvgPerProcess() float64 {
+	if s.Ranks == 0 {
+		return 0
+	}
+	return s.TotalTime() / float64(s.Ranks)
+}
+
+// LoadImbalance reports max/mean − 1 over the per-rank inclusive totals.
+func (s *SectionStats) LoadImbalance() float64 {
+	v, err := stats.Imbalance(s.PerRankTotal)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// Profile is the result of one profiled run.
+type Profile struct {
+	// WallTime is the virtual makespan of the run.
+	WallTime float64
+	// RankTimes are the final per-rank clocks.
+	RankTimes []float64
+	// Sections, sorted by decreasing total inclusive time.
+	Sections []*SectionStats
+}
+
+// Section returns the stats for the first section with the given label
+// (across communicators), or nil.
+func (p *Profile) Section(label string) *SectionStats {
+	for _, s := range p.Sections {
+		if s.Label == label {
+			return s
+		}
+	}
+	return nil
+}
+
+// Labels lists the section labels in the profile's order.
+func (p *Profile) Labels() []string {
+	out := make([]string, len(p.Sections))
+	for i, s := range p.Sections {
+		out[i] = s.Label
+	}
+	return out
+}
+
+// Shares reports each section's fraction of the total exclusive time —
+// the paper's Fig. 5(a) percentage breakdown. MPI_MAIN's exclusive
+// remainder participates like any other section.
+func (p *Profile) Shares() map[string]float64 {
+	total := 0.0
+	for _, s := range p.Sections {
+		total += s.TotalExclusive()
+	}
+	out := make(map[string]float64, len(p.Sections))
+	if total == 0 {
+		return out
+	}
+	for _, s := range p.Sections {
+		out[s.Label] = s.TotalExclusive() / total
+	}
+	return out
+}
+
+// --- the tool ---------------------------------------------------------------
+
+type secKey struct {
+	comm  int64
+	label string
+}
+
+type instKey struct {
+	comm  int64
+	label string
+	index int
+}
+
+type rankKey struct {
+	comm int64
+	rank int
+}
+
+// openFrame is a live section on one rank.
+type openFrame struct {
+	label     string
+	parent    string
+	enterT    float64
+	childTime float64
+	index     int
+}
+
+// instAcc gathers one instance's per-rank entries and exits until every
+// rank of the communicator has contributed, then folds into the aggregate.
+type instAcc struct {
+	enters []float64
+	ranks  []int
+	leaves []float64
+	lrank  []int
+}
+
+// Profiler is the mpi.Tool. Attach via mpi.Config.Tools, run, then call
+// Result.
+type Profiler struct {
+	mpi.BaseTool
+	mu       sync.Mutex
+	sections map[secKey]*SectionStats
+	stacks   map[rankKey][]openFrame
+	nextIdx  map[rankKey]map[string]int
+	inst     map[instKey]*instAcc
+	profile  *Profile
+	finished bool
+}
+
+// New returns an empty Profiler.
+func New() *Profiler {
+	return &Profiler{
+		sections: map[secKey]*SectionStats{},
+		stacks:   map[rankKey][]openFrame{},
+		nextIdx:  map[rankKey]map[string]int{},
+		inst:     map[instKey]*instAcc{},
+	}
+}
+
+// Init implements mpi.Tool.
+func (p *Profiler) Init(*mpi.WorldInfo) {}
+
+// SectionEnter implements mpi.Tool.
+func (p *Profiler) SectionEnter(c *mpi.Comm, label string, t float64, _ *mpi.ToolData) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rk := rankKey{comm: c.ID(), rank: c.Rank()}
+	idxs := p.nextIdx[rk]
+	if idxs == nil {
+		idxs = map[string]int{}
+		p.nextIdx[rk] = idxs
+	}
+	idx := idxs[label]
+	idxs[label] = idx + 1
+	parent := ""
+	if st := p.stacks[rk]; len(st) > 0 {
+		parent = st[len(st)-1].label
+	}
+	p.stacks[rk] = append(p.stacks[rk], openFrame{label: label, parent: parent, enterT: t, index: idx})
+
+	ik := instKey{comm: c.ID(), label: label, index: idx}
+	acc := p.inst[ik]
+	if acc == nil {
+		acc = &instAcc{}
+		p.inst[ik] = acc
+	}
+	acc.enters = append(acc.enters, t)
+	acc.ranks = append(acc.ranks, c.Rank())
+}
+
+// SectionLeave implements mpi.Tool.
+func (p *Profiler) SectionLeave(c *mpi.Comm, label string, t float64, _ *mpi.ToolData) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rk := rankKey{comm: c.ID(), rank: c.Rank()}
+	st := p.stacks[rk]
+	if len(st) == 0 || st[len(st)-1].label != label {
+		// Misnested usage: the runtime reports it; the profiler just
+		// drops the sample rather than corrupting its state.
+		return
+	}
+	frame := st[len(st)-1]
+	p.stacks[rk] = st[:len(st)-1]
+	dur := t - frame.enterT
+	excl := dur - frame.childTime
+	if n := len(p.stacks[rk]); n > 0 {
+		p.stacks[rk][n-1].childTime += dur
+	}
+
+	sk := secKey{comm: c.ID(), label: label}
+	s := p.sections[sk]
+	if s == nil {
+		s = &SectionStats{
+			Comm:         c.ID(),
+			Label:        label,
+			Ranks:        c.Size(),
+			PerRankTotal: make([]float64, c.Size()),
+			PerRankExcl:  make([]float64, c.Size()),
+			PerRank:      make([]stats.Welford, c.Size()),
+			Parent:       frame.parent,
+		}
+		p.sections[sk] = s
+	}
+	s.Dur.Add(dur)
+	s.Excl.Add(excl)
+	s.PerRankTotal[c.Rank()] += dur
+	s.PerRankExcl[c.Rank()] += excl
+	s.PerRank[c.Rank()].Add(dur)
+
+	ik := instKey{comm: c.ID(), label: label, index: frame.index}
+	acc := p.inst[ik]
+	if acc == nil {
+		return
+	}
+	acc.leaves = append(acc.leaves, t)
+	acc.lrank = append(acc.lrank, c.Rank())
+	if len(acc.leaves) == c.Size() {
+		p.foldInstance(s, acc)
+		delete(p.inst, ik)
+	}
+}
+
+// foldInstance computes the Fig. 3 metrics for one completed instance.
+func (p *Profiler) foldInstance(s *SectionStats, acc *instAcc) {
+	tmin, _ := stats.Min(acc.enters)
+	tmax, _ := stats.Max(acc.leaves)
+	s.SpanTotal += tmax - tmin
+	s.Instances++
+	for _, tin := range acc.enters {
+		s.EntryImb.Add(tin - tmin)
+	}
+	for _, tout := range acc.leaves {
+		tsection := tout - tmin
+		s.Imb.Add((tmax - tmin) - tsection)
+	}
+}
+
+// Finalize implements mpi.Tool: it freezes the profile.
+func (p *Profiler) Finalize(r *mpi.Report) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	prof := &Profile{WallTime: r.WallTime}
+	prof.RankTimes = append(prof.RankTimes, r.RankTimes...)
+	for _, s := range p.sections {
+		prof.Sections = append(prof.Sections, s)
+	}
+	sort.Slice(prof.Sections, func(i, j int) bool {
+		ti, tj := prof.Sections[i].TotalTime(), prof.Sections[j].TotalTime()
+		if ti != tj {
+			return ti > tj
+		}
+		return prof.Sections[i].Label < prof.Sections[j].Label
+	})
+	p.profile = prof
+	p.finished = true
+}
+
+// Result returns the profile; it errs when the run has not finished.
+func (p *Profiler) Result() (*Profile, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.finished {
+		return nil, fmt.Errorf("prof: run not finalized")
+	}
+	return p.profile, nil
+}
+
+var _ mpi.Tool = (*Profiler)(nil)

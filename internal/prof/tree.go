@@ -1,0 +1,77 @@
+package prof
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tree renders the section hierarchy of one communicator as an indented
+// profile tree: inclusive time, share of the parent's inclusive time, and
+// exclusive time per node. It is the "proposed profile breakdown over
+// sections" of the paper's §5.3, shaped like a classic call-tree report but
+// over semantic phases instead of stack frames.
+func (p *Profile) Tree(comm int64) string {
+	// Collect this communicator's sections and index them by label.
+	byLabel := map[string]*SectionStats{}
+	children := map[string][]string{}
+	var roots []string
+	for _, s := range p.Sections {
+		if s.Comm != comm {
+			continue
+		}
+		byLabel[s.Label] = s
+	}
+	if len(byLabel) == 0 {
+		return "(no sections on this communicator)\n"
+	}
+	for label, s := range byLabel {
+		if s.Parent != "" && byLabel[s.Parent] != nil {
+			children[s.Parent] = append(children[s.Parent], label)
+		} else {
+			roots = append(roots, label)
+		}
+	}
+	sortByTotal := func(labels []string) {
+		sort.Slice(labels, func(i, j int) bool {
+			ti := byLabel[labels[i]].TotalTime()
+			tj := byLabel[labels[j]].TotalTime()
+			if ti != tj {
+				return ti > tj
+			}
+			return labels[i] < labels[j]
+		})
+	}
+	sortByTotal(roots)
+	for _, c := range children {
+		sortByTotal(c)
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-44s %12s %8s %12s\n", "section tree", "incl(s)", "%parent", "excl(s)")
+	var render func(label string, depth int, parentTotal float64)
+	render = func(label string, depth int, parentTotal float64) {
+		s := byLabel[label]
+		share := "-"
+		if parentTotal > 0 {
+			share = fmt.Sprintf("%.1f%%", 100*s.TotalTime()/parentTotal)
+		}
+		name := strings.Repeat("  ", depth) + label
+		if len(name) > 44 {
+			name = name[:41] + "..."
+		}
+		fmt.Fprintf(&sb, "%-44s %12.5g %8s %12.5g\n",
+			name, s.TotalTime(), share, s.TotalExclusive())
+		for _, c := range children[label] {
+			render(c, depth+1, s.TotalTime())
+		}
+	}
+	for _, r := range roots {
+		render(r, 0, 0)
+	}
+	return sb.String()
+}
+
+// WorldTree renders the hierarchy of the world communicator (comm 0), the
+// common case.
+func (p *Profile) WorldTree() string { return p.Tree(0) }

@@ -1,0 +1,87 @@
+package prof
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+func TestTreeHierarchy(t *testing.T) {
+	profile := runProfiled(t, 2, func(c *mpi.Comm) error {
+		for i := 0; i < 3; i++ {
+			c.SectionEnter("step")
+			c.SectionEnter("halo")
+			c.Sleep(0.5)
+			c.SectionExit("halo")
+			c.SectionEnter("compute")
+			c.Sleep(1.5)
+			c.SectionExit("compute")
+			c.SectionExit("step")
+		}
+		return nil
+	})
+	// Parent links.
+	if got := profile.Section("step").Parent; got != mpi.MainSection {
+		t.Errorf("step parent = %q", got)
+	}
+	if got := profile.Section("halo").Parent; got != "step" {
+		t.Errorf("halo parent = %q", got)
+	}
+
+	out := profile.WorldTree()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // header + MAIN + step + compute + halo
+		t.Fatalf("tree lines = %d:\n%s", len(lines), out)
+	}
+	// Indentation encodes depth.
+	if !strings.HasPrefix(lines[1], mpi.MainSection) {
+		t.Errorf("root line = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "  step") {
+		t.Errorf("step line = %q", lines[2])
+	}
+	// Children sorted by inclusive time: compute (4.5s×2) before halo.
+	if !strings.HasPrefix(lines[3], "    compute") || !strings.HasPrefix(lines[4], "    halo") {
+		t.Errorf("child order wrong:\n%s", out)
+	}
+	// Share column: step is ~100% of MAIN; compute ~75% of step.
+	if !strings.Contains(lines[3], "75.0%") {
+		t.Errorf("compute share missing:\n%s", out)
+	}
+}
+
+func TestTreeUnknownComm(t *testing.T) {
+	profile := runProfiled(t, 1, func(c *mpi.Comm) error { return nil })
+	if out := profile.Tree(999); !strings.Contains(out, "no sections") {
+		t.Errorf("unknown comm tree = %q", out)
+	}
+}
+
+func TestTreeOrphanParent(t *testing.T) {
+	// A section on a subcommunicator whose parent label only exists on the
+	// world comm must render as a root of its own comm's tree.
+	profile := runProfiled(t, 2, func(c *mpi.Comm) error {
+		sub, err := c.Dup()
+		if err != nil {
+			return err
+		}
+		sub.SectionEnter("island")
+		c.Sleep(1)
+		sub.SectionExit("island")
+		return nil
+	})
+	var subComm int64 = -1
+	for _, s := range profile.Sections {
+		if s.Label == "island" {
+			subComm = s.Comm
+		}
+	}
+	if subComm < 0 {
+		t.Fatal("island section missing")
+	}
+	out := profile.Tree(subComm)
+	if !strings.Contains(out, "island") {
+		t.Errorf("island not rendered:\n%s", out)
+	}
+}

@@ -1,0 +1,82 @@
+package stats
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (splitmix64-seeded xorshift128+). The machine model uses one RNG per rank
+// so that jitter is reproducible for a given seed and independent of
+// goroutine scheduling. The zero value is NOT valid; use NewRNG.
+type RNG struct {
+	s0, s1 uint64
+}
+
+// NewRNG returns a generator seeded deterministically from seed.
+func NewRNG(seed uint64) *RNG {
+	// splitmix64 to spread the seed into two non-zero words.
+	sm := func() uint64 {
+		seed += 0x9e3779b97f4a7c15
+		z := seed
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	r := &RNG{s0: sm(), s1: sm()}
+	if r.s0 == 0 && r.s1 == 0 {
+		r.s0 = 1
+	}
+	return r
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	x, y := r.s0, r.s1
+	r.s0 = y
+	x ^= x << 23
+	x ^= x >> 17
+	x ^= y ^ (y >> 26)
+	r.s1 = x
+	return x + y
+}
+
+// Float64 returns a uniform sample in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform sample in [0, n). It panics when n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Normal returns a sample from N(mean, sigma^2) via Box–Muller.
+func (r *RNG) Normal(mean, sigma float64) float64 {
+	// Guard against log(0).
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + sigma*z
+}
+
+// LogNormal returns a sample whose logarithm is N(mu, sigma^2). This is the
+// canonical heavy-tailed model for network latency jitter.
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Normal(mu, sigma))
+}
+
+// Exp returns an exponential sample with the given rate (lambda).
+func (r *RNG) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("stats: Exp with non-positive rate")
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -math.Log(u) / rate
+}

@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"repro/internal/mpi"
+)
+
+// Collector is an mpi.Tool that records runtime events into a Buffer.
+// Attach it via mpi.Config.Tools.
+type Collector struct {
+	mpi.BaseTool
+	buf *Buffer
+
+	// Sections controls whether section events are recorded (default on).
+	Sections bool
+	// Messages controls whether point-to-point events are recorded.
+	Messages bool
+	// Collectives controls whether collective begin/end are recorded.
+	Collectives bool
+}
+
+// NewCollector returns a Collector recording into a buffer capped at limit
+// events (0 = unbounded), with section recording enabled and message /
+// collective recording disabled (the high-volume kinds are opt-in).
+func NewCollector(limit int) *Collector {
+	return &Collector{buf: NewBuffer(limit), Sections: true}
+}
+
+// Buffer exposes the underlying event buffer.
+func (c *Collector) Buffer() *Buffer { return c.buf }
+
+// SectionEnter implements mpi.Tool.
+func (c *Collector) SectionEnter(cm *mpi.Comm, label string, t float64, _ *mpi.ToolData) {
+	if !c.Sections {
+		return
+	}
+	c.buf.Add(Event{T: t, Rank: cm.WorldRank(), Kind: KindSectionEnter, Comm: cm.ID(), Label: label})
+}
+
+// SectionLeave implements mpi.Tool.
+func (c *Collector) SectionLeave(cm *mpi.Comm, label string, t float64, _ *mpi.ToolData) {
+	if !c.Sections {
+		return
+	}
+	c.buf.Add(Event{T: t, Rank: cm.WorldRank(), Kind: KindSectionLeave, Comm: cm.ID(), Label: label})
+}
+
+// MessageSent implements mpi.Tool.
+func (c *Collector) MessageSent(cm *mpi.Comm, dst, tag, bytes int, t float64) {
+	if !c.Messages {
+		return
+	}
+	c.buf.Add(Event{T: t, Rank: cm.WorldRank(), Kind: KindSend, Comm: cm.ID(), Peer: dst, Bytes: bytes})
+}
+
+// MessageRecv implements mpi.Tool.
+func (c *Collector) MessageRecv(cm *mpi.Comm, src, tag, bytes int, t float64) {
+	if !c.Messages {
+		return
+	}
+	c.buf.Add(Event{T: t, Rank: cm.WorldRank(), Kind: KindRecv, Comm: cm.ID(), Peer: src, Bytes: bytes})
+}
+
+// CollectiveBegin implements mpi.Tool.
+func (c *Collector) CollectiveBegin(cm *mpi.Comm, name string, t float64) {
+	if !c.Collectives {
+		return
+	}
+	c.buf.Add(Event{T: t, Rank: cm.WorldRank(), Kind: KindCollective, Comm: cm.ID(), Label: name})
+}
+
+// Pcontrol implements mpi.Tool.
+func (c *Collector) Pcontrol(cm *mpi.Comm, level int, t float64) {
+	c.buf.Add(Event{T: t, Rank: cm.WorldRank(), Kind: KindPcontrol, Comm: cm.ID(), Bytes: level})
+}
+
+var _ mpi.Tool = (*Collector)(nil)

@@ -1,0 +1,308 @@
+// Package trace records timestamped runtime events (section boundaries,
+// messages, collectives) from the mpi tool layer and renders them as CSV,
+// JSON lines, or a coarse ASCII timeline. It is the "temporal trace viewer"
+// substrate the paper's §5.3 sketches: section events give a coarse-grained
+// overview that a GUI tool could zoom into.
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Kind classifies an event.
+type Kind int
+
+// Event kinds.
+const (
+	KindSectionEnter Kind = iota
+	KindSectionLeave
+	KindSend
+	KindRecv
+	KindCollective
+	KindPcontrol
+	KindMarker
+)
+
+var kindNames = map[Kind]string{
+	KindSectionEnter: "section-enter",
+	KindSectionLeave: "section-leave",
+	KindSend:         "send",
+	KindRecv:         "recv",
+	KindCollective:   "collective",
+	KindPcontrol:     "pcontrol",
+	KindMarker:       "marker",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// ParseKind inverts Kind.String.
+func ParseKind(s string) (Kind, error) {
+	for k, name := range kindNames {
+		if name == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown kind %q", s)
+}
+
+// Event is one timestamped record. Peer and Bytes are kind-dependent
+// (message endpoints and sizes; Pcontrol level rides in Bytes).
+type Event struct {
+	T     float64 `json:"t"`
+	Rank  int     `json:"rank"`
+	Kind  Kind    `json:"kind"`
+	Comm  int64   `json:"comm"`
+	Label string  `json:"label"`
+	Peer  int     `json:"peer"`
+	Bytes int     `json:"bytes"`
+}
+
+// Buffer accumulates events from concurrent ranks. The zero value is ready.
+type Buffer struct {
+	mu     sync.Mutex
+	events []Event
+	limit  int // 0 = unbounded
+	drops  int
+}
+
+// NewBuffer returns a buffer that keeps at most limit events (0 for
+// unbounded); past the limit new events are counted as dropped, which is
+// the "event selectivity" safeguard large traces need.
+func NewBuffer(limit int) *Buffer {
+	return &Buffer{limit: limit}
+}
+
+// Add appends one event.
+func (b *Buffer) Add(e Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.limit > 0 && len(b.events) >= b.limit {
+		b.drops++
+		return
+	}
+	b.events = append(b.events, e)
+}
+
+// Len reports the number of stored events.
+func (b *Buffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.events)
+}
+
+// Dropped reports how many events were discarded due to the limit.
+func (b *Buffer) Dropped() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.drops
+}
+
+// Events returns the events sorted by time (ties by rank, then kind order),
+// as a copy safe to retain.
+func (b *Buffer) Events() []Event {
+	b.mu.Lock()
+	out := make([]Event, len(b.events))
+	copy(out, b.events)
+	b.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].T != out[j].T {
+			return out[i].T < out[j].T
+		}
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank < out[j].Rank
+		}
+		return kindOrder(out[i].Kind) < kindOrder(out[j].Kind)
+	})
+	return out
+}
+
+// kindOrder breaks timestamp ties so that interval replays stay well
+// nested: a section leave at time t precedes a sibling enter at the same t.
+func kindOrder(k Kind) int {
+	if k == KindSectionLeave {
+		return -1
+	}
+	return int(k)
+}
+
+// Filter returns the stored events satisfying keep, time-sorted.
+func (b *Buffer) Filter(keep func(Event) bool) []Event {
+	all := b.Events()
+	out := all[:0]
+	for _, e := range all {
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// csvHeader is the stable column set of the CSV codec.
+var csvHeader = []string{"t", "rank", "kind", "comm", "label", "peer", "bytes"}
+
+// WriteCSV streams the buffer's time-sorted events as CSV with a header.
+func (b *Buffer) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, e := range b.Events() {
+		rec := []string{
+			strconv.FormatFloat(e.T, 'g', 17, 64),
+			strconv.Itoa(e.Rank),
+			e.Kind.String(),
+			strconv.FormatInt(e.Comm, 10),
+			e.Label,
+			strconv.Itoa(e.Peer),
+			strconv.Itoa(e.Bytes),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a stream produced by WriteCSV.
+func ReadCSV(r io.Reader) ([]Event, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace: empty CSV")
+	}
+	if strings.Join(rows[0], ",") != strings.Join(csvHeader, ",") {
+		return nil, fmt.Errorf("trace: unexpected header %v", rows[0])
+	}
+	out := make([]Event, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		if len(row) != len(csvHeader) {
+			return nil, fmt.Errorf("trace: row %d has %d fields", i+2, len(row))
+		}
+		var e Event
+		if e.T, err = strconv.ParseFloat(row[0], 64); err != nil {
+			return nil, fmt.Errorf("trace: row %d time: %w", i+2, err)
+		}
+		if e.Rank, err = strconv.Atoi(row[1]); err != nil {
+			return nil, fmt.Errorf("trace: row %d rank: %w", i+2, err)
+		}
+		if e.Kind, err = ParseKind(row[2]); err != nil {
+			return nil, fmt.Errorf("trace: row %d: %w", i+2, err)
+		}
+		if e.Comm, err = strconv.ParseInt(row[3], 10, 64); err != nil {
+			return nil, fmt.Errorf("trace: row %d comm: %w", i+2, err)
+		}
+		e.Label = row[4]
+		if e.Peer, err = strconv.Atoi(row[5]); err != nil {
+			return nil, fmt.Errorf("trace: row %d peer: %w", i+2, err)
+		}
+		if e.Bytes, err = strconv.Atoi(row[6]); err != nil {
+			return nil, fmt.Errorf("trace: row %d bytes: %w", i+2, err)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// SectionSummary aggregates a trace's section events offline: per label,
+// the number of completed intervals, total and mean duration, and the time
+// span covered. It lets cmd/secanalyze summarize a trace CSV without the
+// live profiler.
+type SectionSummary struct {
+	Label     string
+	Intervals int
+	Total     float64
+	Mean      float64
+	First     float64
+	Last      float64
+}
+
+// Summarize replays section enter/leave events (per rank, per label stack)
+// and returns one summary per label, sorted by total duration descending.
+func Summarize(events []Event) []SectionSummary {
+	type openKey struct {
+		rank  int
+		label string
+	}
+	open := map[openKey][]float64{} // stack of enter times
+	acc := map[string]*SectionSummary{}
+	// Events must be replayed in time order with leave-before-enter ties.
+	sorted := append([]Event(nil), events...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].T != sorted[j].T {
+			return sorted[i].T < sorted[j].T
+		}
+		if sorted[i].Rank != sorted[j].Rank {
+			return sorted[i].Rank < sorted[j].Rank
+		}
+		return kindOrder(sorted[i].Kind) < kindOrder(sorted[j].Kind)
+	})
+	for _, e := range sorted {
+		switch e.Kind {
+		case KindSectionEnter:
+			k := openKey{e.Rank, e.Label}
+			open[k] = append(open[k], e.T)
+		case KindSectionLeave:
+			k := openKey{e.Rank, e.Label}
+			st := open[k]
+			if len(st) == 0 {
+				continue // unmatched leave: drop
+			}
+			enterT := st[len(st)-1]
+			open[k] = st[:len(st)-1]
+			s := acc[e.Label]
+			if s == nil {
+				s = &SectionSummary{Label: e.Label, First: enterT, Last: e.T}
+				acc[e.Label] = s
+			}
+			s.Intervals++
+			s.Total += e.T - enterT
+			if enterT < s.First {
+				s.First = enterT
+			}
+			if e.T > s.Last {
+				s.Last = e.T
+			}
+		}
+	}
+	out := make([]SectionSummary, 0, len(acc))
+	for _, s := range acc {
+		if s.Intervals > 0 {
+			s.Mean = s.Total / float64(s.Intervals)
+		}
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+// WriteJSON streams the events as JSON lines (one event per line).
+func (b *Buffer) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range b.Events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,367 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/mpi"
+)
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range kindNames {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q", int(k), k.String())
+		}
+		back, err := ParseKind(want)
+		if err != nil || back != k {
+			t.Errorf("ParseKind(%q) = %v, %v", want, back, err)
+		}
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Error("unknown kind string wrong")
+	}
+	if _, err := ParseKind("nope"); err == nil {
+		t.Error("ParseKind accepted garbage")
+	}
+}
+
+func TestBufferOrderingAndCopy(t *testing.T) {
+	b := NewBuffer(0)
+	b.Add(Event{T: 3, Rank: 0, Kind: KindMarker})
+	b.Add(Event{T: 1, Rank: 1, Kind: KindMarker})
+	b.Add(Event{T: 1, Rank: 0, Kind: KindMarker})
+	ev := b.Events()
+	if ev[0].T != 1 || ev[0].Rank != 0 || ev[1].Rank != 1 || ev[2].T != 3 {
+		t.Errorf("ordering wrong: %+v", ev)
+	}
+	ev[0].T = 99 // must not corrupt the buffer
+	if b.Events()[0].T == 99 {
+		t.Error("Events returned aliased storage")
+	}
+}
+
+func TestBufferLimitAndDrops(t *testing.T) {
+	b := NewBuffer(2)
+	for i := 0; i < 5; i++ {
+		b.Add(Event{T: float64(i)})
+	}
+	if b.Len() != 2 || b.Dropped() != 3 {
+		t.Errorf("len=%d dropped=%d", b.Len(), b.Dropped())
+	}
+}
+
+func TestFilter(t *testing.T) {
+	b := NewBuffer(0)
+	b.Add(Event{T: 1, Kind: KindSend})
+	b.Add(Event{T: 2, Kind: KindRecv})
+	b.Add(Event{T: 3, Kind: KindSend})
+	got := b.Filter(func(e Event) bool { return e.Kind == KindSend })
+	if len(got) != 2 || got[0].T != 1 || got[1].T != 3 {
+		t.Errorf("filter = %+v", got)
+	}
+}
+
+func TestCSVRoundtrip(t *testing.T) {
+	f := func(ts []float64, ranks []uint8, labels []string) bool {
+		b := NewBuffer(0)
+		n := len(ts)
+		if len(ranks) < n {
+			n = len(ranks)
+		}
+		if len(labels) < n {
+			n = len(labels)
+		}
+		var want []Event
+		for i := 0; i < n; i++ {
+			tm := ts[i]
+			if tm != tm || tm < 0 { // NaN or negative: not producible by the clock
+				tm = float64(i)
+			}
+			lbl := strings.Map(func(r rune) rune {
+				if r == '\n' || r == '\r' {
+					return '_'
+				}
+				return r
+			}, labels[i])
+			e := Event{
+				T: tm, Rank: int(ranks[i]), Kind: Kind(i % len(kindNames)),
+				Comm: int64(i), Label: lbl, Peer: i * 2, Bytes: i * 3,
+			}
+			b.Add(e)
+			want = append(want, e)
+		}
+		var buf bytes.Buffer
+		if err := b.WriteCSV(&buf); err != nil {
+			return false
+		}
+		got, err := ReadCSV(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, b.Events()) && len(got) == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("empty stream accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b,c\n")); err == nil {
+		t.Error("bad header accepted")
+	}
+	bad := "t,rank,kind,comm,label,peer,bytes\nxx,0,send,0,l,0,0\n"
+	if _, err := ReadCSV(strings.NewReader(bad)); err == nil {
+		t.Error("bad float accepted")
+	}
+	bad = "t,rank,kind,comm,label,peer,bytes\n1,0,nokind,0,l,0,0\n"
+	if _, err := ReadCSV(strings.NewReader(bad)); err == nil {
+		t.Error("bad kind accepted")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	b := NewBuffer(0)
+	b.Add(Event{T: 1.5, Rank: 2, Kind: KindSectionEnter, Label: "phase"})
+	var buf bytes.Buffer
+	if err := b.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var e Event
+	if err := json.Unmarshal(buf.Bytes(), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.T != 1.5 || e.Rank != 2 || e.Label != "phase" {
+		t.Errorf("json roundtrip = %+v", e)
+	}
+}
+
+func TestCollectorRecordsSections(t *testing.T) {
+	col := NewCollector(0)
+	cfg := mpi.Config{
+		Ranks:   2,
+		Model:   machine.Ideal(2, 1),
+		Seed:    1,
+		Tools:   []mpi.Tool{col},
+		Timeout: 30 * time.Second,
+	}
+	_, err := mpi.Run(cfg, func(c *mpi.Comm) error {
+		c.SectionEnter("compute")
+		c.Sleep(1)
+		c.SectionExit("compute")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enters := col.Buffer().Filter(func(e Event) bool {
+		return e.Kind == KindSectionEnter && e.Label == "compute"
+	})
+	leaves := col.Buffer().Filter(func(e Event) bool {
+		return e.Kind == KindSectionLeave && e.Label == "compute"
+	})
+	if len(enters) != 2 || len(leaves) != 2 {
+		t.Errorf("enter/leave counts: %d/%d", len(enters), len(leaves))
+	}
+	for i := range enters {
+		if leaves[i].T-enters[i].T < 1 {
+			t.Errorf("section shorter than the sleep: %g", leaves[i].T-enters[i].T)
+		}
+	}
+}
+
+func TestCollectorMessageOptIn(t *testing.T) {
+	quiet := NewCollector(0)
+	chatty := NewCollector(0)
+	chatty.Messages = true
+	chatty.Collectives = true
+	cfg := mpi.Config{
+		Ranks:   2,
+		Model:   machine.Ideal(2, 1),
+		Seed:    1,
+		Tools:   []mpi.Tool{quiet, chatty},
+		Timeout: 30 * time.Second,
+	}
+	_, err := mpi.Run(cfg, func(c *mpi.Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, 0, []byte("x")); err != nil {
+				return err
+			}
+		} else {
+			if _, _, err := c.Recv(0, 0); err != nil {
+				return err
+			}
+		}
+		return c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	isMsg := func(e Event) bool { return e.Kind == KindSend || e.Kind == KindRecv }
+	if n := len(quiet.Buffer().Filter(isMsg)); n != 0 {
+		t.Errorf("quiet collector recorded %d messages", n)
+	}
+	if n := len(chatty.Buffer().Filter(isMsg)); n < 2 {
+		t.Errorf("chatty collector recorded %d message events", n)
+	}
+	isColl := func(e Event) bool { return e.Kind == KindCollective }
+	if n := len(chatty.Buffer().Filter(isColl)); n != 2 {
+		t.Errorf("collective events = %d, want 2", n)
+	}
+}
+
+func TestCollectorSectionsOptOut(t *testing.T) {
+	col := NewCollector(0)
+	col.Sections = false
+	cfg := mpi.Config{
+		Ranks: 1, Model: machine.Ideal(1, 1), Seed: 1,
+		Tools: []mpi.Tool{col}, Timeout: 30 * time.Second,
+	}
+	_, err := mpi.Run(cfg, func(c *mpi.Comm) error {
+		c.SectionEnter("s")
+		c.SectionExit("s")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Buffer().Len() != 0 {
+		t.Errorf("opted-out collector recorded %d events", col.Buffer().Len())
+	}
+}
+
+func TestCollectorPcontrol(t *testing.T) {
+	col := NewCollector(0)
+	cfg := mpi.Config{
+		Ranks: 1, Model: machine.Ideal(1, 1), Seed: 1,
+		Tools: []mpi.Tool{col}, Timeout: 30 * time.Second,
+	}
+	_, err := mpi.Run(cfg, func(c *mpi.Comm) error {
+		c.Pcontrol(7)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := col.Buffer().Filter(func(e Event) bool { return e.Kind == KindPcontrol })
+	if len(got) != 1 || got[0].Bytes != 7 {
+		t.Errorf("pcontrol events = %+v", got)
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	events := []Event{
+		{T: 0, Rank: 0, Kind: KindSectionEnter, Label: "compute"},
+		{T: 6, Rank: 0, Kind: KindSectionLeave, Label: "compute"},
+		{T: 6, Rank: 0, Kind: KindSectionEnter, Label: "halo"},
+		{T: 10, Rank: 0, Kind: KindSectionLeave, Label: "halo"},
+		{T: 0, Rank: 1, Kind: KindSectionEnter, Label: "compute"},
+		{T: 8, Rank: 1, Kind: KindSectionLeave, Label: "compute"},
+		{T: 8, Rank: 1, Kind: KindSectionEnter, Label: "halo"},
+		{T: 10, Rank: 1, Kind: KindSectionLeave, Label: "halo"},
+	}
+	out := Timeline(events, 40)
+	if !strings.Contains(out, "rank    0") || !strings.Contains(out, "rank    1") {
+		t.Errorf("missing rank rows:\n%s", out)
+	}
+	if !strings.Contains(out, "A=compute") || !strings.Contains(out, "B=halo") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+	// Rank 0 spends 60% in compute: its row should contain both glyphs.
+	line := strings.SplitN(out, "\n", 2)[0]
+	if !strings.Contains(line, "A") || !strings.Contains(line, "B") {
+		t.Errorf("row glyphs wrong: %q", line)
+	}
+}
+
+func TestTimelineFocusAndEmpty(t *testing.T) {
+	if got := Timeline(nil, 40); !strings.Contains(got, "empty") {
+		t.Errorf("empty timeline = %q", got)
+	}
+	events := []Event{
+		{T: 0, Rank: 0, Kind: KindSectionEnter, Label: "a"},
+		{T: 1, Rank: 0, Kind: KindSectionLeave, Label: "a"},
+		{T: 1, Rank: 0, Kind: KindSectionEnter, Label: "b"},
+		{T: 2, Rank: 0, Kind: KindSectionLeave, Label: "b"},
+	}
+	out := Timeline(events, 10, "a")
+	if strings.Contains(out, "=b") {
+		t.Errorf("focus leaked other labels:\n%s", out)
+	}
+	// Default width on nonsense input.
+	if got := Timeline(events, -5); got == "" {
+		t.Error("negative width produced nothing")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	events := []Event{
+		{T: 0, Rank: 0, Kind: KindSectionEnter, Label: "a"},
+		{T: 2, Rank: 0, Kind: KindSectionLeave, Label: "a"},
+		{T: 3, Rank: 0, Kind: KindSectionEnter, Label: "a"},
+		{T: 7, Rank: 0, Kind: KindSectionLeave, Label: "a"},
+		{T: 1, Rank: 1, Kind: KindSectionEnter, Label: "b"},
+		{T: 2, Rank: 1, Kind: KindSectionLeave, Label: "b"},
+		// Unmatched leave: ignored.
+		{T: 9, Rank: 2, Kind: KindSectionLeave, Label: "ghost"},
+	}
+	sums := Summarize(events)
+	if len(sums) != 2 {
+		t.Fatalf("summaries = %d: %+v", len(sums), sums)
+	}
+	a := sums[0] // largest total first
+	if a.Label != "a" || a.Intervals != 2 || a.Total != 6 || a.Mean != 3 {
+		t.Errorf("a summary = %+v", a)
+	}
+	if a.First != 0 || a.Last != 7 {
+		t.Errorf("a span = [%g, %g]", a.First, a.Last)
+	}
+	if sums[1].Label != "b" || sums[1].Total != 1 {
+		t.Errorf("b summary = %+v", sums[1])
+	}
+}
+
+func TestSummarizeNested(t *testing.T) {
+	events := []Event{
+		{T: 0, Rank: 0, Kind: KindSectionEnter, Label: "outer"},
+		{T: 1, Rank: 0, Kind: KindSectionEnter, Label: "outer"}, // recursive
+		{T: 2, Rank: 0, Kind: KindSectionLeave, Label: "outer"},
+		{T: 4, Rank: 0, Kind: KindSectionLeave, Label: "outer"},
+	}
+	sums := Summarize(events)
+	if len(sums) != 1 || sums[0].Intervals != 2 {
+		t.Fatalf("summaries = %+v", sums)
+	}
+	// Inner (2-1) + outer (4-0) = 5.
+	if sums[0].Total != 5 {
+		t.Errorf("nested total = %g, want 5", sums[0].Total)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if got := Summarize(nil); len(got) != 0 {
+		t.Errorf("empty summarize = %+v", got)
+	}
+}
+
+func TestTimelineNestedInnermostWins(t *testing.T) {
+	events := []Event{
+		{T: 0, Rank: 0, Kind: KindSectionEnter, Label: "outer"},
+		{T: 4, Rank: 0, Kind: KindSectionEnter, Label: "inner"},
+		{T: 6, Rank: 0, Kind: KindSectionLeave, Label: "inner"},
+		{T: 10, Rank: 0, Kind: KindSectionLeave, Label: "outer"},
+	}
+	out := Timeline(events, 10)
+	row := strings.SplitN(out, "\n", 2)[0]
+	if !strings.Contains(row, "A") || !strings.Contains(row, "B") {
+		t.Errorf("nested rendering wrong: %q", row)
+	}
+}
