@@ -5,7 +5,7 @@
 // Usage:
 //
 //	convbench [-fig 5a|5b|5c|5d|6|all] [-quick] [-reps N] [-steps N]
-//	          [-seed N] [-csv out.csv]
+//	          [-seed N] [-out results] [-csv out.csv]
 package main
 
 import (
@@ -13,9 +13,22 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 
 	"repro/internal/experiments"
 )
+
+// resolveOut places a relative artifact path inside dir (created on
+// demand); absolute paths and an empty dir pass through unchanged.
+func resolveOut(dir, name string) (string, error) {
+	if dir == "" || filepath.IsAbs(name) {
+		return name, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	return filepath.Join(dir, name), nil
+}
 
 func main() {
 	log.SetFlags(0)
@@ -26,6 +39,7 @@ func main() {
 	steps := flag.Int("steps", 0, "override convolution steps")
 	seed := flag.Uint64("seed", 0, "override base seed")
 	csvPath := flag.String("csv", "", "also write the raw sweep as CSV")
+	outDir := flag.String("out", "", "directory for output artifacts (created if missing; default CWD)")
 	plot := flag.Bool("plot", false, "also draw ASCII charts for Figs. 5(c) and 5(d)")
 	weak := flag.Bool("weak", false, "additionally run the weak-scaling (Gustafson) sweep")
 	decomp := flag.Bool("decomp", false, "additionally run the 1-D vs 2-D decomposition ablation (§3)")
@@ -117,7 +131,11 @@ func main() {
 	}
 
 	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
+		path, err := resolveOut(*outDir, *csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Create(path)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -127,6 +145,6 @@ func main() {
 		if err := f.Close(); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("raw sweep written to %s\n", *csvPath)
+		fmt.Printf("raw sweep written to %s\n", path)
 	}
 }

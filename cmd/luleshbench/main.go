@@ -5,7 +5,7 @@
 // Usage:
 //
 //	luleshbench [-fig 7|8|9|10|all] [-quick] [-steps N] [-seed N]
-//	            [-csv out.csv]
+//	            [-out results] [-csv out.csv]
 package main
 
 import (
@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/balance"
@@ -31,6 +32,7 @@ func main() {
 	steps := flag.Int("steps", 0, "override timesteps per run")
 	seed := flag.Uint64("seed", 0, "override seed")
 	csvPath := flag.String("csv", "", "also write the KNL sweep as CSV")
+	outDir := flag.String("out", "", "directory for output artifacts (created if missing; default CWD)")
 	plot := flag.Bool("plot", false, "also draw ASCII charts for the sweeps")
 	inspect := flag.Bool("inspect", false, "run one p=8 configuration and print the section tree, load-balance report and communication matrix")
 	flag.Parse()
@@ -112,7 +114,11 @@ func main() {
 			}
 		}
 		if *csvPath != "" {
-			f, err := os.Create(*csvPath)
+			path, err := resolveOut(*outDir, *csvPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			f, err := os.Create(path)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -122,7 +128,7 @@ func main() {
 			if err := f.Close(); err != nil {
 				log.Fatal(err)
 			}
-			fmt.Printf("KNL sweep written to %s\n", *csvPath)
+			fmt.Printf("KNL sweep written to %s\n", path)
 		}
 	}
 
@@ -131,6 +137,18 @@ func main() {
 	default:
 		log.Fatalf("unknown figure %q (want 7, 8, 9, 10 or all)", *fig)
 	}
+}
+
+// resolveOut places a relative artifact path inside dir (created on
+// demand); absolute paths and an empty dir pass through unchanged.
+func resolveOut(dir, name string) (string, error) {
+	if dir == "" || filepath.IsAbs(name) {
+		return name, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	return filepath.Join(dir, name), nil
 }
 
 // inspectRun executes one Table 7 configuration (p=8, s=24, 4 threads) on

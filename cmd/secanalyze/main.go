@@ -10,13 +10,18 @@
 // It can also render an ASCII timeline from a trace CSV:
 //
 //	secanalyze -trace trace.csv [-width 100] [-focus HALO,CONVOLVE]
+//
+// With -out <dir> every rendered report is additionally written to a file
+// in that directory (created if missing) instead of only stdout.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
@@ -35,30 +40,54 @@ func main() {
 	tracePath := flag.String("trace", "", "trace CSV (from trace.Buffer.WriteCSV)")
 	width := flag.Int("width", 100, "timeline width in columns")
 	focus := flag.String("focus", "", "comma-separated section labels for the timeline")
+	outDir := flag.String("out", "", "directory to also write the report into (created if missing)")
 	flag.Parse()
 
+	var (
+		run  func(io.Writer) error
+		name string
+	)
 	switch {
 	case *profilePath != "":
-		if err := analyzeProfile(*profilePath, *seq); err != nil {
-			log.Fatal(err)
-		}
+		run = func(w io.Writer) error { return analyzeProfile(w, *profilePath, *seq) }
+		name = "bounds.txt"
 	case *perRankPath != "":
-		if err := analyzeBalance(*perRankPath); err != nil {
-			log.Fatal(err)
-		}
+		run = func(w io.Writer) error { return analyzeBalance(w, *perRankPath) }
+		name = "balance.txt"
 	case *tracePath != "":
-		if err := renderTimeline(*tracePath, *width, *focus); err != nil {
-			log.Fatal(err)
-		}
+		run = func(w io.Writer) error { return renderTimeline(w, *tracePath, *width, *focus) }
+		name = "timeline.txt"
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	out := io.Writer(os.Stdout)
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		path := filepath.Join(*outDir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("report written to %s\n", path)
+		}()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+	if err := run(out); err != nil {
+		log.Fatal(err)
 	}
 }
 
 // analyzeBalance groups per-rank rows by section and prints the
 // load-balance verdicts, most imbalance-weighted first.
-func analyzeBalance(path string) error {
+func analyzeBalance(w io.Writer, path string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -94,20 +123,20 @@ func analyzeBalance(path string) error {
 		wj := analyses[j].Imbalance * analyses[j].MeanTotal
 		return wi > wj
 	})
-	fmt.Printf("%-28s %6s %12s %9s %11s %7s\n",
+	fmt.Fprintf(w, "%-28s %6s %12s %9s %11s %7s\n",
 		"section", "ranks", "mean/rank(s)", "max/µ-1", "persistent", "gini")
 	for _, a := range analyses {
-		fmt.Printf("%-28s %6d %12.5g %9.3f %10.0f%% %7.3f\n",
+		fmt.Fprintf(w, "%-28s %6d %12.5g %9.3f %10.0f%% %7.3f\n",
 			a.Label, a.Ranks, a.MeanTotal, a.Imbalance, 100*a.PersistentShare, a.Gini)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	for _, a := range analyses {
-		fmt.Println(a.Verdict())
+		fmt.Fprintln(w, a.Verdict())
 	}
 	return nil
 }
 
-func analyzeProfile(path string, seq float64) error {
+func analyzeProfile(w io.Writer, path string, seq float64) error {
 	if seq <= 0 {
 		return fmt.Errorf("-seq must be a positive sequential time")
 	}
@@ -136,11 +165,11 @@ func analyzeProfile(path string, seq float64) error {
 		out = append(out, analyzed{CSVRow: r, bound: b})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].bound < out[j].bound })
-	fmt.Printf("partial speedup bounds (Eq. 6) for seq = %g s, tightest first\n", seq)
-	fmt.Printf("%-28s %6s %10s %12s %14s %10s\n",
+	fmt.Fprintf(w, "partial speedup bounds (Eq. 6) for seq = %g s, tightest first\n", seq)
+	fmt.Fprintf(w, "%-28s %6s %10s %12s %14s %10s\n",
 		"section", "ranks", "instances", "avg/proc(s)", "bound B", "imb(s)")
 	for _, a := range out {
-		fmt.Printf("%-28s %6d %10d %12.5g %14.5g %10.4g\n",
+		fmt.Fprintf(w, "%-28s %6d %10d %12.5g %14.5g %10.4g\n",
 			a.Label, a.Ranks, a.Instances, a.AvgPerProc, a.bound, a.ImbMean)
 	}
 	// Call out the tightest bound from an actual code section — MPI_MAIN
@@ -149,14 +178,14 @@ func analyzeProfile(path string, seq float64) error {
 		if a.Label == "MPI_MAIN" {
 			continue
 		}
-		fmt.Printf("\ntightest bound: section %q caps the strong-scaling speedup at %.5g×\n",
+		fmt.Fprintf(w, "\ntightest bound: section %q caps the strong-scaling speedup at %.5g×\n",
 			a.Label, a.bound)
 		break
 	}
 	return nil
 }
 
-func renderTimeline(path string, width int, focus string) error {
+func renderTimeline(w io.Writer, path string, width int, focus string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -170,12 +199,12 @@ func renderTimeline(path string, width int, focus string) error {
 	if focus != "" {
 		labels = strings.Split(focus, ",")
 	}
-	fmt.Printf("%-28s %10s %12s %12s %12s\n", "section", "intervals", "total(s)", "mean(s)", "span(s)")
+	fmt.Fprintf(w, "%-28s %10s %12s %12s %12s\n", "section", "intervals", "total(s)", "mean(s)", "span(s)")
 	for _, s := range trace.Summarize(events) {
-		fmt.Printf("%-28s %10d %12.5g %12.5g %12.5g\n",
+		fmt.Fprintf(w, "%-28s %10d %12.5g %12.5g %12.5g\n",
 			s.Label, s.Intervals, s.Total, s.Mean, s.Last-s.First)
 	}
-	fmt.Println()
-	fmt.Print(trace.Timeline(events, width, labels...))
+	fmt.Fprintln(w)
+	fmt.Fprint(w, trace.Timeline(events, width, labels...))
 	return nil
 }

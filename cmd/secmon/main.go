@@ -1,0 +1,29 @@
+// Command secmon serves live observability over the section tool chain:
+// launch an experiment with the streaming exporter attached and watch it
+// through Prometheus metrics, JSON aggregates, a Perfetto-loadable Chrome
+// trace and OTLP-style spans — all while the ranks are still executing.
+//
+// Usage:
+//
+//	secmon -addr :8080
+//	curl 'http://localhost:8080/run?exp=conv&p=64'
+//	curl http://localhost:8080/metrics
+//	curl -O http://localhost:8080/trace.json   # open in ui.perfetto.dev
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+)
+
+func logf(format string, args ...any) { log.Printf(format, args...) }
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "listen address")
+	flag.Parse()
+
+	s := newServer()
+	log.Printf("secmon listening on http://%s (try /run?exp=conv&p=64 then /metrics)", *addr)
+	log.Fatal(http.ListenAndServe(*addr, s.handler()))
+}

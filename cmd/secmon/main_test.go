@@ -1,0 +1,187 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// get issues a request against the monitor handler and returns status+body.
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	body, err := io.ReadAll(rr.Result().Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rr.Code, string(body)
+}
+
+func TestEndpointsBeforeAnyRun(t *testing.T) {
+	h := newServer().handler()
+
+	code, body := get(t, h, "/")
+	if code != http.StatusOK || !strings.Contains(body, "/run?exp=conv") {
+		t.Fatalf("index: code %d body %q", code, body)
+	}
+	if code, _ := get(t, h, "/nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown path: code %d, want 404", code)
+	}
+	code, body = get(t, h, "/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "secmon_up 1") {
+		t.Fatalf("metrics without a run: code %d body %q", code, body)
+	}
+	for _, path := range []string{"/sections", "/trace.json", "/spans.json"} {
+		if code, _ := get(t, h, path); code != http.StatusNotFound {
+			t.Fatalf("%s without a run: code %d, want 404", path, code)
+		}
+	}
+}
+
+func TestRunRejectsBadParameters(t *testing.T) {
+	h := newServer().handler()
+	for _, path := range []string{
+		"/run?p=x",
+		"/run?steps=x",
+		"/run?scale=x",
+		"/run?threads=x",
+		"/run?seed=-1",
+		"/run?exp=unknown",
+	} {
+		if code, _ := get(t, h, path); code != http.StatusBadRequest {
+			t.Fatalf("%s: code %d, want 400", path, code)
+		}
+	}
+	// A run that fails after launch (lulesh needs a cube rank count)
+	// surfaces its error on /run (with wait=1) and /sections.
+	code, body := get(t, h, "/run?exp=lulesh&p=2&wait=1")
+	if code != http.StatusOK || !strings.Contains(body, "error") {
+		t.Fatalf("failing run: code %d body %q", code, body)
+	}
+	code, body = get(t, h, "/sections")
+	if code != http.StatusOK || !strings.Contains(body, `"error"`) {
+		t.Fatalf("sections after failed run: code %d body %q", code, body)
+	}
+}
+
+func TestRunConflictWhileRunning(t *testing.T) {
+	s := newServer()
+	s.cur = &runState{running: true}
+	if code, _ := get(t, s.handler(), "/run?exp=conv&p=2"); code != http.StatusConflict {
+		t.Fatalf("concurrent run: code %d, want 409", code)
+	}
+}
+
+// TestFullRunAllEndpoints drives a small conv run to completion (wait=1)
+// and checks every endpoint serves consistent data for it.
+func TestFullRunAllEndpoints(t *testing.T) {
+	h := newServer().handler()
+
+	code, body := get(t, h, "/run?exp=conv&p=4&steps=6&scale=32&seed=2017&wait=1")
+	if code != http.StatusOK {
+		t.Fatalf("run: code %d body %q", code, body)
+	}
+	var run struct {
+		Status  string  `json:"status"`
+		P       int     `json:"p"`
+		TraceID string  `json:"trace_id"`
+		Wall    float64 `json:"wall_seconds"`
+		Error   string  `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(body), &run); err != nil {
+		t.Fatalf("run response not JSON: %v\n%s", err, body)
+	}
+	if run.Status != "finished" || run.Error != "" {
+		t.Fatalf("run did not finish cleanly: %+v", run)
+	}
+	if run.P != 4 || run.Wall <= 0 || len(run.TraceID) != 32 {
+		t.Fatalf("run response inconsistent: %+v", run)
+	}
+
+	code, body = get(t, h, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: code %d", code)
+	}
+	for _, needle := range []string{
+		`section_time_seconds_count{comm="0",section="MPI_MAIN"}`,
+		"section_imbalance_seconds",
+		"section_partial_speedup_bound",
+		"export_run_finished 1",
+		"dropped_events 0",
+	} {
+		if !strings.Contains(body, needle) {
+			t.Errorf("metrics missing %q", needle)
+		}
+	}
+
+	code, body = get(t, h, "/sections")
+	if code != http.StatusOK {
+		t.Fatalf("sections: code %d", code)
+	}
+	var secs struct {
+		Experiment string  `json:"experiment"`
+		Ranks      int     `json:"ranks"`
+		TraceID    string  `json:"trace_id"`
+		Running    bool    `json:"running"`
+		Wall       float64 `json:"wall_seconds"`
+		Sections   []struct {
+			Label string  `json:"label"`
+			Bound float64 `json:"partial_bound"`
+		} `json:"sections"`
+	}
+	if err := json.Unmarshal([]byte(body), &secs); err != nil {
+		t.Fatalf("sections response not JSON: %v\n%s", err, body)
+	}
+	if secs.Experiment != "conv" || secs.Ranks != 4 || secs.Running ||
+		secs.TraceID != run.TraceID || secs.Wall != run.Wall {
+		t.Fatalf("sections header inconsistent with run: %s", body)
+	}
+	if len(secs.Sections) == 0 {
+		t.Fatal("no sections reported")
+	}
+	sawBound := false
+	for _, s := range secs.Sections {
+		if s.Bound > 0 {
+			sawBound = true
+		}
+	}
+	if !sawBound {
+		t.Error("no Eq. 6 partial bound in /sections despite seq baseline")
+	}
+
+	code, body = get(t, h, "/trace.json")
+	if code != http.StatusOK {
+		t.Fatalf("trace: code %d", code)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		OtherData   struct {
+			TraceID string `json:"trace_id"`
+		} `json:"otherData"`
+	}
+	if err := json.Unmarshal([]byte(body), &trace); err != nil {
+		t.Fatalf("trace not JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 || trace.OtherData.TraceID != run.TraceID {
+		t.Fatalf("trace inconsistent: %d events, id %q", len(trace.TraceEvents), trace.OtherData.TraceID)
+	}
+
+	code, body = get(t, h, "/spans.json")
+	if code != http.StatusOK {
+		t.Fatalf("spans: code %d", code)
+	}
+	var otlp struct {
+		ResourceSpans []json.RawMessage `json:"resourceSpans"`
+	}
+	if err := json.Unmarshal([]byte(body), &otlp); err != nil {
+		t.Fatalf("spans not JSON: %v", err)
+	}
+	if len(otlp.ResourceSpans) != 4 {
+		t.Fatalf("spans: %d resources, want one per rank (4)", len(otlp.ResourceSpans))
+	}
+}

@@ -1,0 +1,284 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/export"
+	"repro/internal/mpi"
+	"repro/internal/prof"
+)
+
+// runState is one launched (possibly still executing) experiment run.
+type runState struct {
+	opts     experiments.LiveOptions
+	rec      *export.Recorder
+	profiler *prof.Profiler
+	running  bool
+	err      error
+	wall     float64
+	started  time.Time
+	finished time.Time
+}
+
+// server multiplexes the monitor endpoints over the most recent run. The
+// recorder is a live streaming aggregator: /metrics and /sections answer
+// from it while the ranks are still executing.
+type server struct {
+	mu  sync.Mutex
+	cur *runState
+}
+
+func newServer() *server { return &server{} }
+
+// handler wires the endpoint set.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/sections", s.handleSections)
+	mux.HandleFunc("/trace.json", s.handleTrace)
+	mux.HandleFunc("/spans.json", s.handleSpans)
+	mux.HandleFunc("/run", s.handleRun)
+	return mux
+}
+
+// snapshot returns the current run (nil before the first /run).
+func (s *server) snapshot() *runState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cur
+}
+
+func (s *server) handleIndex(w http.ResponseWriter, req *http.Request) {
+	if req.URL.Path != "/" {
+		http.NotFound(w, req)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, `<!doctype html><title>secmon</title>
+<h1>MPI section monitor</h1>
+<p>Live observability over the paper's MPI_Section tool chain.</p>
+<ul>
+<li><a href="/metrics">/metrics</a> — Prometheus text exposition (scrape while running)</li>
+<li><a href="/sections">/sections</a> — JSON aggregates: Fig. 3 metrics and Eq. 6 partial bounds</li>
+<li><a href="/trace.json">/trace.json</a> — Chrome trace_event JSON (open in Perfetto / chrome://tracing)</li>
+<li><a href="/spans.json">/spans.json</a> — OTLP-style span export</li>
+<li><a href="/run?exp=conv&amp;p=64">/run?exp=conv&amp;p=64</a> — launch an experiment with the exporter attached
+    (params: exp=conv|lulesh, p, steps, scale, seed, threads, wait=1, seq=0)</li>
+</ul>`)
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	st := s.snapshot()
+	fmt.Fprint(w, "# HELP secmon_up Monitor process liveness.\n# TYPE secmon_up gauge\nsecmon_up 1\n")
+	if st == nil {
+		return
+	}
+	if err := st.rec.WritePrometheus(w); err != nil {
+		// Headers are gone; all we can do is log.
+		logf("metrics write: %v", err)
+	}
+}
+
+// sectionsResponse is the /sections JSON document.
+type sectionsResponse struct {
+	Experiment string                   `json:"experiment"`
+	Ranks      int                      `json:"ranks"`
+	Steps      int                      `json:"steps"`
+	Scale      int                      `json:"scale"`
+	Seed       uint64                   `json:"seed"`
+	TraceID    string                   `json:"trace_id"`
+	Running    bool                     `json:"running"`
+	Error      string                   `json:"error,omitempty"`
+	WallTime   float64                  `json:"wall_seconds"`
+	Dropped    int                      `json:"dropped_events"`
+	Warning    string                   `json:"warning,omitempty"`
+	Sections   []export.SectionSnapshot `json:"sections"`
+}
+
+func (s *server) handleSections(w http.ResponseWriter, req *http.Request) {
+	st := s.snapshot()
+	if st == nil {
+		http.Error(w, "no run yet: POST or GET /run?exp=conv&p=64 first", http.StatusNotFound)
+		return
+	}
+	s.mu.Lock()
+	resp := sectionsResponse{
+		Experiment: st.opts.Experiment,
+		Ranks:      st.opts.Ranks,
+		Steps:      st.opts.Steps,
+		Scale:      st.opts.Scale,
+		Seed:       st.opts.Seed,
+		Running:    st.running,
+		WallTime:   st.wall,
+	}
+	if st.err != nil {
+		resp.Error = st.err.Error()
+	}
+	s.mu.Unlock()
+	resp.TraceID = st.rec.TraceID().String()
+	if resp.Running {
+		resp.WallTime = st.rec.WallTime()
+	}
+	resp.Dropped = st.rec.Dropped()
+	resp.Warning = st.rec.Warning()
+	resp.Sections = st.rec.Sections()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(resp); err != nil {
+		logf("sections write: %v", err)
+	}
+}
+
+func (s *server) handleTrace(w http.ResponseWriter, req *http.Request) {
+	st := s.snapshot()
+	if st == nil {
+		http.Error(w, "no run yet: GET /run?exp=conv&p=64 first", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="trace.json"`)
+	if err := st.rec.WriteChromeTrace(w); err != nil {
+		logf("trace write: %v", err)
+	}
+}
+
+func (s *server) handleSpans(w http.ResponseWriter, req *http.Request) {
+	st := s.snapshot()
+	if st == nil {
+		http.Error(w, "no run yet: GET /run?exp=conv&p=64 first", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="spans.json"`)
+	if err := st.rec.WriteOTLP(w); err != nil {
+		logf("spans write: %v", err)
+	}
+}
+
+// queryInt parses an integer query parameter with a default.
+func queryInt(req *http.Request, key string, def int) (int, error) {
+	v := req.URL.Query().Get(key)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %s=%q is not an integer", key, v)
+	}
+	return n, nil
+}
+
+// handleRun launches an experiment with the exporter (and the reference
+// profiler, proving the chained interception composes) attached. The run
+// executes on a background goroutine; pass wait=1 to block until done.
+func (s *server) handleRun(w http.ResponseWriter, req *http.Request) {
+	q := req.URL.Query()
+	opts := experiments.LiveOptions{Experiment: q.Get("exp")}
+	var err error
+	if opts.Ranks, err = queryInt(req, "p", 4); err == nil {
+		if opts.Steps, err = queryInt(req, "steps", 0); err == nil {
+			if opts.Scale, err = queryInt(req, "scale", 0); err == nil {
+				opts.Threads, err = queryInt(req, "threads", 0)
+			}
+		}
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if seed := q.Get("seed"); seed != "" {
+		v, err := strconv.ParseUint(seed, 10, 64)
+		if err != nil {
+			http.Error(w, "parameter seed is not an unsigned integer", http.StatusBadRequest)
+			return
+		}
+		opts.Seed = v
+	}
+	withSeq := q.Get("seq") != "0"
+	wait := q.Get("wait") == "1"
+	// Resolve defaults up front: requests with an unknown experiment or
+	// rank count fail here with a 400, and the state reported by /sections
+	// is the configuration that actually ran, not the raw query.
+	if opts, err = opts.Resolved(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	rec := export.NewRecorder(export.Options{Messages: true, Collectives: true})
+	profiler := prof.New()
+	opts.Tools = []mpi.Tool{profiler, rec}
+
+	s.mu.Lock()
+	if s.cur != nil && s.cur.running {
+		s.mu.Unlock()
+		http.Error(w, "a run is already in progress", http.StatusConflict)
+		return
+	}
+	st := &runState{opts: opts, rec: rec, profiler: profiler, running: true, started: time.Now()}
+	s.cur = st
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var seq float64
+		var runErr error
+		if withSeq {
+			if seq, runErr = experiments.SeqBaseline(opts); runErr == nil && seq > 0 {
+				rec.SetSeqTime(seq)
+			}
+		}
+		var rep *mpi.Report
+		if runErr == nil {
+			rep, runErr = experiments.RunLive(opts)
+		}
+		s.mu.Lock()
+		st.running = false
+		st.err = runErr
+		st.finished = time.Now()
+		if rep != nil {
+			st.wall = rep.WallTime
+		}
+		s.mu.Unlock()
+		if runErr != nil {
+			logf("run %s p=%d failed: %v", opts.Experiment, opts.Ranks, runErr)
+		} else {
+			logf("run %s p=%d done: wall %.6gs (real %v)",
+				opts.Experiment, opts.Ranks, st.wall, st.finished.Sub(st.started).Round(time.Millisecond))
+		}
+	}()
+	if wait {
+		<-done
+	}
+
+	s.mu.Lock()
+	resp := map[string]any{
+		"status":   map[bool]string{true: "running", false: "finished"}[st.running],
+		"exp":      opts.Experiment,
+		"p":        opts.Ranks,
+		"steps":    opts.Steps,
+		"scale":    opts.Scale,
+		"seed":     opts.Seed,
+		"trace_id": rec.TraceID().String(),
+	}
+	if !st.running {
+		resp["wall_seconds"] = st.wall
+		if st.err != nil {
+			resp["error"] = st.err.Error()
+		}
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		logf("run response write: %v", err)
+	}
+}

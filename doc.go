@@ -6,6 +6,14 @@
 // paper's two instrumented benchmarks (image convolution and a LULESH
 // proxy) with drivers regenerating every table and figure of §5.
 //
+// The MPI_Section tool layer is open: any mpi.Tool attached through
+// mpi.Config.Tools observes section, message and collective events with
+// virtual timestamps, chained PMPI-style. internal/export is the worked
+// example — a streaming exporter producing Perfetto-loadable Chrome
+// trace_event JSON, OTLP-style spans (carrying the 32-byte tool-data
+// payload as attributes) and live Prometheus metrics, served by
+// cmd/secmon's HTTP monitor. See "Attaching your own tool" in README.md.
+//
 // See README.md for the tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for paper-vs-measured results. The root package holds only
 // the benchmark harness (bench_test.go); the implementation lives under

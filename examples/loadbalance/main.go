@@ -75,6 +75,9 @@ func main() {
 	fmt.Printf("COMPUTE section imbalance imb = (Tmax−Tmin)−Tsection averages %.4g s\n\n",
 		comp.Imb.Mean())
 
+	if w := collector.Warning(); w != "" {
+		fmt.Println(w)
+	}
 	fmt.Println("timeline (A=COMPUTE, B=SYNC — note the growing B share on low ranks):")
 	fmt.Print(trace.Timeline(collector.Buffer().Filter(func(e trace.Event) bool {
 		return e.Label == "COMPUTE" || e.Label == "SYNC"

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/convolution"
+	"repro/internal/lulesh"
+	"repro/internal/machine"
+	"repro/internal/mpi"
+)
+
+// This file exposes single-point experiment launches with caller-supplied
+// tool chains. The sweep drivers (RunConvolution, RunHybrid) own their
+// tool stack; live observability (cmd/secmon) instead needs "run THIS
+// configuration with THESE tools attached, now" — e.g. an export.Recorder
+// streaming Prometheus metrics while the ranks execute, chained after the
+// reference profiler.
+
+// LiveOptions configures one on-demand experiment run.
+type LiveOptions struct {
+	// Experiment selects the workload: "conv" (§5.1 image convolution) or
+	// "lulesh" (§5.2 proxy app).
+	Experiment string
+	// Ranks is the MPI process count (lulesh requires a perfect cube).
+	Ranks int
+	// Steps per run (0 picks a quick default).
+	Steps int
+	// Scale divides the executed problem size (0 picks a quick default).
+	Scale int
+	// Seed drives the machine model's stochastic components.
+	Seed uint64
+	// Threads is the OpenMP team per rank (lulesh only; default 1).
+	Threads int
+	// Model overrides the machine (default: NehalemCluster for conv, KNL
+	// for lulesh — the paper's machines).
+	Model *machine.Model
+	// Tools are attached in order, exactly as mpi.Config.Tools.
+	Tools []mpi.Tool
+	// Timeout is the deadlock watchdog (default 10 minutes).
+	Timeout time.Duration
+}
+
+func (o LiveOptions) withDefaults() (LiveOptions, error) {
+	switch o.Experiment {
+	case "conv", "":
+		o.Experiment = "conv"
+		if o.Model == nil {
+			o.Model = machine.NehalemCluster()
+		}
+		if o.Steps <= 0 {
+			o.Steps = 40
+		}
+		if o.Scale <= 0 {
+			o.Scale = 16
+		}
+	case "lulesh":
+		if o.Model == nil {
+			o.Model = machine.KNL()
+		}
+		if o.Steps <= 0 {
+			o.Steps = 5
+		}
+		if o.Scale <= 0 {
+			o.Scale = 4
+		}
+		if o.Threads <= 0 {
+			o.Threads = 1
+		}
+	default:
+		return o, fmt.Errorf("experiments: unknown experiment %q (want conv or lulesh)", o.Experiment)
+	}
+	if o.Ranks <= 0 {
+		return o, fmt.Errorf("experiments: Ranks must be >= 1, got %d", o.Ranks)
+	}
+	if o.Seed == 0 {
+		o.Seed = 2017
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 10 * time.Minute
+	}
+	return o, nil
+}
+
+// Resolved returns the options with every default filled in — the exact
+// configuration RunLive will execute — or the validation error it would
+// fail with. Monitors report resolved values, not raw request input.
+func (o LiveOptions) Resolved() (LiveOptions, error) {
+	return o.withDefaults()
+}
+
+// SeqBaseline measures the sequential wall time of the configured workload
+// — the Σ_j f_j(n0, 1) the Eq. 6 partial bounds divide. Only the
+// convolution workload has a calibrated sequential path; lulesh returns 0
+// with no error, meaning "bounds unavailable".
+func SeqBaseline(o LiveOptions) (float64, error) {
+	o, err := o.withDefaults()
+	if err != nil {
+		return 0, err
+	}
+	if o.Experiment != "conv" {
+		return 0, nil
+	}
+	params := convolution.Params{
+		Width: 5616, Height: 3744,
+		Steps: o.Steps, Scale: o.Scale, Seed: o.Seed, SkipKernel: true,
+	}
+	_, seq, err := convolution.Sequential(params, o.Model)
+	return seq, err
+}
+
+// RunLive executes one experiment run with the caller's tool chain
+// attached and returns the run report. The tools observe the run exactly
+// as the sweep drivers' profiler does — same hooks, same virtual clock.
+func RunLive(o LiveOptions) (*mpi.Report, error) {
+	o, err := o.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	cfg := mpi.Config{
+		Ranks:   o.Ranks,
+		Model:   o.Model,
+		Seed:    o.Seed,
+		Tools:   o.Tools,
+		Timeout: o.Timeout,
+	}
+	switch o.Experiment {
+	case "conv":
+		params := convolution.Params{
+			Width: 5616, Height: 3744,
+			Steps: o.Steps, Scale: o.Scale, Seed: o.Seed, SkipKernel: true,
+		}
+		res, err := convolution.Run(cfg, params)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: live conv p=%d: %w", o.Ranks, err)
+		}
+		return res.Report, nil
+	case "lulesh":
+		cfg.ThreadsPerRank = o.Threads
+		// Per-rank edge from Table 7's budget where possible; any cube of
+		// ranks works as long as Scale divides S.
+		s := 24
+		if o.Scale > 0 && s%o.Scale != 0 {
+			return nil, fmt.Errorf("experiments: lulesh scale %d must divide s=%d", o.Scale, s)
+		}
+		params := lulesh.Params{
+			S: s, Steps: o.Steps, Threads: o.Threads, Scale: o.Scale, SedovEnergy: 1e4,
+		}
+		res, err := lulesh.Run(cfg, params)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: live lulesh p=%d: %w", o.Ranks, err)
+		}
+		return res.Report, nil
+	}
+	panic("unreachable")
+}

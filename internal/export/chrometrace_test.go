@@ -1,0 +1,239 @@
+package export_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/export"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// decodeTrace unmarshals a Chrome trace JSON document.
+func decodeTrace(t *testing.T, data []byte) (events []map[string]any) {
+	t.Helper()
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	return doc.TraceEvents
+}
+
+// validateTraceEvents enforces the trace_event schema subset every
+// consumer (Perfetto, chrome://tracing, catapult) relies on: required
+// keys on every event, and balanced, label-matched B/E pairs per tid.
+func validateTraceEvents(t *testing.T, events []map[string]any) (tracks map[[2]int]bool) {
+	t.Helper()
+	if len(events) == 0 {
+		t.Fatal("empty trace")
+	}
+	type tidKey = [2]int
+	stacks := map[tidKey][]string{}
+	tracks = map[tidKey]bool{}
+	for i, e := range events {
+		for _, key := range []string{"ph", "ts", "pid", "tid", "name"} {
+			if _, ok := e[key]; !ok {
+				t.Fatalf("event %d missing required key %q: %v", i, key, e)
+			}
+		}
+		ph, _ := e["ph"].(string)
+		name, _ := e["name"].(string)
+		k := tidKey{int(e["pid"].(float64)), int(e["tid"].(float64))}
+		switch ph {
+		case "B":
+			stacks[k] = append(stacks[k], name)
+			tracks[k] = true
+		case "E":
+			st := stacks[k]
+			if len(st) == 0 {
+				t.Fatalf("event %d: E %q on pid/tid %v with empty stack", i, name, k)
+			}
+			if top := st[len(st)-1]; top != name {
+				t.Fatalf("event %d: E %q does not match open slice %q", i, name, top)
+			}
+			stacks[k] = st[:len(st)-1]
+		case "M", "C", "s", "f", "i":
+		default:
+			t.Fatalf("event %d: unexpected phase %q", i, ph)
+		}
+	}
+	for k, st := range stacks {
+		if len(st) != 0 {
+			t.Fatalf("pid/tid %v: %d unclosed B events %v", k, len(st), st)
+		}
+	}
+	return tracks
+}
+
+func TestChromeTraceSchema(t *testing.T) {
+	rec := export.NewRecorder(export.Options{Messages: true, Collectives: true})
+	runWorkload(t, 4, 5, rec)
+
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events := decodeTrace(t, buf.Bytes())
+	validateTraceEvents(t, events)
+
+	var sawFlowStart, sawFlowEnd, sawCounter, sawMeta bool
+	flowIDs := map[string]int{}
+	for _, e := range events {
+		switch e["ph"] {
+		case "s":
+			sawFlowStart = true
+			flowIDs[e["id"].(string)]++
+		case "f":
+			sawFlowEnd = true
+			flowIDs[e["id"].(string)]++
+		case "C":
+			sawCounter = true
+			if _, ok := e["args"].(map[string]any)["seconds"]; !ok {
+				t.Fatalf("counter without seconds arg: %v", e)
+			}
+		case "M":
+			sawMeta = true
+		}
+	}
+	if !sawFlowStart || !sawFlowEnd {
+		t.Fatal("p2p flow events missing")
+	}
+	for id, n := range flowIDs {
+		if n != 2 {
+			t.Fatalf("flow %s has %d halves, want 2", id, n)
+		}
+	}
+	if !sawCounter {
+		t.Fatal("imbalance counter track missing")
+	}
+	if !sawMeta {
+		t.Fatal("process_name metadata missing")
+	}
+}
+
+// TestChromeTraceGolden pins the exact serialized trace of a fully
+// deterministic run. The golden file is itself the schema example shipped
+// with the repo; regenerate with `go test ./internal/export -update`.
+func TestChromeTraceGolden(t *testing.T) {
+	rec := export.NewRecorder(export.Options{
+		Messages:    true,
+		Collectives: true,
+		TraceID:     export.TraceID{0xde, 0xad, 0xbe, 0xef, 5: 1, 15: 2},
+	})
+	runWorkload(t, 2, 12345, rec)
+
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "golden_chrome_trace.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trace diverges from golden file %s;\nrun `go test ./internal/export -run Golden -update` after intended format changes", golden)
+	}
+	validateTraceEvents(t, decodeTrace(t, want))
+}
+
+func TestOTLPExport(t *testing.T) {
+	id := export.TraceID{1, 2, 3}
+	rec := export.NewRecorder(export.Options{TraceID: id, Collectives: true})
+	runWorkload(t, 2, 9, rec)
+
+	var buf bytes.Buffer
+	if err := rec.WriteOTLP(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		ResourceSpans []struct {
+			Resource struct {
+				Attributes []struct {
+					Key   string `json:"key"`
+					Value struct {
+						StringValue string `json:"stringValue"`
+					} `json:"value"`
+				} `json:"attributes"`
+			} `json:"resource"`
+			ScopeSpans []struct {
+				Spans []struct {
+					TraceID      string `json:"traceId"`
+					SpanID       string `json:"spanId"`
+					ParentSpanID string `json:"parentSpanId"`
+					Name         string `json:"name"`
+					Start        string `json:"startTimeUnixNano"`
+					End          string `json:"endTimeUnixNano"`
+					Attributes   []struct {
+						Key string `json:"key"`
+					} `json:"attributes"`
+				} `json:"spans"`
+			} `json:"scopeSpans"`
+		} `json:"resourceSpans"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("OTLP JSON does not parse: %v", err)
+	}
+	if len(doc.ResourceSpans) != 2 {
+		t.Fatalf("want one resource per rank (2), got %d", len(doc.ResourceSpans))
+	}
+	ids := map[string]string{} // spanId -> name
+	var total int
+	for _, rs := range doc.ResourceSpans {
+		for _, ss := range rs.ScopeSpans {
+			for _, sp := range ss.Spans {
+				total++
+				if sp.TraceID != id.String() {
+					t.Fatalf("span %q carries trace %s, want %s", sp.Name, sp.TraceID, id)
+				}
+				if sp.SpanID == "" || sp.Start == "" || sp.End == "" {
+					t.Fatalf("span %q missing identity/time: %+v", sp.Name, sp)
+				}
+				ids[sp.SpanID] = sp.Name
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no spans exported")
+	}
+	// Every parent link must resolve to an exported span, and every
+	// non-root must ultimately nest under MPI_MAIN.
+	for _, rs := range doc.ResourceSpans {
+		for _, ss := range rs.ScopeSpans {
+			for _, sp := range ss.Spans {
+				if sp.ParentSpanID == "" {
+					if sp.Name != "MPI_MAIN" {
+						t.Fatalf("root span is %q, want MPI_MAIN", sp.Name)
+					}
+					continue
+				}
+				if _, ok := ids[sp.ParentSpanID]; !ok {
+					t.Fatalf("span %q has dangling parent %s", sp.Name, sp.ParentSpanID)
+				}
+				hasToolData := false
+				for _, a := range sp.Attributes {
+					if a.Key == "mpi.tool_data" {
+						hasToolData = true
+					}
+				}
+				if !hasToolData && sp.Name != "Barrier" {
+					t.Fatalf("section span %q lacks tool_data attribute", sp.Name)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,697 @@
+// Package export is the repository's second, independent consumer of the
+// PMPI-like tool layer: a streaming observability exporter. Where
+// internal/prof is the paper's MALP-style reference analysis tool, this
+// package converts the same MPI_Section enter/leave, point-to-point and
+// collective events into the formats modern observability pipelines speak:
+//
+//   - Chrome trace_event JSON (WriteChromeTrace) loadable in Perfetto or
+//     chrome://tracing — one track per rank, nested section slices, flow
+//     arrows for p2p messages, counter tracks for per-section imbalance;
+//   - OTLP-style span JSON (WriteOTLP) — one trace per run, one span per
+//     section instance per rank, parent links recovered from the nesting
+//     stack, and the 32-byte tool-data payload surfaced as span attributes;
+//   - Prometheus text exposition (WritePrometheus) backed by a streaming
+//     aggregator that maintains per-section online statistics
+//     (stats.Welford) while the ranks are still running.
+//
+// Recorder demonstrates the paper's tool-agnosticism claim end to end: it
+// attaches through the same mpi.Config.Tools chain as internal/prof, uses
+// the Fig. 2 tool-data slot to stamp span identity between enter and leave,
+// and computes the Fig. 3 temporal metrics independently — chaining it next
+// to the profiler must not perturb either tool's measurements (see the
+// parity tests).
+package export
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mpi"
+	"repro/internal/stats"
+)
+
+// TraceID identifies one run's trace (16 bytes, OTLP-sized).
+type TraceID [16]byte
+
+// String renders the trace id as 32 hex digits.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// IsZero reports whether the id is unset.
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// runCounter salts derived trace ids so successive runs in one process get
+// distinct traces.
+var runCounter atomic.Uint64
+
+// deriveTraceID builds a deterministic-per-run id from a splitmix64 walk.
+func deriveTraceID() TraceID {
+	var id TraceID
+	z := runCounter.Add(1)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	for i := 0; i < 2; i++ {
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		binary.BigEndian.PutUint64(id[i*8:], z)
+	}
+	return id
+}
+
+// payloadMagic marks a tool-data slot written by this package (Fig. 2: the
+// payload layout is tool-defined; the magic lets the leave side recognize
+// its own stamp even with other tools in the chain).
+var payloadMagic = [4]byte{'E', 'X', 'P', 'T'}
+
+// DefaultMaxSpans bounds completed-span retention when Options.MaxSpans is
+// zero: enough for the paper-scale p=456 convolution sweep, small enough
+// that a runaway loop cannot exhaust memory.
+const DefaultMaxSpans = 1 << 21
+
+// Unbounded disables a retention limit when set as Options.MaxSpans.
+const Unbounded = -1
+
+// Options configures a Recorder.
+type Options struct {
+	// MaxSpans caps retained completed spans (0 = DefaultMaxSpans,
+	// Unbounded = no cap). Spans past the cap are counted as dropped and
+	// surfaced by Dropped/Warning — never silently discarded.
+	MaxSpans int
+	// Messages records point-to-point events as Perfetto flow arrows.
+	Messages bool
+	// Collectives records collective begin/end as slices on the rank track.
+	Collectives bool
+	// SeqTime is the sequential baseline Σ_j f_j(n0, 1); when positive the
+	// exporter also computes each section's Eq. 6 partial speedup bound.
+	SeqTime float64
+	// TraceID pins the run's trace id; zero derives a fresh one at Init.
+	TraceID TraceID
+}
+
+// Span is one completed section (or collective) instance on one rank.
+type Span struct {
+	ID     uint64
+	Parent uint64 // 0 for top-level spans
+	Label  string
+	// Collective marks spans recorded from CollectiveBegin/End rather than
+	// section enter/leave.
+	Collective bool
+	Comm       int64
+	// Rank is the MPI_COMM_WORLD identity (the trace track).
+	Rank int
+	// CommRank is the rank within Comm.
+	CommRank   int
+	Start, End float64
+	// Excl is the exclusive duration: End−Start minus nested section time.
+	Excl float64
+	// EnterSeq/LeaveSeq order same-timestamp events within one rank so the
+	// trace replays with the nesting the rank actually executed.
+	EnterSeq, LeaveSeq uint64
+	// Data is the 32-byte tool payload as it stood at leave (sections only).
+	Data mpi.ToolData
+}
+
+// msgEvent is one half of a point-to-point message (send or recv side).
+type msgEvent struct {
+	send     bool
+	src, dst int // world ranks
+	tag      int
+	bytes    int
+	t        float64
+	seq      uint64
+}
+
+// counterSample is one point on a per-section imbalance counter track: the
+// instance's mean Fig. 3 imbalance, stamped at the instance's Tmax.
+type counterSample struct {
+	label string
+	t     float64
+	value float64
+}
+
+type secKey struct {
+	comm  int64
+	label string
+}
+
+type rankKey struct {
+	comm int64
+	rank int
+}
+
+type instKey struct {
+	comm  int64
+	label string
+	index int
+}
+
+// openSpan is a live section instance on one rank.
+type openSpan struct {
+	span      Span
+	childTime float64
+	index     int // per-(rank,label) instance index
+}
+
+// instAcc gathers one instance's per-rank boundary times until every rank
+// of the communicator contributed, then folds into the aggregate — the same
+// completion rule internal/prof uses, so both tools agree on Fig. 3.
+type instAcc struct {
+	enters []float64
+	leaves []float64
+}
+
+// InstanceMetrics are the raw Fig. 3 quantities of one completed section
+// instance: Tmin (first entry), Tmax (last exit), and the mean entry and
+// section imbalances over the communicator's ranks.
+type InstanceMetrics struct {
+	Tmin         float64 `json:"tmin"`
+	Tmax         float64 `json:"tmax"`
+	EntryImbMean float64 `json:"entry_imb_mean"`
+	ImbMean      float64 `json:"imb_mean"`
+}
+
+// sectionAgg is the live per-section streaming aggregate.
+type sectionAgg struct {
+	comm      int64
+	label     string
+	parent    string
+	ranks     int
+	instances int
+	dur       stats.Welford
+	excl      stats.Welford
+	entryImb  stats.Welford
+	imb       stats.Welford
+	spanTotal float64
+	perRank   []float64
+	perRankEx []float64
+	last      InstanceMetrics
+	hasLast   bool
+}
+
+// Recorder is the exporter's mpi.Tool. Attach it via mpi.Config.Tools —
+// alone or chained with other tools; every method is safe for concurrent
+// use from all rank goroutines, and every Write*/snapshot accessor may be
+// called while the run is still in flight (that is the "live" part).
+type Recorder struct {
+	mpi.BaseTool
+
+	mu         sync.Mutex
+	opts       Options
+	world      *mpi.WorldInfo
+	traceID    TraceID
+	nextSpanID uint64
+	seqs       []uint64 // per-world-rank event sequence counters
+	stacks     map[rankKey][]openSpan
+	nextIdx    map[rankKey]map[string]int
+	collOpen   map[int][]openSpan // per-world-rank open collectives
+	inst       map[instKey]*instAcc
+	aggs       map[secKey]*sectionAgg
+	spans      []Span
+	counters   []counterSample
+	msgs       []msgEvent
+	dropped    int
+	maxT       float64
+	finished   bool
+	wall       float64
+	ranks      int
+}
+
+// NewRecorder returns a Recorder with the given options.
+func NewRecorder(opts Options) *Recorder {
+	if opts.MaxSpans == 0 {
+		opts.MaxSpans = DefaultMaxSpans
+	}
+	if opts.TraceID.IsZero() {
+		// Derived eagerly so callers can report the ID before the run
+		// starts (cmd/secmon's async /run response).
+		opts.TraceID = deriveTraceID()
+	}
+	return &Recorder{
+		opts:     opts,
+		traceID:  opts.TraceID,
+		stacks:   map[rankKey][]openSpan{},
+		nextIdx:  map[rankKey]map[string]int{},
+		collOpen: map[int][]openSpan{},
+		inst:     map[instKey]*instAcc{},
+		aggs:     map[secKey]*sectionAgg{},
+	}
+}
+
+// SetSeqTime installs (or replaces) the sequential baseline used for the
+// Eq. 6 partial bounds; callers that measure the baseline after
+// constructing the recorder (cmd/secmon's /run) use it.
+func (r *Recorder) SetSeqTime(seq float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.opts.SeqTime = seq
+}
+
+// TraceID reports the run's trace id (derived at Init when not pinned).
+func (r *Recorder) TraceID() TraceID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.traceID
+}
+
+// Init implements mpi.Tool.
+func (r *Recorder) Init(w *mpi.WorldInfo) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.world = w
+	r.ranks = w.Size
+	r.seqs = make([]uint64, w.Size)
+	if r.traceID.IsZero() {
+		r.traceID = deriveTraceID()
+	}
+}
+
+// nextSeqLocked advances the world rank's event sequence.
+func (r *Recorder) nextSeqLocked(worldRank int) uint64 {
+	if worldRank >= len(r.seqs) { // sub-communicator before Init (tests)
+		grown := make([]uint64, worldRank+1)
+		copy(grown, r.seqs)
+		r.seqs = grown
+	}
+	r.seqs[worldRank]++
+	return r.seqs[worldRank]
+}
+
+// observeLocked tracks the latest event timestamp for live wall estimates.
+func (r *Recorder) observeLocked(t float64) {
+	if t > r.maxT {
+		r.maxT = t
+	}
+}
+
+// SectionEnter implements mpi.Tool: it opens a span, stamps span identity
+// into the Fig. 2 tool-data slot, and starts the instance accumulator.
+func (r *Recorder) SectionEnter(c *mpi.Comm, label string, t float64, data *mpi.ToolData) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.observeLocked(t)
+	world := c.WorldRank()
+	rk := rankKey{comm: c.ID(), rank: c.Rank()}
+
+	idxs := r.nextIdx[rk]
+	if idxs == nil {
+		idxs = map[string]int{}
+		r.nextIdx[rk] = idxs
+	}
+	idx := idxs[label]
+	idxs[label] = idx + 1
+
+	r.nextSpanID++
+	sp := Span{
+		ID:       r.nextSpanID,
+		Label:    label,
+		Comm:     c.ID(),
+		Rank:     world,
+		CommRank: c.Rank(),
+		Start:    t,
+		EnterSeq: r.nextSeqLocked(world),
+	}
+	parentLabel := ""
+	if st := r.stacks[rk]; len(st) > 0 {
+		sp.Parent = st[len(st)-1].span.ID
+		parentLabel = st[len(st)-1].span.Label
+	}
+	r.stacks[rk] = append(r.stacks[rk], openSpan{span: sp, index: idx})
+
+	if data != nil {
+		stampPayload(data, sp.ID, sp.Parent, t)
+	}
+
+	ik := instKey{comm: c.ID(), label: label, index: idx}
+	acc := r.inst[ik]
+	if acc == nil {
+		acc = &instAcc{}
+		r.inst[ik] = acc
+	}
+	acc.enters = append(acc.enters, t)
+
+	if a := r.aggs[secKey{comm: c.ID(), label: label}]; a == nil {
+		r.aggs[secKey{comm: c.ID(), label: label}] = &sectionAgg{
+			comm:      c.ID(),
+			label:     label,
+			parent:    parentLabel,
+			ranks:     c.Size(),
+			perRank:   make([]float64, c.Size()),
+			perRankEx: make([]float64, c.Size()),
+		}
+	}
+}
+
+// SectionLeave implements mpi.Tool: it closes the span, folds the duration
+// into the streaming aggregates, and completes the instance when the last
+// rank leaves.
+func (r *Recorder) SectionLeave(c *mpi.Comm, label string, t float64, data *mpi.ToolData) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.observeLocked(t)
+	world := c.WorldRank()
+	rk := rankKey{comm: c.ID(), rank: c.Rank()}
+	st := r.stacks[rk]
+	if len(st) == 0 || st[len(st)-1].span.Label != label {
+		// Misnested usage: the runtime reports it; drop the sample rather
+		// than corrupting exporter state (same policy as internal/prof).
+		return
+	}
+	open := st[len(st)-1]
+	r.stacks[rk] = st[:len(st)-1]
+
+	sp := open.span
+	sp.End = t
+	sp.LeaveSeq = r.nextSeqLocked(world)
+	dur := t - sp.Start
+	sp.Excl = dur - open.childTime
+	if data != nil {
+		sp.Data = *data
+	}
+	if n := len(r.stacks[rk]); n > 0 {
+		r.stacks[rk][n-1].childTime += dur
+	}
+	r.retainSpanLocked(sp)
+
+	sk := secKey{comm: c.ID(), label: label}
+	a := r.aggs[sk]
+	if a == nil { // leave without recorded enter cannot happen, but be safe
+		a = &sectionAgg{
+			comm: c.ID(), label: label, ranks: c.Size(),
+			perRank:   make([]float64, c.Size()),
+			perRankEx: make([]float64, c.Size()),
+		}
+		r.aggs[sk] = a
+	}
+	a.dur.Add(dur)
+	a.excl.Add(sp.Excl)
+	a.perRank[c.Rank()] += dur
+	a.perRankEx[c.Rank()] += sp.Excl
+
+	ik := instKey{comm: c.ID(), label: label, index: open.index}
+	acc := r.inst[ik]
+	if acc == nil {
+		return
+	}
+	acc.leaves = append(acc.leaves, t)
+	if len(acc.leaves) == c.Size() {
+		r.foldInstanceLocked(a, acc)
+		delete(r.inst, ik)
+	}
+}
+
+// foldInstanceLocked computes the Fig. 3 metrics for one completed
+// instance, mirroring prof.Profiler.foldInstance so both tools report the
+// same numbers.
+func (r *Recorder) foldInstanceLocked(a *sectionAgg, acc *instAcc) {
+	tmin, _ := stats.Min(acc.enters)
+	tmax, _ := stats.Max(acc.leaves)
+	a.spanTotal += tmax - tmin
+	a.instances++
+	var entrySum, imbSum float64
+	for _, tin := range acc.enters {
+		a.entryImb.Add(tin - tmin)
+		entrySum += tin - tmin
+	}
+	for _, tout := range acc.leaves {
+		tsection := tout - tmin
+		imb := (tmax - tmin) - tsection
+		a.imb.Add(imb)
+		imbSum += imb
+	}
+	n := float64(len(acc.leaves))
+	a.last = InstanceMetrics{
+		Tmin:         tmin,
+		Tmax:         tmax,
+		EntryImbMean: entrySum / n,
+		ImbMean:      imbSum / n,
+	}
+	a.hasLast = true
+	r.counters = append(r.counters, counterSample{label: a.label, t: tmax, value: a.last.ImbMean})
+}
+
+// retainSpanLocked appends a completed span, honoring the retention cap.
+func (r *Recorder) retainSpanLocked(sp Span) {
+	if r.opts.MaxSpans != Unbounded && len(r.spans) >= r.opts.MaxSpans {
+		r.dropped++
+		return
+	}
+	r.spans = append(r.spans, sp)
+}
+
+// CollectiveBegin implements mpi.Tool.
+func (r *Recorder) CollectiveBegin(c *mpi.Comm, name string, t float64) {
+	if !r.opts.Collectives {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.observeLocked(t)
+	world := c.WorldRank()
+	r.nextSpanID++
+	sp := Span{
+		ID:         r.nextSpanID,
+		Label:      name,
+		Collective: true,
+		Comm:       c.ID(),
+		Rank:       world,
+		CommRank:   c.Rank(),
+		Start:      t,
+		EnterSeq:   r.nextSeqLocked(world),
+	}
+	if st := r.stacks[rankKey{comm: c.ID(), rank: c.Rank()}]; len(st) > 0 {
+		sp.Parent = st[len(st)-1].span.ID
+	}
+	r.collOpen[world] = append(r.collOpen[world], openSpan{span: sp})
+}
+
+// CollectiveEnd implements mpi.Tool.
+func (r *Recorder) CollectiveEnd(c *mpi.Comm, name string, t float64) {
+	if !r.opts.Collectives {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.observeLocked(t)
+	world := c.WorldRank()
+	st := r.collOpen[world]
+	if len(st) == 0 || st[len(st)-1].span.Label != name {
+		return
+	}
+	sp := st[len(st)-1].span
+	r.collOpen[world] = st[:len(st)-1]
+	sp.End = t
+	sp.Excl = t - sp.Start
+	sp.LeaveSeq = r.nextSeqLocked(world)
+	r.retainSpanLocked(sp)
+}
+
+// MessageSent implements mpi.Tool.
+func (r *Recorder) MessageSent(c *mpi.Comm, dst, tag, bytes int, t float64) {
+	if !r.opts.Messages {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.observeLocked(t)
+	world := c.WorldRank()
+	r.msgs = append(r.msgs, msgEvent{
+		send: true, src: world, dst: c.WorldRankOf(dst),
+		tag: tag, bytes: bytes, t: t, seq: r.nextSeqLocked(world),
+	})
+}
+
+// MessageRecv implements mpi.Tool.
+func (r *Recorder) MessageRecv(c *mpi.Comm, src, tag, bytes int, t float64) {
+	if !r.opts.Messages {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.observeLocked(t)
+	world := c.WorldRank()
+	r.msgs = append(r.msgs, msgEvent{
+		send: false, src: c.WorldRankOf(src), dst: world,
+		tag: tag, bytes: bytes, t: t, seq: r.nextSeqLocked(world),
+	})
+}
+
+// Finalize implements mpi.Tool: it records the run report and discards any
+// still-open frames (counted as dropped — a span without a leave has no
+// duration to export).
+func (r *Recorder) Finalize(rep *mpi.Report) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.finished = true
+	r.wall = rep.WallTime
+	for k, st := range r.stacks {
+		r.dropped += len(st)
+		delete(r.stacks, k)
+	}
+	for k, st := range r.collOpen {
+		r.dropped += len(st)
+		delete(r.collOpen, k)
+	}
+}
+
+// Finished reports whether Finalize ran.
+func (r *Recorder) Finished() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.finished
+}
+
+// WallTime reports the final virtual makespan after Finalize, or the
+// latest event timestamp observed so far during a live run.
+func (r *Recorder) WallTime() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.finished {
+		return r.wall
+	}
+	return r.maxT
+}
+
+// Dropped reports how many spans (or unclosed frames) were discarded.
+// Non-zero drops mean the aggregates describe a truncated stream.
+func (r *Recorder) Dropped() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Warning returns a human-readable warning line when events were dropped,
+// and "" when the stream is complete — callers print it verbatim.
+func (r *Recorder) Warning() string {
+	if n := r.Dropped(); n > 0 {
+		return fmt.Sprintf("warning: %d events dropped (span cap %d); aggregates and traces describe a truncated stream", n, r.opts.MaxSpans)
+	}
+	return ""
+}
+
+// SectionSnapshot is a point-in-time copy of one section's streaming
+// aggregate, JSON-ready for cmd/secmon's /sections endpoint.
+type SectionSnapshot struct {
+	Comm   int64  `json:"comm"`
+	Label  string `json:"label"`
+	Parent string `json:"parent,omitempty"`
+	Ranks  int    `json:"ranks"`
+	// Instances counts completed instances (entered and left by every rank).
+	Instances int `json:"instances"`
+	// Total / ExclTotal are summed-over-ranks inclusive / exclusive times.
+	Total      float64 `json:"total_seconds"`
+	ExclTotal  float64 `json:"excl_seconds"`
+	AvgPerProc float64 `json:"avg_per_proc_seconds"`
+	DurMean    float64 `json:"dur_mean_seconds"`
+	DurStd     float64 `json:"dur_std_seconds"`
+	DurMin     float64 `json:"dur_min_seconds"`
+	DurMax     float64 `json:"dur_max_seconds"`
+	// EntryImbMean / ImbMean are the Fig. 3 aggregates: mean Tin−Tmin and
+	// mean (Tmax−Tmin)−Tsection over every rank of every instance.
+	EntryImbMean float64 `json:"entry_imb_mean_seconds"`
+	ImbMean      float64 `json:"imb_mean_seconds"`
+	ImbMax       float64 `json:"imb_max_seconds"`
+	// SpanTotal sums the distributed span Tmax−Tmin over instances.
+	SpanTotal float64 `json:"span_total_seconds"`
+	// LoadImbalance is max/mean − 1 over per-rank inclusive totals.
+	LoadImbalance float64 `json:"load_imbalance"`
+	// Bound is the Eq. 6 partial speedup bound seq / avgPerProc (0 when no
+	// sequential baseline was configured).
+	Bound float64 `json:"partial_bound,omitempty"`
+	// LastInstance carries the raw Fig. 3 numbers of the most recently
+	// completed instance (Tmin, Tmax, imbalance means).
+	LastInstance *InstanceMetrics `json:"last_instance,omitempty"`
+	// PerRankTotal is each rank's summed inclusive time.
+	PerRankTotal []float64 `json:"per_rank_total_seconds"`
+}
+
+// Sections snapshots the streaming aggregates, sorted by total inclusive
+// time descending (ties by label) like prof.Profile.
+func (r *Recorder) Sections() []SectionSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SectionSnapshot, 0, len(r.aggs))
+	for _, a := range r.aggs {
+		s := SectionSnapshot{
+			Comm:          a.comm,
+			Label:         a.label,
+			Parent:        a.parent,
+			Ranks:         a.ranks,
+			Instances:     a.instances,
+			Total:         stats.Sum(a.perRank),
+			ExclTotal:     stats.Sum(a.perRankEx),
+			DurMean:       a.dur.Mean(),
+			DurStd:        a.dur.Std(),
+			DurMin:        a.dur.Min(),
+			DurMax:        a.dur.Max(),
+			EntryImbMean:  a.entryImb.Mean(),
+			ImbMean:       a.imb.Mean(),
+			ImbMax:        a.imb.Max(),
+			SpanTotal:     a.spanTotal,
+			PerRankTotal:  append([]float64(nil), a.perRank...),
+			LoadImbalance: loadImbalance(a.perRank),
+		}
+		if a.ranks > 0 {
+			s.AvgPerProc = s.Total / float64(a.ranks)
+		}
+		if r.opts.SeqTime > 0 && s.AvgPerProc > 0 {
+			s.Bound = r.opts.SeqTime / s.AvgPerProc
+		}
+		if a.hasLast {
+			inst := a.last
+			s.LastInstance = &inst
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+// Spans copies the completed spans (unordered — writers sort as needed).
+func (r *Recorder) Spans() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Span(nil), r.spans...)
+}
+
+// loadImbalance is max/mean − 1 with zero-safe handling.
+func loadImbalance(perRank []float64) float64 {
+	v, err := stats.Imbalance(perRank)
+	if err != nil || math.IsNaN(v) {
+		return 0
+	}
+	return v
+}
+
+// stampPayload writes the exporter's Fig. 2 tool-data layout: a 4-byte
+// magic, the world-visible span and parent ids, and the enter timestamp.
+// The leave callback (and the OTLP writer) read it back; any profiler
+// could do the same with its own layout — that is the paper's point.
+func stampPayload(data *mpi.ToolData, spanID, parentID uint64, t float64) {
+	copy(data[0:4], payloadMagic[:])
+	binary.BigEndian.PutUint32(data[4:8], uint32(len(payloadMagic)))
+	binary.BigEndian.PutUint64(data[8:16], spanID)
+	binary.BigEndian.PutUint64(data[16:24], parentID)
+	binary.BigEndian.PutUint64(data[24:32], math.Float64bits(t))
+}
+
+// DecodePayload parses a tool-data slot stamped by this package. ok is
+// false when the slot holds another tool's (or no) payload.
+func DecodePayload(data mpi.ToolData) (spanID, parentID uint64, enterT float64, ok bool) {
+	if [4]byte(data[0:4]) != payloadMagic {
+		return 0, 0, 0, false
+	}
+	spanID = binary.BigEndian.Uint64(data[8:16])
+	parentID = binary.BigEndian.Uint64(data[16:24])
+	enterT = math.Float64frombits(binary.BigEndian.Uint64(data[24:32]))
+	return spanID, parentID, enterT, true
+}
+
+var _ mpi.Tool = (*Recorder)(nil)

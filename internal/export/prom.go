@@ -1,0 +1,220 @@
+package export
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// This file renders the streaming aggregator's state in the Prometheus
+// text exposition format (version 0.0.4). The recorder keeps every family
+// current while the ranks are still running, so a scrape — or cmd/secmon's
+// /metrics endpoint — observes the run live:
+//
+//	section_time_seconds         summary  per-rank inclusive section time
+//	section_exclusive_seconds    summary  per-rank exclusive section time
+//	section_entry_imbalance_seconds summary  Fig. 3 imb_in = Tin − Tmin
+//	section_imbalance_seconds    summary  Fig. 3 imb = (Tmax−Tmin) − Tsection
+//	section_instances_total      counter  completed instances
+//	section_span_seconds_total   counter  Σ (Tmax − Tmin) over instances
+//	section_load_imbalance_ratio gauge    max/mean − 1 over per-rank totals
+//	section_partial_speedup_bound gauge   Eq. 6 bound (needs Options.SeqTime)
+//	mpi_messages_total           counter  point-to-point events recorded
+//	mpi_message_bytes_total      counter  bytes carried by recorded messages
+//	dropped_events               counter  spans/frames discarded by the cap
+//	export_run_finished          gauge    1 after Finalize
+//	export_wall_seconds          gauge    makespan (live: latest event time)
+//
+// Summaries carry _count/_sum plus the exact {quantile="0"|"1"} extremes
+// the Welford accumulators track for free.
+
+// promEscape escapes a label value per the exposition format.
+func promEscape(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(v)
+}
+
+// promLabels renders the shared {comm,section} label set.
+func promLabels(comm int64, section string, extra string) string {
+	s := fmt.Sprintf(`comm="%d",section="%s"`, comm, promEscape(section))
+	if extra != "" {
+		s += "," + extra
+	}
+	return "{" + s + "}"
+}
+
+// summaryFamily writes one summary family across every section.
+type promSection struct {
+	comm  int64
+	label string
+	count int
+	sum   float64
+	min   float64
+	max   float64
+}
+
+func writeSummary(w io.Writer, name, help string, rows []promSection) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s summary\n", name, help, name); err != nil {
+		return err
+	}
+	for _, s := range rows {
+		if s.count == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %.17g\n%s%s %.17g\n%s_count%s %d\n%s_sum%s %.17g\n",
+			name, promLabels(s.comm, s.label, `quantile="0"`), s.min,
+			name, promLabels(s.comm, s.label, `quantile="1"`), s.max,
+			name, promLabels(s.comm, s.label, ""), s.count,
+			name, promLabels(s.comm, s.label, ""), s.sum); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePrometheus renders the live aggregates as Prometheus text. It is
+// safe to call concurrently with a running MPI program — that is exactly
+// the scrape-while-running scenario it exists for.
+func (r *Recorder) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	type aggCopy struct {
+		sectionAgg
+		total, exclTotal float64
+		loadImb          float64
+	}
+	aggs := make([]aggCopy, 0, len(r.aggs))
+	for _, a := range r.aggs {
+		c := aggCopy{sectionAgg: *a}
+		for _, v := range a.perRank {
+			c.total += v
+		}
+		for _, v := range a.perRankEx {
+			c.exclTotal += v
+		}
+		// Detach the shared slices: the copy must not alias live state.
+		c.perRank = nil
+		c.perRankEx = nil
+		c.loadImb = loadImbalance(a.perRank)
+		aggs = append(aggs, c)
+	}
+	var msgCount int
+	var msgBytes int64
+	for _, m := range r.msgs {
+		if m.send {
+			msgCount++
+			msgBytes += int64(m.bytes)
+		}
+	}
+	dropped := r.dropped
+	finished := r.finished
+	wall := r.wall
+	if !finished {
+		wall = r.maxT
+	}
+	seqTime := r.opts.SeqTime
+	r.mu.Unlock()
+
+	sort.Slice(aggs, func(i, j int) bool {
+		if aggs[i].comm != aggs[j].comm {
+			return aggs[i].comm < aggs[j].comm
+		}
+		return aggs[i].label < aggs[j].label
+	})
+
+	mk := func(f func(a aggCopy) promSection) []promSection {
+		rows := make([]promSection, 0, len(aggs))
+		for _, a := range aggs {
+			rows = append(rows, f(a))
+		}
+		return rows
+	}
+	if err := writeSummary(w, "section_time_seconds",
+		"Per-rank inclusive time spent in each MPI section.",
+		mk(func(a aggCopy) promSection {
+			return promSection{a.comm, a.label, a.dur.N(), a.total, a.dur.Min(), a.dur.Max()}
+		})); err != nil {
+		return err
+	}
+	if err := writeSummary(w, "section_exclusive_seconds",
+		"Per-rank exclusive time (inclusive minus nested sections).",
+		mk(func(a aggCopy) promSection {
+			return promSection{a.comm, a.label, a.excl.N(), a.exclTotal, a.excl.Min(), a.excl.Max()}
+		})); err != nil {
+		return err
+	}
+	if err := writeSummary(w, "section_entry_imbalance_seconds",
+		"Fig. 3 entry imbalance imb_in = Tin - Tmin per rank per instance.",
+		mk(func(a aggCopy) promSection {
+			return promSection{a.comm, a.label, a.entryImb.N(),
+				a.entryImb.Mean() * float64(a.entryImb.N()), a.entryImb.Min(), a.entryImb.Max()}
+		})); err != nil {
+		return err
+	}
+	if err := writeSummary(w, "section_imbalance_seconds",
+		"Fig. 3 section imbalance imb = (Tmax-Tmin) - Tsection per rank per instance.",
+		mk(func(a aggCopy) promSection {
+			return promSection{a.comm, a.label, a.imb.N(),
+				a.imb.Mean() * float64(a.imb.N()), a.imb.Min(), a.imb.Max()}
+		})); err != nil {
+		return err
+	}
+
+	if _, err := fmt.Fprint(w, "# HELP section_instances_total Completed section instances (entered and left by every rank).\n# TYPE section_instances_total counter\n"); err != nil {
+		return err
+	}
+	for _, a := range aggs {
+		if _, err := fmt.Fprintf(w, "section_instances_total%s %d\n",
+			promLabels(a.comm, a.label, ""), a.instances); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprint(w, "# HELP section_span_seconds_total Summed distributed span Tmax - Tmin over completed instances.\n# TYPE section_span_seconds_total counter\n"); err != nil {
+		return err
+	}
+	for _, a := range aggs {
+		if _, err := fmt.Fprintf(w, "section_span_seconds_total%s %.17g\n",
+			promLabels(a.comm, a.label, ""), a.spanTotal); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprint(w, "# HELP section_load_imbalance_ratio Load imbalance max/mean - 1 over per-rank inclusive totals.\n# TYPE section_load_imbalance_ratio gauge\n"); err != nil {
+		return err
+	}
+	for _, a := range aggs {
+		if _, err := fmt.Fprintf(w, "section_load_imbalance_ratio%s %.17g\n",
+			promLabels(a.comm, a.label, ""), a.loadImb); err != nil {
+			return err
+		}
+	}
+	if seqTime > 0 {
+		if _, err := fmt.Fprint(w, "# HELP section_partial_speedup_bound Eq. 6 partial speedup bound seq / avg-per-proc section time.\n# TYPE section_partial_speedup_bound gauge\n"); err != nil {
+			return err
+		}
+		for _, a := range aggs {
+			if a.ranks == 0 || a.total <= 0 {
+				continue
+			}
+			bound := seqTime / (a.total / float64(a.ranks))
+			if _, err := fmt.Fprintf(w, "section_partial_speedup_bound%s %.17g\n",
+				promLabels(a.comm, a.label, ""), bound); err != nil {
+				return err
+			}
+		}
+	}
+
+	boolGauge := func(v bool) int {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	_, err := fmt.Fprintf(w,
+		"# HELP mpi_messages_total Point-to-point messages recorded.\n# TYPE mpi_messages_total counter\nmpi_messages_total %d\n"+
+			"# HELP mpi_message_bytes_total Bytes carried by recorded point-to-point messages.\n# TYPE mpi_message_bytes_total counter\nmpi_message_bytes_total %d\n"+
+			"# HELP dropped_events Events discarded by the retention cap; non-zero means truncated aggregates.\n# TYPE dropped_events counter\ndropped_events %d\n"+
+			"# HELP export_run_finished Whether the run has finalized (0 while ranks are still executing).\n# TYPE export_run_finished gauge\nexport_run_finished %d\n"+
+			"# HELP export_wall_seconds Virtual makespan; the latest observed event time while live.\n# TYPE export_wall_seconds gauge\nexport_wall_seconds %.17g\n",
+		msgCount, msgBytes, dropped, boolGauge(finished), wall)
+	return err
+}

@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// FuzzReadCSV hammers the CSV decoder with arbitrary byte streams —
+// malformed rows, broken quoting, binary garbage, huge fields. The decoder
+// must either return an error or a well-formed event slice; it must never
+// panic. When a stream parses, re-encoding the events and parsing again
+// must reproduce them (decode∘encode = id on the decoder's image).
+func FuzzReadCSV(f *testing.F) {
+	// Seed corpus: a valid stream, then progressively broken variants.
+	var valid bytes.Buffer
+	buf := NewBuffer(0)
+	buf.Add(Event{T: 0.5, Rank: 0, Kind: KindSectionEnter, Comm: 1, Label: "HALO"})
+	buf.Add(Event{T: 1.25, Rank: 0, Kind: KindSectionLeave, Comm: 1, Label: "HALO"})
+	buf.Add(Event{T: 0.75, Rank: 1, Kind: KindSend, Comm: 1, Peer: 0, Bytes: 4096})
+	if err := buf.WriteCSV(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte(""))
+	f.Add([]byte("t,rank,kind,comm,label,peer,bytes\n"))
+	f.Add([]byte("t,rank,kind,comm,label,peer,bytes\n1,0,section-enter,0,A,0\n"))   // short row
+	f.Add([]byte("t,rank,kind,comm,label,peer,bytes\nNaN,0,bogus-kind,0,A,0,0\n"))  // bad kind
+	f.Add([]byte("t,rank,kind,comm,label,peer,bytes\n1,0,send,0,\"unclosed,0,0\n")) // broken quote
+	f.Add([]byte("t,rank,kind,comm,label,peer,bytes\n1,x,send,0,A,0,0\n"))          // bad int
+	f.Add([]byte("wrong,header,entirely\n1,2,3\n"))                                 // wrong header
+	f.Add([]byte("t,rank,kind,comm,label,peer,bytes\n1e309,0,send,0,A,0,0\n"))      // float overflow
+	f.Add([]byte("t,rank,kind,comm,label,peer,bytes\n1,0,marker,0," +
+		strings.Repeat("x", 1<<16) + ",0,0\n")) // huge field
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := ReadCSV(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted input: the parsed events must survive a write/read cycle.
+		b := NewBuffer(0)
+		for _, e := range events {
+			b.Add(e)
+		}
+		var out bytes.Buffer
+		if err := b.WriteCSV(&out); err != nil {
+			t.Fatalf("re-encode failed for accepted input: %v", err)
+		}
+		again, err := ReadCSV(&out)
+		if err != nil {
+			t.Fatalf("re-parse failed for accepted input: %v\n%s", err, out.String())
+		}
+		if len(again) != len(events) {
+			t.Fatalf("round trip changed event count: %d -> %d", len(events), len(again))
+		}
+	})
+}
+
+// TestCSVRoundTripProperty is the satellites' events→CSV→events property:
+// for arbitrary generated event sets, WriteCSV∘ReadCSV preserves every
+// field exactly (the 'g'/17 float format is lossless for float64).
+func TestCSVRoundTripProperty(t *testing.T) {
+	gen := func(tRaw []uint32, rankRaw []uint8, kindRaw []uint8, labels []string) bool {
+		n := len(tRaw)
+		if len(rankRaw) < n {
+			n = len(rankRaw)
+		}
+		if len(kindRaw) < n {
+			n = len(kindRaw)
+		}
+		if len(labels) < n {
+			n = len(labels)
+		}
+		buf := NewBuffer(0)
+		want := make([]Event, 0, n)
+		for i := 0; i < n; i++ {
+			// Keep timestamps finite and distinct enough to make the sort
+			// deterministic; labels must not embed \r (the csv reader
+			// normalizes \r\n inside quoted fields, by design).
+			label := strings.Map(func(r rune) rune {
+				if r == '\r' {
+					return '_'
+				}
+				return r
+			}, labels[i])
+			e := Event{
+				T:     float64(tRaw[i]) + float64(i)/1024,
+				Rank:  int(rankRaw[i]),
+				Kind:  Kind(int(kindRaw[i]) % len(kindNames)),
+				Comm:  int64(i),
+				Label: label,
+				Peer:  int(rankRaw[i]) - 3,
+				Bytes: int(tRaw[i] % 1e6),
+			}
+			if math.IsInf(e.T, 0) || math.IsNaN(e.T) {
+				continue
+			}
+			buf.Add(e)
+			want = append(want, e)
+		}
+		var csvOut bytes.Buffer
+		if err := buf.WriteCSV(&csvOut); err != nil {
+			t.Log(err)
+			return false
+		}
+		got, err := ReadCSV(bytes.NewReader(csvOut.Bytes()))
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		// ReadCSV yields WriteCSV's time-sorted order; compare against the
+		// buffer's own sorted view.
+		return reflect.DeepEqual(got, buf.Events())
+	}
+	if err := quick.Check(gen, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBufferWarning pins the truncation surfacing contract: a capped
+// buffer that dropped events must say so, an intact one must stay silent.
+func TestBufferWarning(t *testing.T) {
+	b := NewBuffer(2)
+	for i := 0; i < 5; i++ {
+		b.Add(Event{T: float64(i), Kind: KindMarker})
+	}
+	if b.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want 3", b.Dropped())
+	}
+	w := b.Warning()
+	if !strings.Contains(w, "dropped 3 events") || !strings.Contains(w, "2-event limit") {
+		t.Fatalf("warning does not surface the loss: %q", w)
+	}
+	ok := NewBuffer(0)
+	ok.Add(Event{Kind: KindMarker})
+	if w := ok.Warning(); w != "" {
+		t.Fatalf("intact buffer warns: %q", w)
+	}
+}

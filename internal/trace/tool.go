@@ -28,6 +28,12 @@ func NewCollector(limit int) *Collector {
 // Buffer exposes the underlying event buffer.
 func (c *Collector) Buffer() *Buffer { return c.buf }
 
+// Dropped reports how many events the capped buffer discarded.
+func (c *Collector) Dropped() int { return c.buf.Dropped() }
+
+// Warning returns the buffer's truncation caveat ("" when complete).
+func (c *Collector) Warning() string { return c.buf.Warning() }
+
 // SectionEnter implements mpi.Tool.
 func (c *Collector) SectionEnter(cm *mpi.Comm, label string, t float64, _ *mpi.ToolData) {
 	if !c.Sections {

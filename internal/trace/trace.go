@@ -109,6 +109,20 @@ func (b *Buffer) Dropped() int {
 	return b.drops
 }
 
+// Warning returns a human-readable caveat when the limit discarded events
+// — every aggregate derived from a truncated buffer is incomplete — and
+// "" when nothing was lost. Report renderers print it verbatim.
+func (b *Buffer) Warning() string {
+	b.mu.Lock()
+	drops, limit, kept := b.drops, b.limit, len(b.events)
+	b.mu.Unlock()
+	if drops == 0 {
+		return ""
+	}
+	return fmt.Sprintf("warning: trace buffer dropped %d events past the %d-event limit (%d kept); derived aggregates are incomplete",
+		drops, limit, kept)
+}
+
 // Events returns the events sorted by time (ties by rank, then kind order),
 // as a copy safe to retain.
 func (b *Buffer) Events() []Event {
