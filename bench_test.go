@@ -179,6 +179,7 @@ func BenchmarkFig10KNLInflexion(b *testing.B) {
 func BenchmarkRuntimeSendRecv(b *testing.B) {
 	cfg := mpi.Config{Ranks: 2, Model: machine.Ideal(2, 1), Seed: 1, Timeout: 10 * time.Minute}
 	payload := make([]byte, 1024)
+	b.ReportAllocs()
 	b.ResetTimer()
 	_, err := mpi.Run(cfg, func(c *mpi.Comm) error {
 		if c.Rank() == 0 {
@@ -190,9 +191,13 @@ func BenchmarkRuntimeSendRecv(b *testing.B) {
 			return nil
 		}
 		for i := 0; i < b.N; i++ {
-			if _, _, err := c.Recv(0, 0); err != nil {
+			buf, _, err := c.Recv(0, 0)
+			if err != nil {
 				return err
 			}
+			// Recv transfers buffer ownership; returning it to the pool is
+			// what keeps the steady state allocation-free.
+			mpi.Release(buf)
 		}
 		return nil
 	})
@@ -203,6 +208,7 @@ func BenchmarkRuntimeSendRecv(b *testing.B) {
 
 func BenchmarkRuntimeAllreduce64Ranks(b *testing.B) {
 	cfg := mpi.Config{Ranks: 64, Model: machine.Ideal(64, 1), Seed: 1, Timeout: 10 * time.Minute}
+	b.ReportAllocs()
 	b.ResetTimer()
 	_, err := mpi.Run(cfg, func(c *mpi.Comm) error {
 		for i := 0; i < b.N; i++ {

@@ -1,0 +1,220 @@
+// Command benchsweep times the EXPERIMENTS.md regeneration targets E1–E9
+// and writes BENCH_sweep.json — the repository's perf trajectory. Each
+// entry records the wall-clock time, heap allocation count/bytes and the
+// process peak RSS after regenerating one figure exactly the way the bench
+// binaries do, so a PR that slows a sweep down or reintroduces per-message
+// allocations shows up as a diff against the committed baseline.
+//
+// Usage:
+//
+//	benchsweep [-quick] [-j N] [-o BENCH_sweep.json]
+//
+// The committed baseline is quick mode (-quick): paper-scale sweeps take
+// core-hours and belong to the bench binaries, while the quick sweeps
+// exercise the same code paths in seconds and are what CI can afford.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// result is one timed regeneration target.
+type result struct {
+	ID string `json:"id"`
+	// Desc names the figure the target regenerates.
+	Desc string `json:"desc"`
+	// WallSeconds is the real elapsed time of the regeneration.
+	WallSeconds float64 `json:"wall_seconds"`
+	// Allocs/AllocBytes are the heap allocation deltas over the target
+	// (runtime.MemStats Mallocs/TotalAlloc).
+	Allocs     uint64 `json:"allocs"`
+	AllocBytes uint64 `json:"alloc_bytes"`
+	// PeakRSSBytes is the process high-water RSS (VmHWM) after the target —
+	// a monotone watermark, so the interesting number is the last entry's
+	// and any jump between entries. Zero where /proc is unavailable.
+	PeakRSSBytes uint64 `json:"peak_rss_bytes"`
+}
+
+// report is the BENCH_sweep.json document.
+type report struct {
+	Schema int `json:"schema"`
+	// Mode is "quick" or "paper".
+	Mode string `json:"mode"`
+	// Jobs is the resolved sweep-worker count the targets ran with.
+	Jobs        int      `json:"jobs"`
+	GOMAXPROCS  int      `json:"gomaxprocs"`
+	GoVersion   string   `json:"go_version"`
+	Experiments []result `json:"experiments"`
+	// TotalWallSeconds sums the entries.
+	TotalWallSeconds float64 `json:"total_wall_seconds"`
+}
+
+// peakRSS reads the VmHWM high-water mark from /proc/self/status, in
+// bytes; 0 on platforms without procfs.
+func peakRSS() uint64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb * 1024
+	}
+	return 0
+}
+
+// measure runs one target and records its cost.
+func measure(id, desc string, run func() error) (result, error) {
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	if err := run(); err != nil {
+		return result{}, fmt.Errorf("%s: %w", id, err)
+	}
+	wall := time.Since(start)
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	return result{
+		ID:           id,
+		Desc:         desc,
+		WallSeconds:  wall.Seconds(),
+		Allocs:       after.Mallocs - before.Mallocs,
+		AllocBytes:   after.TotalAlloc - before.TotalAlloc,
+		PeakRSSBytes: peakRSS(),
+	}, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchsweep: ")
+	quick := flag.Bool("quick", true, "reduced sweeps (the committed baseline; -quick=false runs paper scale)")
+	jobs := flag.Int("j", 0, "concurrent sweep workers (0 = GOMAXPROCS)")
+	outPath := flag.String("o", "BENCH_sweep.json", "output file")
+	flag.Parse()
+
+	convOpts := experiments.PaperConvOptions()
+	bwOpts := experiments.PaperBroadwellOptions()
+	knlOpts := experiments.PaperKNLOptions()
+	mode := "paper"
+	if *quick {
+		convOpts = experiments.QuickConvOptions()
+		bwOpts = experiments.QuickHybridOptions()
+		bwOpts.Model = experiments.PaperBroadwellOptions().Model
+		knlOpts = experiments.QuickHybridOptions()
+		mode = "quick"
+	}
+	convOpts.Jobs = *jobs
+	bwOpts.Jobs = *jobs
+	knlOpts.Jobs = *jobs
+
+	// Each target regenerates its figure the way the bench binary does: a
+	// fresh sweep plus the rendering. E1–E5 share a sweep shape but are
+	// timed independently — the per-figure cost is what the harness tracks
+	// (only the sequential baseline is cached across them, as in convbench).
+	renderConv := func(render func(*experiments.ConvResult) string) func() error {
+		return func() error {
+			res, err := experiments.RunConvolution(convOpts)
+			if err != nil {
+				return err
+			}
+			_ = render(res)
+			return nil
+		}
+	}
+	targets := []struct {
+		id, desc string
+		run      func() error
+	}{
+		{"E1", "Fig 5(a): % of execution time per section (convolution)",
+			renderConv((*experiments.ConvResult).Fig5a)},
+		{"E2", "Fig 5(b): total time per section",
+			renderConv((*experiments.ConvResult).Fig5b)},
+		{"E3", "Fig 5(c): average time per process per section",
+			renderConv((*experiments.ConvResult).Fig5c)},
+		{"E4", "Fig 5(d): speedup and HALO partial bounds",
+			renderConv((*experiments.ConvResult).Fig5d)},
+		{"E5", "Fig 6: inferred partial speedup bounds from HALO",
+			renderConv((*experiments.ConvResult).Fig6)},
+		{"E6", "Fig 7 (table): LULESH strong-scaling configurations",
+			func() error { _ = experiments.Fig7(); return nil }},
+		{"E7", "Fig 8: LULESH on dual Broadwell", func() error {
+			res, err := experiments.RunHybrid(bwOpts)
+			if err != nil {
+				return err
+			}
+			_ = res.ScalingTable("Fig 8")
+			return nil
+		}},
+		{"E8", "Fig 9: LULESH on KNL", func() error {
+			res, err := experiments.RunHybrid(knlOpts)
+			if err != nil {
+				return err
+			}
+			_ = res.ScalingTable("Fig 9")
+			return nil
+		}},
+		{"E9", "Fig 10: pure OpenMP scalability on KNL (p=1)", func() error {
+			res, err := experiments.RunHybrid(knlOpts)
+			if err != nil {
+				return err
+			}
+			a, err := res.AnalyzeFig10()
+			if err != nil {
+				return err
+			}
+			_ = a.Render()
+			return nil
+		}},
+	}
+
+	rep := report{
+		Schema:     1,
+		Mode:       mode,
+		Jobs:       *jobs,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+	for _, t := range targets {
+		r, err := measure(t.id, t.desc, t.run)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.Experiments = append(rep.Experiments, r)
+		rep.TotalWallSeconds += r.WallSeconds
+		log.Printf("%s  %7.3fs  %11d allocs  %s", r.ID, r.WallSeconds, r.Allocs, r.Desc)
+	}
+
+	f, err := os.Create(*outPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("total %.3fs (%s mode, jobs=%d) -> %s", rep.TotalWallSeconds, mode, *jobs, *outPath)
+}

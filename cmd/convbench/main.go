@@ -5,7 +5,8 @@
 // Usage:
 //
 //	convbench [-fig 5a|5b|5c|5d|6|all] [-quick] [-reps N] [-steps N]
-//	          [-seed N] [-out results] [-csv out.csv]
+//	          [-seed N] [-out results] [-csv out.csv] [-j N]
+//	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/diag"
 	"repro/internal/experiments"
 )
 
@@ -44,7 +46,15 @@ func main() {
 	weak := flag.Bool("weak", false, "additionally run the weak-scaling (Gustafson) sweep")
 	decomp := flag.Bool("decomp", false, "additionally run the 1-D vs 2-D decomposition ablation (§3)")
 	fit := flag.Bool("fit", false, "additionally fit T(p)=A+B/p+C·p per section and predict inflexions")
+	jobs := flag.Int("j", 0, "concurrent sweep workers (0 = GOMAXPROCS; output is identical for every value)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+
+	stopProfiles, err := diag.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	opts := experiments.PaperConvOptions()
 	if *quick {
@@ -59,6 +69,7 @@ func main() {
 	if *seed != 0 {
 		opts.Seed = *seed
 	}
+	opts.Jobs = *jobs
 
 	fmt.Printf("machine: %s  |  image 5616x3744 RGB, %d steps, %d reps, scales %v\n\n",
 		opts.Model.Name, opts.Steps, opts.Reps, opts.Ps)
@@ -107,6 +118,7 @@ func main() {
 		if *quick {
 			wopts = experiments.QuickWeakOptions()
 		}
+		wopts.Jobs = *jobs
 		wres, err := experiments.RunWeakConvolution(wopts)
 		if err != nil {
 			log.Fatal(err)
@@ -123,6 +135,7 @@ func main() {
 		if *quick {
 			dopts = experiments.QuickDecompOptions()
 		}
+		dopts.Jobs = *jobs
 		dres, err := experiments.RunDecompComparison(dopts)
 		if err != nil {
 			log.Fatal(err)
@@ -146,5 +159,9 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("raw sweep written to %s\n", path)
+	}
+
+	if err := stopProfiles(); err != nil {
+		log.Fatal(err)
 	}
 }

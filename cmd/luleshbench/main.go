@@ -5,7 +5,8 @@
 // Usage:
 //
 //	luleshbench [-fig 7|8|9|10|all] [-quick] [-steps N] [-seed N]
-//	            [-out results] [-csv out.csv]
+//	            [-out results] [-csv out.csv] [-j N]
+//	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/balance"
+	"repro/internal/diag"
 	"repro/internal/experiments"
 	"repro/internal/lulesh"
 	"repro/internal/machine"
@@ -35,10 +37,21 @@ func main() {
 	outDir := flag.String("out", "", "directory for output artifacts (created if missing; default CWD)")
 	plot := flag.Bool("plot", false, "also draw ASCII charts for the sweeps")
 	inspect := flag.Bool("inspect", false, "run one p=8 configuration and print the section tree, load-balance report and communication matrix")
+	jobs := flag.Int("j", 0, "concurrent sweep workers (0 = GOMAXPROCS; output is identical for every value)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+
+	stopProfiles, err := diag.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	if *inspect {
 		if err := inspectRun(); err != nil {
+			log.Fatal(err)
+		}
+		if err := stopProfiles(); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -55,6 +68,7 @@ func main() {
 		if *seed != 0 {
 			o.Seed = *seed
 		}
+		o.Jobs = *jobs
 		return o
 	}
 
@@ -136,6 +150,10 @@ func main() {
 	case "7", "8", "9", "10", "all":
 	default:
 		log.Fatalf("unknown figure %q (want 7, 8, 9, 10 or all)", *fig)
+	}
+
+	if err := stopProfiles(); err != nil {
+		log.Fatal(err)
 	}
 }
 

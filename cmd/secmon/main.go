@@ -15,14 +15,18 @@ import (
 	"flag"
 	"log"
 	"net/http"
+
+	"repro/internal/sched"
 )
 
 func logf(format string, args ...any) { log.Printf(format, args...) }
 
 func main() {
 	addr := flag.String("addr", "localhost:8080", "listen address")
+	jobs := flag.Int("j", 0, "concurrent experiment runs admitted by /run (0 = GOMAXPROCS)")
 	flag.Parse()
 
+	sched.SetParallelism(*jobs)
 	s := newServer()
 	log.Printf("secmon listening on http://%s (try /run?exp=conv&p=64 then /metrics)", *addr)
 	log.Fatal(http.ListenAndServe(*addr, s.handler()))

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync"
 	"time"
@@ -45,6 +46,11 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/trace.json", s.handleTrace)
 	mux.HandleFunc("/spans.json", s.handleSpans)
 	mux.HandleFunc("/run", s.handleRun)
+	// Runtime profiling of the monitor process itself: with a sweep running
+	// behind /run, `go tool pprof http://.../debug/pprof/profile` lands in
+	// the same simulation hot paths the bench binaries' -cpuprofile covers.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	return mux
 }
 

@@ -14,6 +14,18 @@
 // payload as attributes) and live Prometheus metrics, served by
 // cmd/secmon's HTTP monitor. See "Attaching your own tool" in README.md.
 //
+// Buffer ownership, for tool authors and workloads: message payloads live
+// in a size-classed pool. mpi.Comm.Recv (and the Wait on an Irecv request)
+// transfers ownership of the returned []byte to the caller — pass it to
+// mpi.Release when done to keep the steady state allocation-free, or keep
+// it indefinitely (a kept buffer is merely never recycled). Tool hooks
+// (MessageSent/MessageRecv) receive metadata only, never the payload, so
+// tools are unaffected. Buffers obtained any other way (RecvFloat64s
+// results, Allreduce results) are owned by the caller outright and must
+// NOT be passed to mpi.Release. Scaled runs may ship "ghost" messages
+// that carry a byte count but no payload bytes; Recv materializes a
+// zeroed buffer for them, so receivers cannot observe the difference.
+//
 // See README.md for the tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for paper-vs-measured results. The root package holds only
 // the benchmark harness (bench_test.go); the implementation lives under

@@ -150,17 +150,19 @@ func runRank(c *mpi.Comm, p Params) (*img.Image, error) {
 	fullRowBytes := p.Width * img.Channels * 8
 
 	// ---- LOAD: rank 0 loads and decodes; everyone waits (paper Fig. 4).
+	// A SkipKernel sweep never touches pixel data anywhere below, so it
+	// skips the synthetic image entirely; the charges are identical.
 	var source *img.Image
 	err := c.Section(SecLoad, func() error {
 		if rank == 0 {
-			var err error
-			source, err = img.NewSynthetic(execW, execH, p.Seed)
-			if err != nil {
-				return err
-			}
-			// Encode/decode through the real PPM codec unless the kernel
-			// is skipped; always charge full-size storage + decode.
 			if !p.SkipKernel {
+				var err error
+				source, err = img.NewSynthetic(execW, execH, p.Seed)
+				if err != nil {
+					return err
+				}
+				// Encode/decode through the real PPM codec; always charge
+				// full-size storage + decode.
 				var buf bytes.Buffer
 				if err := source.EncodePPM(&buf); err != nil {
 					return err
@@ -194,15 +196,26 @@ func runRank(c *mpi.Comm, p Params) (*img.Image, error) {
 		if rank == 0 {
 			for r := ranks - 1; r >= 1; r-- {
 				rLo, rHi := partition(execH, ranks, r)
+				rFullLo, rFullHi := partition(p.Height, ranks, r)
+				vbytes := (rFullHi - rFullLo) * fullRowBytes
+				if p.SkipKernel {
+					// Ghost band: no pixels exist, but the message carries
+					// the band's real byte count and full-problem vbytes.
+					if err := c.SendGhost(r, tag, (rHi-rLo)*stride*8, vbytes); err != nil {
+						return err
+					}
+					continue
+				}
 				rows, err := source.Rows(rLo, rHi)
 				if err != nil {
 					return err
 				}
-				rFullLo, rFullHi := partition(p.Height, ranks, r)
-				vbytes := (rFullHi - rFullLo) * fullRowBytes
-				if err := c.SendSized(r, tag, mpi.Float64sToBytes(rows), vbytes); err != nil {
+				if err := c.SendFloat64sSized(r, tag, rows, vbytes); err != nil {
 					return err
 				}
+			}
+			if p.SkipKernel {
+				return nil
 			}
 			own, err := source.Rows(0, execHi)
 			if err != nil {
@@ -211,53 +224,65 @@ func runRank(c *mpi.Comm, p Params) (*img.Image, error) {
 			band = append([]float64(nil), own...)
 			return nil
 		}
-		raw, _, err := c.Recv(0, tag)
-		if err != nil {
+		if p.SkipKernel {
+			_, err := c.RecvDiscard(0, tag)
 			return err
 		}
-		band, err = mpi.BytesToFloat64s(raw)
+		var err error
+		band, _, err = c.RecvFloat64s(0, tag)
 		return err
 	})
 	if err != nil {
 		return nil, err
 	}
-	if len(band) != execRows*stride {
+	if !p.SkipKernel && len(band) != execRows*stride {
 		return nil, fmt.Errorf("convolution: rank %d band %d != %d rows", rank, len(band), execRows)
 	}
 
 	// ---- time-step loop: HALO then CONVOLVE, p.Steps times.
 	up, down := rank-1, rank+1
 	perStepWork := kernelWork.Scale(float64(fullRows * p.Width * img.Channels))
+	rowBytes := stride * 8
 	var topHalo, bottomHalo []float64
+	var topScratch, botScratch []float64 // persistent receive buffers
 	for step := 0; step < p.Steps; step++ {
 		err = c.Section(SecHalo, func() error {
 			const tagUp, tagDown = 200, 201
+			if p.SkipKernel {
+				// Ghost exchange: full matching, ordering and timing, zero
+				// payload traffic.
+				if up >= 0 {
+					if _, err := c.SendrecvGhost(up, tagUp, rowBytes, fullRowBytes, up, tagDown); err != nil {
+						return err
+					}
+				}
+				if down < ranks {
+					if _, err := c.SendrecvGhost(down, tagDown, rowBytes, fullRowBytes, down, tagUp); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
 			topHalo, bottomHalo = nil, nil
 			// Exchange with the upper neighbor: send my first row up,
 			// receive their last row.
 			if up >= 0 {
 				firstRow := band[0:stride]
-				got, _, err := c.SendrecvSized(up, tagUp, mpi.Float64sToBytes(firstRow),
-					fullRowBytes, up, tagDown)
+				got, _, err := c.SendrecvFloat64sInto(up, tagUp, firstRow,
+					fullRowBytes, up, tagDown, topScratch)
 				if err != nil {
 					return err
 				}
-				topHalo, err = mpi.BytesToFloat64s(got)
-				if err != nil {
-					return err
-				}
+				topScratch, topHalo = got, got
 			}
 			if down < ranks {
 				lastRow := band[(execRows-1)*stride:]
-				got, _, err := c.SendrecvSized(down, tagDown, mpi.Float64sToBytes(lastRow),
-					fullRowBytes, down, tagUp)
+				got, _, err := c.SendrecvFloat64sInto(down, tagDown, lastRow,
+					fullRowBytes, down, tagUp, botScratch)
 				if err != nil {
 					return err
 				}
-				bottomHalo, err = mpi.BytesToFloat64s(got)
-				if err != nil {
-					return err
-				}
+				botScratch, bottomHalo = got, got
 			}
 			return nil
 		})
@@ -285,7 +310,18 @@ func runRank(c *mpi.Comm, p Params) (*img.Image, error) {
 	err = c.Section(SecGather, func() error {
 		const tag = 300
 		if rank != 0 {
-			return c.SendSized(0, tag, mpi.Float64sToBytes(band), fullRows*fullRowBytes)
+			if p.SkipKernel {
+				return c.SendGhost(0, tag, execRows*stride*8, fullRows*fullRowBytes)
+			}
+			return c.SendFloat64sSized(0, tag, band, fullRows*fullRowBytes)
+		}
+		if p.SkipKernel {
+			for r := 1; r < ranks; r++ {
+				if _, err := c.RecvDiscard(r, tag); err != nil {
+					return err
+				}
+			}
+			return nil
 		}
 		var err error
 		result, err = img.New(execW, execH)
@@ -302,6 +338,7 @@ func runRank(c *mpi.Comm, p Params) (*img.Image, error) {
 			if err != nil {
 				return err
 			}
+			mpi.Release(raw)
 			rLo, rHi := partition(execH, ranks, r)
 			copy(result.Pix[rLo*stride:rHi*stride], rows)
 		}
@@ -342,14 +379,14 @@ func Sequential(p Params, model *machine.Model) (*img.Image, float64, error) {
 	if err := p.Validate(1); err != nil {
 		return nil, 0, err
 	}
-	src, err := img.NewSynthetic(p.execWidth(), p.execHeight(), p.Seed)
-	if err != nil {
-		return nil, 0, err
-	}
+	// The modeled time below is analytic; pixel data only matters when the
+	// kernel really executes, so SkipKernel sweeps never build the image.
 	var out *img.Image
-	if p.SkipKernel {
-		out = nil
-	} else {
+	if !p.SkipKernel {
+		src, err := img.NewSynthetic(p.execWidth(), p.execHeight(), p.Seed)
+		if err != nil {
+			return nil, 0, err
+		}
 		// Run through the codec exactly like rank 0 of the parallel run.
 		var buf bytes.Buffer
 		if err := src.EncodePPM(&buf); err != nil {

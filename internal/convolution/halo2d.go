@@ -21,6 +21,61 @@ const (
 	tagCornerSE = 223
 )
 
+// exchangeHalos2DGhost performs the exact message sequence of
+// exchangeHalos2D — same neighbors, tags, real sizes and virtual sizes, in
+// the same order — without materializing any payload. SkipKernel sweeps run
+// on it: virtual clocks advance identically, nothing is packed or copied.
+func (t *tile2D) exchangeHalos2DGhost(c *mpi.Comm) error {
+	ch := img.Channels
+	w, h := t.w, t.h
+	fullRowBytes := t.fullW() * ch * 8
+	fullColBytes := t.fullH() * ch * 8
+	cornerBytes := ch * 8
+	if up := t.neighborRank(0, -1); up >= 0 {
+		if _, err := c.SendrecvGhost(up, tagRowUp, w*ch*8, fullRowBytes, up, tagRowDown); err != nil {
+			return err
+		}
+	}
+	if down := t.neighborRank(0, +1); down >= 0 {
+		if _, err := c.SendrecvGhost(down, tagRowDown, w*ch*8, fullRowBytes, down, tagRowUp); err != nil {
+			return err
+		}
+	}
+	if left := t.neighborRank(-1, 0); left >= 0 {
+		if _, err := c.SendrecvGhost(left, tagColLeft, h*ch*8, fullColBytes, left, tagColRight); err != nil {
+			return err
+		}
+	}
+	if right := t.neighborRank(+1, 0); right >= 0 {
+		if _, err := c.SendrecvGhost(right, tagColRight, h*ch*8, fullColBytes, right, tagColLeft); err != nil {
+			return err
+		}
+	}
+	for _, d := range cornerDirs {
+		if diag := t.neighborRank(d.dx, d.dy); diag >= 0 {
+			if _, err := c.SendrecvGhost(diag, d.sendTag, ch*8, cornerBytes, diag, d.recvTag); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// cornerDir describes one diagonal exchange; the tags encode the travel
+// direction.
+type cornerDir struct {
+	dx, dy  int
+	sendTag int
+	recvTag int // opposite travel direction
+}
+
+var cornerDirs = []cornerDir{
+	{-1, -1, tagCornerNW, tagCornerSE},
+	{+1, -1, tagCornerNE, tagCornerSW},
+	{-1, +1, tagCornerSW, tagCornerNE},
+	{+1, +1, tagCornerSE, tagCornerNW},
+}
+
 // exchangeHalos2D fills ext (the (h+2)×(w+2) extended tile) from tile and
 // the eight neighbors.
 func (t *tile2D) exchangeHalos2D(c *mpi.Comm, p Params, tile, ext []float64) error {
@@ -52,6 +107,7 @@ func (t *tile2D) exchangeHalos2D(c *mpi.Comm, p Params, tile, ext []float64) err
 		if err != nil {
 			return err
 		}
+		mpi.Release(got)
 		copy(ext[extAt(0, 1):extAt(0, 1)+w*ch], row)
 	} else {
 		copy(ext[extAt(0, 1):extAt(0, 1)+w*ch], topRow) // replicate global top
@@ -66,6 +122,7 @@ func (t *tile2D) exchangeHalos2D(c *mpi.Comm, p Params, tile, ext []float64) err
 		if err != nil {
 			return err
 		}
+		mpi.Release(got)
 		copy(ext[extAt(h+1, 1):extAt(h+1, 1)+w*ch], row)
 	} else {
 		copy(ext[extAt(h+1, 1):extAt(h+1, 1)+w*ch], bottomRow)
@@ -95,6 +152,7 @@ func (t *tile2D) exchangeHalos2D(c *mpi.Comm, p Params, tile, ext []float64) err
 		if err != nil {
 			return err
 		}
+		mpi.Release(got)
 		placeCol(0, col)
 	} else {
 		placeCol(0, leftCol)
@@ -109,24 +167,14 @@ func (t *tile2D) exchangeHalos2D(c *mpi.Comm, p Params, tile, ext []float64) err
 		if err != nil {
 			return err
 		}
+		mpi.Release(got)
 		placeCol(w+1, col)
 	} else {
 		placeCol(w+1, rightCol)
 	}
 
 	// --- corners --------------------------------------------------------
-	type cornerDir struct {
-		dx, dy  int
-		sendTag int
-		recvTag int // opposite travel direction
-	}
-	dirs := []cornerDir{
-		{-1, -1, tagCornerNW, tagCornerSE},
-		{+1, -1, tagCornerNE, tagCornerSW},
-		{-1, +1, tagCornerSW, tagCornerNE},
-		{+1, +1, tagCornerSE, tagCornerNW},
-	}
-	for _, d := range dirs {
+	for _, d := range cornerDirs {
 		// My corner pixel in that direction.
 		sx, sy := 0, 0
 		if d.dx > 0 {
@@ -156,6 +204,7 @@ func (t *tile2D) exchangeHalos2D(c *mpi.Comm, p Params, tile, ext []float64) err
 			if err != nil {
 				return err
 			}
+			mpi.Release(got)
 			copy(ext[extAt(gy, gx):extAt(gy, gx)+ch], vals)
 			continue
 		}

@@ -126,12 +126,12 @@ func runRank2D(c *mpi.Comm, p Params, px, py int) (*img.Image, error) {
 	var source *img.Image
 	err = c.Section(SecLoad, func() error {
 		if c.Rank() == 0 {
-			var err error
-			source, err = img.NewSynthetic(execW, execH, p.Seed)
-			if err != nil {
-				return err
-			}
 			if !p.SkipKernel {
+				var err error
+				source, err = img.NewSynthetic(execW, execH, p.Seed)
+				if err != nil {
+					return err
+				}
 				// Through the real codec, like the 1-D variant and the
 				// sequential reference.
 				var buf bytes.Buffer
@@ -174,34 +174,51 @@ func runRank2D(c *mpi.Comm, p Params, px, py int) (*img.Image, error) {
 				rylo, ryhi := partition(execH, py, rcy)
 				fxlo, fxhi := partition(p.Width, px, rcx)
 				fylo, fyhi := partition(p.Height, py, rcy)
-				data := extractTile(source, rxlo, rxhi, rylo, ryhi)
 				vbytes := (fxhi - fxlo) * (fyhi - fylo) * ch * 8
-				if err := c.SendSized(r, tag, mpi.Float64sToBytes(data), vbytes); err != nil {
+				if p.SkipKernel {
+					nbytes := (rxhi - rxlo) * (ryhi - rylo) * ch * 8
+					if err := c.SendGhost(r, tag, nbytes, vbytes); err != nil {
+						return err
+					}
+					continue
+				}
+				data := extractTile(source, rxlo, rxhi, rylo, ryhi)
+				if err := c.SendFloat64sSized(r, tag, data, vbytes); err != nil {
 					return err
 				}
+			}
+			if p.SkipKernel {
+				return nil
 			}
 			tile = extractTile(source, t.xlo, t.xhi, t.ylo, t.yhi)
 			return nil
 		}
-		raw, _, err := c.Recv(0, tag)
-		if err != nil {
+		if p.SkipKernel {
+			_, err := c.RecvDiscard(0, tag)
 			return err
 		}
-		tile, err = mpi.BytesToFloat64s(raw)
+		var err error
+		tile, _, err = c.RecvFloat64s(0, tag)
 		return err
 	})
 	if err != nil {
 		return nil, err
 	}
-	if len(tile) != t.w*t.h*ch {
+	if !p.SkipKernel && len(tile) != t.w*t.h*ch {
 		return nil, fmt.Errorf("convolution: rank %d tile %d != %dx%d", c.Rank(), len(tile), t.w, t.h)
 	}
 
 	// ---- time-step loop.
 	perStepWork := kernelWork.Scale(float64(t.fullW() * t.fullH() * ch))
-	ext := make([]float64, (t.h+2)*(t.w+2)*ch)
+	var ext []float64
+	if !p.SkipKernel {
+		ext = make([]float64, (t.h+2)*(t.w+2)*ch)
+	}
 	for step := 0; step < p.Steps; step++ {
 		if err := c.Section(SecHalo, func() error {
+			if p.SkipKernel {
+				return t.exchangeHalos2DGhost(c)
+			}
 			return t.exchangeHalos2D(c, p, tile, ext)
 		}); err != nil {
 			return nil, err
@@ -227,7 +244,18 @@ func runRank2D(c *mpi.Comm, p Params, px, py int) (*img.Image, error) {
 		const tag = 111
 		if c.Rank() != 0 {
 			vbytes := t.fullW() * t.fullH() * ch * 8
-			return c.SendSized(0, tag, mpi.Float64sToBytes(tile), vbytes)
+			if p.SkipKernel {
+				return c.SendGhost(0, tag, t.w*t.h*ch*8, vbytes)
+			}
+			return c.SendFloat64sSized(0, tag, tile, vbytes)
+		}
+		if p.SkipKernel {
+			for r := 1; r < c.Size(); r++ {
+				if _, err := c.RecvDiscard(r, tag); err != nil {
+					return err
+				}
+			}
+			return nil
 		}
 		var err error
 		result, err = img.New(execW, execH)
@@ -251,6 +279,7 @@ func runRank2D(c *mpi.Comm, p Params, px, py int) (*img.Image, error) {
 			if err != nil {
 				return err
 			}
+			mpi.Release(raw)
 			rcy, rcx := r/px, r%px
 			rxlo, rxhi := partition(execW, px, rcx)
 			rylo, ryhi := partition(execH, py, rcy)

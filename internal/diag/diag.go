@@ -1,0 +1,51 @@
+// Package diag wires Go's runtime profilers into the benchmark binaries so
+// the hot paths of the simulation core stay inspectable: every command
+// exposes -cpuprofile/-memprofile flags backed by StartProfiles, and
+// cmd/secmon additionally serves the net/http/pprof endpoints.
+package diag
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles starts a CPU profile at cpuPath and arranges for a heap
+// profile at memPath; either may be empty to skip that profile. The
+// returned stop function ends the CPU profile and writes the heap profile,
+// and must be called exactly once (on the success path — a profile cut
+// short by a fatal error is not written).
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("diag: create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("diag: start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("diag: create mem profile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // materialize the steady-state live set
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				return fmt.Errorf("diag: write mem profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mpi"
 	"repro/internal/prof"
+	"repro/internal/sched"
 )
 
 // ConvOptions configures the convolution scaling study of §5.1.
@@ -29,6 +30,10 @@ type ConvOptions struct {
 	Seed uint64
 	// Model is the machine (default: the Nehalem cluster of the paper).
 	Model *machine.Model
+	// Jobs bounds the worker pool running sweep points concurrently
+	// (sched.Workers semantics: 0 selects the process default). Results are
+	// independent of the value.
+	Jobs int
 }
 
 // PaperConvOptions reproduces the paper's setup: the 5616×3744 image,
@@ -92,7 +97,7 @@ func RunConvolution(o ConvOptions) (*ConvResult, error) {
 		Width: 5616, Height: 3744,
 		Steps: o.Steps, Scale: o.Scale, Seed: o.Seed, SkipKernel: true,
 	}
-	_, seq, err := convolution.Sequential(params, o.Model)
+	seq, err := seqBaselineCached(params, o.Model)
 	if err != nil {
 		return nil, err
 	}
@@ -102,7 +107,53 @@ func RunConvolution(o ConvOptions) (*ConvResult, error) {
 	}
 	res := &ConvResult{Opts: o, SeqTime: seq, Study: study}
 
-	for _, p := range o.Ps {
+	// One job per (p, rep): every simulation is an independent virtual-time
+	// run, so the sweep fans out on the worker pool. Folding happens below,
+	// sequentially and in the original (p, rep) order — fp addition order
+	// and study insertion order are those of the sequential sweep, so the
+	// output bytes are identical for every Jobs value.
+	type repResult struct {
+		wall   float64
+		totals map[string]float64
+		shares map[string]float64
+	}
+	reps, err := sched.Map(sched.Workers(o.Jobs), len(o.Ps)*o.Reps, func(i int) (repResult, error) {
+		p := o.Ps[i/o.Reps]
+		rep := i % o.Reps
+		profiler := prof.New()
+		cfg := mpi.Config{
+			Ranks:   p,
+			Model:   o.Model,
+			Seed:    o.Seed + uint64(rep)*7919,
+			Tools:   []mpi.Tool{profiler},
+			Timeout: 10 * time.Minute,
+		}
+		if _, err := convolution.Run(cfg, params); err != nil {
+			return repResult{}, fmt.Errorf("experiments: convolution p=%d rep=%d: %w", p, rep, err)
+		}
+		profile, err := profiler.Result()
+		if err != nil {
+			return repResult{}, err
+		}
+		out := repResult{
+			wall:   profile.WallTime,
+			totals: map[string]float64{},
+			shares: map[string]float64{},
+		}
+		shares := profile.Shares()
+		for _, label := range convolution.Labels() {
+			if s := profile.Section(label); s != nil {
+				out.totals[label] = s.TotalTime()
+				out.shares[label] = shares[label]
+			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for pi, p := range o.Ps {
 		pt := ConvPoint{
 			P:          p,
 			Totals:     map[string]float64{},
@@ -110,27 +161,12 @@ func RunConvolution(o ConvOptions) (*ConvResult, error) {
 			Shares:     map[string]float64{},
 		}
 		for rep := 0; rep < o.Reps; rep++ {
-			profiler := prof.New()
-			cfg := mpi.Config{
-				Ranks:   p,
-				Model:   o.Model,
-				Seed:    o.Seed + uint64(rep)*7919,
-				Tools:   []mpi.Tool{profiler},
-				Timeout: 10 * time.Minute,
-			}
-			if _, err := convolution.Run(cfg, params); err != nil {
-				return nil, fmt.Errorf("experiments: convolution p=%d rep=%d: %w", p, rep, err)
-			}
-			profile, err := profiler.Result()
-			if err != nil {
-				return nil, err
-			}
-			pt.Wall += profile.WallTime
-			shares := profile.Shares()
+			job := reps[pi*o.Reps+rep]
+			pt.Wall += job.wall
 			for _, label := range convolution.Labels() {
-				if s := profile.Section(label); s != nil {
-					pt.Totals[label] += s.TotalTime()
-					pt.Shares[label] += shares[label]
+				if t, ok := job.totals[label]; ok {
+					pt.Totals[label] += t
+					pt.Shares[label] += job.shares[label]
 				}
 			}
 		}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mpi"
 	"repro/internal/prof"
+	"repro/internal/sched"
 )
 
 // Decomposition ablation: the paper's §3 ties communication overhead to
@@ -42,6 +43,8 @@ type DecompOptions struct {
 	Scale int
 	Seed  uint64
 	Model *machine.Model
+	// Jobs bounds the worker pool (sched.Workers semantics).
+	Jobs int
 }
 
 // QuickDecompOptions is a reduced comparison for tests.
@@ -75,40 +78,56 @@ func RunDecompComparison(o DecompOptions) (*DecompResult, error) {
 		Width: 5616, Height: 3744,
 		Steps: o.Steps, Scale: o.Scale, Seed: o.Seed, SkipKernel: true,
 	}
-	res := &DecompResult{}
-	for _, p := range o.Ps {
+	grids := make([][2]int, len(o.Ps))
+	for i, p := range o.Ps {
 		px, py, err := convolution.Grid2D(p)
 		if err != nil {
 			return nil, err
 		}
-		pt := DecompPoint{
+		grids[i] = [2]int{px, py}
+	}
+	// Two jobs per scale — the 1-D and 2-D runs are independent of each
+	// other too, so both decompositions fan out on the worker pool.
+	type variantResult struct{ halo, wall float64 }
+	runs, err := sched.Map(sched.Workers(o.Jobs), 2*len(o.Ps), func(i int) (variantResult, error) {
+		p := o.Ps[i/2]
+		runner, name := convolution.Run, "1-D"
+		if i%2 == 1 {
+			runner, name = convolution.Run2D, "2-D"
+		}
+		profiler := prof.New()
+		cfg := mpi.Config{
+			Ranks: p, Model: o.Model, Seed: o.Seed,
+			Tools: []mpi.Tool{profiler}, Timeout: 10 * time.Minute,
+		}
+		if _, err := runner(cfg, params); err != nil {
+			return variantResult{}, fmt.Errorf("experiments: %s p=%d: %w", name, p, err)
+		}
+		profile, err := profiler.Result()
+		if err != nil {
+			return variantResult{}, err
+		}
+		return variantResult{
+			halo: profile.Section(convolution.SecHalo).AvgPerProcess(),
+			wall: profile.WallTime,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &DecompResult{}
+	for i, p := range o.Ps {
+		px, py := grids[i][0], grids[i][1]
+		res.Points = append(res.Points, DecompPoint{
 			P:       p,
 			Grid:    fmt.Sprintf("%dx%d", px, py),
 			Bytes1D: params.Halo1DBytesPerProc(),
 			Bytes2D: params.Halo2DBytesPerProc(px, py),
-		}
-		run := func(runner func(mpi.Config, convolution.Params) (*convolution.Result, error)) (halo, wall float64, err error) {
-			profiler := prof.New()
-			cfg := mpi.Config{
-				Ranks: p, Model: o.Model, Seed: o.Seed,
-				Tools: []mpi.Tool{profiler}, Timeout: 10 * time.Minute,
-			}
-			if _, err := runner(cfg, params); err != nil {
-				return 0, 0, err
-			}
-			profile, err := profiler.Result()
-			if err != nil {
-				return 0, 0, err
-			}
-			return profile.Section(convolution.SecHalo).AvgPerProcess(), profile.WallTime, nil
-		}
-		if pt.Halo1D, pt.Wall1D, err = run(convolution.Run); err != nil {
-			return nil, fmt.Errorf("experiments: 1-D p=%d: %w", p, err)
-		}
-		if pt.Halo2D, pt.Wall2D, err = run(convolution.Run2D); err != nil {
-			return nil, fmt.Errorf("experiments: 2-D p=%d: %w", p, err)
-		}
-		res.Points = append(res.Points, pt)
+			Halo1D:  runs[2*i].halo,
+			Wall1D:  runs[2*i].wall,
+			Halo2D:  runs[2*i+1].halo,
+			Wall2D:  runs[2*i+1].wall,
+		})
 	}
 	return res, nil
 }

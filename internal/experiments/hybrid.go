@@ -11,6 +11,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mpi"
 	"repro/internal/prof"
+	"repro/internal/sched"
 )
 
 // HybridOptions configures the LULESH MPI+OpenMP study of §5.2.
@@ -29,6 +30,8 @@ type HybridOptions struct {
 	MaxScale int
 	// Seed for the machine's stochastic components.
 	Seed uint64
+	// Jobs bounds the worker pool (sched.Workers semantics).
+	Jobs int
 }
 
 // PaperBroadwellOptions reproduces Fig. 8's sweep.
@@ -113,6 +116,11 @@ func RunHybrid(o HybridOptions) (*HybridResult, error) {
 		o.Model = machine.KNL()
 	}
 	res := &HybridResult{Opts: o}
+	// Resolve the per-rank sizes first (cheap, and validation errors should
+	// not depend on scheduling), then fan the (ranks, threads) grid out on
+	// the worker pool: each cell is an independent simulation.
+	type gridCell struct{ ranks, threads, s, scale int }
+	cells := make([]gridCell, 0, len(o.Ranks)*len(o.Threads))
 	for _, ranks := range o.Ranks {
 		s, err := sFor(ranks)
 		if err != nil {
@@ -120,44 +128,52 @@ func RunHybrid(o HybridOptions) (*HybridResult, error) {
 		}
 		scale := chooseScale(s, o.MaxScale)
 		for _, threads := range o.Threads {
-			params := lulesh.Params{
-				S: s, Steps: o.Steps, Threads: threads, Scale: scale, SedovEnergy: 1e4,
-			}
-			profiler := prof.New()
-			cfg := mpi.Config{
-				Ranks:          ranks,
-				ThreadsPerRank: threads,
-				Model:          o.Model,
-				Seed:           o.Seed,
-				Tools:          []mpi.Tool{profiler},
-				Timeout:        10 * time.Minute,
-			}
-			if _, err := lulesh.Run(cfg, params); err != nil {
-				return nil, fmt.Errorf("experiments: lulesh p=%d t=%d: %w", ranks, threads, err)
-			}
-			profile, err := profiler.Result()
-			if err != nil {
-				return nil, err
-			}
-			pt := HybridPoint{
-				Ranks: ranks, Threads: threads,
-				Wall:   profile.WallTime,
-				Totals: map[string]float64{},
-			}
-			for _, label := range lulesh.Sections() {
-				if sec := profile.Section(label); sec != nil {
-					pt.Totals[label] = sec.TotalTime()
-				}
-			}
-			if sec := profile.Section(lulesh.SecNodal); sec != nil {
-				pt.NodalAvg = sec.AvgPerProcess()
-			}
-			if sec := profile.Section(lulesh.SecElements); sec != nil {
-				pt.ElementsAvg = sec.AvgPerProcess()
-			}
-			res.Points = append(res.Points, pt)
+			cells = append(cells, gridCell{ranks, threads, s, scale})
 		}
 	}
+	points, err := sched.Map(sched.Workers(o.Jobs), len(cells), func(i int) (HybridPoint, error) {
+		cell := cells[i]
+		params := lulesh.Params{
+			S: cell.s, Steps: o.Steps, Threads: cell.threads, Scale: cell.scale, SedovEnergy: 1e4,
+		}
+		profiler := prof.New()
+		cfg := mpi.Config{
+			Ranks:          cell.ranks,
+			ThreadsPerRank: cell.threads,
+			Model:          o.Model,
+			Seed:           o.Seed,
+			Tools:          []mpi.Tool{profiler},
+			Timeout:        10 * time.Minute,
+		}
+		if _, err := lulesh.Run(cfg, params); err != nil {
+			return HybridPoint{}, fmt.Errorf("experiments: lulesh p=%d t=%d: %w", cell.ranks, cell.threads, err)
+		}
+		profile, err := profiler.Result()
+		if err != nil {
+			return HybridPoint{}, err
+		}
+		pt := HybridPoint{
+			Ranks: cell.ranks, Threads: cell.threads,
+			Wall:   profile.WallTime,
+			Totals: map[string]float64{},
+		}
+		for _, label := range lulesh.Sections() {
+			if sec := profile.Section(label); sec != nil {
+				pt.Totals[label] = sec.TotalTime()
+			}
+		}
+		if sec := profile.Section(lulesh.SecNodal); sec != nil {
+			pt.NodalAvg = sec.AvgPerProcess()
+		}
+		if sec := profile.Section(lulesh.SecElements); sec != nil {
+			pt.ElementsAvg = sec.AvgPerProcess()
+		}
+		return pt, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Points = points
 	sort.Slice(res.Points, func(i, j int) bool {
 		if res.Points[i].Ranks != res.Points[j].Ranks {
 			return res.Points[i].Ranks < res.Points[j].Ranks

@@ -8,6 +8,7 @@ import (
 	"repro/internal/lulesh"
 	"repro/internal/machine"
 	"repro/internal/mpi"
+	"repro/internal/sched"
 )
 
 // This file exposes single-point experiment launches with caller-supplied
@@ -105,9 +106,13 @@ func SeqBaseline(o LiveOptions) (float64, error) {
 		Width: 5616, Height: 3744,
 		Steps: o.Steps, Scale: o.Scale, Seed: o.Seed, SkipKernel: true,
 	}
-	_, seq, err := convolution.Sequential(params, o.Model)
-	return seq, err
+	return seqBaselineCached(params, o.Model)
 }
+
+// liveLimiter bounds concurrent RunLive executions so an on-demand monitor
+// cannot oversubscribe the host while a sweep is regenerating figures. The
+// capacity tracks the process-wide worker default at each admission.
+var liveLimiter = sched.NewLimiter(1)
 
 // RunLive executes one experiment run with the caller's tool chain
 // attached and returns the run report. The tools observe the run exactly
@@ -117,6 +122,9 @@ func RunLive(o LiveOptions) (*mpi.Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	liveLimiter.Resize(sched.Workers(0))
+	liveLimiter.Acquire()
+	defer liveLimiter.Release()
 	cfg := mpi.Config{
 		Ranks:   o.Ranks,
 		Model:   o.Model,

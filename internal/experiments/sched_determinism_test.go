@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The scheduler port's correctness bar: a sweep's output is a pure
+// function of its options — the worker count must not leak into results.
+// Each sweep point runs in its own virtual-time world with its own seeded
+// RNGs, and the drivers fold points back in option order, so the CSV
+// emitted at Jobs=1 and Jobs=8 must be byte-identical.
+
+// convCSV runs the quick Fig. 5 sweep with the given worker count and
+// returns the raw CSV bytes.
+func convCSV(t *testing.T, jobs int) []byte {
+	t.Helper()
+	o := QuickConvOptions()
+	o.Jobs = jobs
+	res, err := RunConvolution(o)
+	if err != nil {
+		t.Fatalf("RunConvolution(jobs=%d): %v", jobs, err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV(jobs=%d): %v", jobs, err)
+	}
+	return buf.Bytes()
+}
+
+func TestConvolutionSweepDeterministicAcrossWorkers(t *testing.T) {
+	seq := convCSV(t, 1)
+	par := convCSV(t, 8)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("Fig 5 sweep CSV differs between -j 1 and -j 8:\n-j 1:\n%s\n-j 8:\n%s", seq, par)
+	}
+}
+
+// hybridCSV runs the quick Fig. 9 sweep with the given worker count.
+func hybridCSV(t *testing.T, jobs int) []byte {
+	t.Helper()
+	o := QuickHybridOptions()
+	o.Jobs = jobs
+	res, err := RunHybrid(o)
+	if err != nil {
+		t.Fatalf("RunHybrid(jobs=%d): %v", jobs, err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV(jobs=%d): %v", jobs, err)
+	}
+	return buf.Bytes()
+}
+
+func TestHybridSweepDeterministicAcrossWorkers(t *testing.T) {
+	seq := hybridCSV(t, 1)
+	par := hybridCSV(t, 8)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("Fig 9 sweep CSV differs between -j 1 and -j 8:\n-j 1:\n%s\n-j 8:\n%s", seq, par)
+	}
+}
+
+// The weak-scaling and decomposition drivers went through the same port;
+// cover them with the same invariant so a future driver change cannot
+// silently reintroduce order dependence.
+func TestWeakAndDecompDeterministicAcrossWorkers(t *testing.T) {
+	weakWall := func(jobs int) []float64 {
+		o := QuickWeakOptions()
+		o.Jobs = jobs
+		res, err := RunWeakConvolution(o)
+		if err != nil {
+			t.Fatalf("RunWeakConvolution(jobs=%d): %v", jobs, err)
+		}
+		walls := make([]float64, len(res.Points))
+		for i, pt := range res.Points {
+			walls[i] = pt.Wall
+		}
+		return walls
+	}
+	w1, w8 := weakWall(1), weakWall(8)
+	for i := range w1 {
+		if w1[i] != w8[i] {
+			t.Errorf("weak point %d: wall %v (-j 1) != %v (-j 8)", i, w1[i], w8[i])
+		}
+	}
+
+	decomp := func(jobs int) []DecompPoint {
+		o := QuickDecompOptions()
+		o.Jobs = jobs
+		res, err := RunDecompComparison(o)
+		if err != nil {
+			t.Fatalf("RunDecompComparison(jobs=%d): %v", jobs, err)
+		}
+		return res.Points
+	}
+	d1, d8 := decomp(1), decomp(8)
+	for i := range d1 {
+		if d1[i] != d8[i] {
+			t.Errorf("decomp point %d: %+v (-j 1) != %+v (-j 8)", i, d1[i], d8[i])
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mpi"
 	"repro/internal/prof"
+	"repro/internal/sched"
 )
 
 // The paper's §2 contrasts strong scaling (Amdahl) with the scaled-speedup
@@ -31,6 +32,8 @@ type WeakOptions struct {
 	Scale int
 	Seed  uint64
 	Model *machine.Model
+	// Jobs bounds the worker pool (sched.Workers semantics).
+	Jobs int
 }
 
 // QuickWeakOptions is a reduced sweep for tests.
@@ -87,8 +90,11 @@ func RunWeakConvolution(o WeakOptions) (*WeakResult, error) {
 		return nil, fmt.Errorf("experiments: weak scaling needs Ps starting at 1")
 	}
 	res := &WeakResult{Opts: o}
-	var base float64
-	for _, p := range o.Ps {
+	// Each scale is an independent simulation; only the efficiency columns
+	// depend on the p=1 baseline, so they are derived after the parallel
+	// sweep, in order.
+	points, err := sched.Map(sched.Workers(o.Jobs), len(o.Ps), func(i int) (WeakPoint, error) {
+		p := o.Ps[i]
 		params := convolution.Params{
 			Width:      o.Width,
 			Height:     o.BaseHeight * p,
@@ -106,23 +112,27 @@ func RunWeakConvolution(o WeakOptions) (*WeakResult, error) {
 			Timeout: 10 * time.Minute,
 		}
 		if _, err := convolution.Run(cfg, params); err != nil {
-			return nil, fmt.Errorf("experiments: weak p=%d: %w", p, err)
+			return WeakPoint{}, fmt.Errorf("experiments: weak p=%d: %w", p, err)
 		}
 		profile, err := profiler.Result()
 		if err != nil {
-			return nil, err
+			return WeakPoint{}, err
 		}
 		pt := WeakPoint{P: p, Wall: profile.WallTime}
 		if halo := profile.Section(convolution.SecHalo); halo != nil {
 			pt.HaloAvg = halo.AvgPerProcess()
 		}
-		if p == 1 {
-			base = pt.Wall
-		}
-		pt.Efficiency = base / pt.Wall
-		pt.ScaledSpeedup = float64(p) * pt.Efficiency
-		res.Points = append(res.Points, pt)
+		return pt, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	base := points[0].Wall // Ps[0] == 1, validated above
+	for i := range points {
+		points[i].Efficiency = base / points[i].Wall
+		points[i].ScaledSpeedup = float64(points[i].P) * points[i].Efficiency
+	}
+	res.Points = points
 	return res, nil
 }
 

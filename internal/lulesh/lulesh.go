@@ -186,6 +186,10 @@ type state struct {
 	rho, mx, my, mz, en []float64
 	// Scratch for the update.
 	nrho, nmx, nmy, nmz, nen []float64
+	// Persistent halo-exchange buffers: the outgoing packed face and the
+	// received neighbor face are reused across all 6 exchanges × all steps,
+	// keeping the steady-state timeloop allocation-free.
+	packBuf, faceBuf []float64
 	// Per-step outputs.
 	maxWave      float64 // local max wavespeed (courant)
 	hydroRate    float64 // local max relative density change (hydro)

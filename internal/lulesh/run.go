@@ -311,15 +311,13 @@ func (s *state) exchangeHalos() error {
 				sendTag, recvTag = highTag, lowTag
 			}
 			payload := s.packFace(axis, side, fields)
-			got, _, err := s.c.SendrecvSized(nb, sendTag, mpi.Float64sToBytes(payload),
-				vbytes, nb, recvTag)
+			s.packBuf = payload
+			face, _, err := s.c.SendrecvFloat64sInto(nb, sendTag, payload,
+				vbytes, nb, recvTag, s.faceBuf)
 			if err != nil {
 				return err
 			}
-			face, err := mpi.BytesToFloat64s(got)
-			if err != nil {
-				return err
-			}
+			s.faceBuf = face
 			if err := s.unpackFace(axis, side, fields, face); err != nil {
 				return err
 			}
@@ -356,9 +354,13 @@ func (s *state) facePlane(axis, side int, f func(interior, ghost int)) {
 	}
 }
 
-// packFace flattens the interior boundary plane of every field.
+// packFace flattens the interior boundary plane of every field into the
+// reusable pack buffer.
 func (s *state) packFace(axis, side int, fields [5][]float64) []float64 {
-	out := make([]float64, 0, 5*s.n*s.n)
+	out := s.packBuf[:0]
+	if cap(out) < 5*s.n*s.n {
+		out = make([]float64, 0, 5*s.n*s.n)
+	}
 	for _, fld := range fields {
 		s.facePlane(axis, side, func(interior, _ int) {
 			out = append(out, fld[interior])
@@ -443,6 +445,7 @@ func (s *state) gatherFieldHash() (uint64, error) {
 			if err != nil {
 				return 0, err
 			}
+			mpi.Release(raw)
 			rx := r % s.px
 			ry := (r / s.px) % s.px
 			rz := r / (s.px * s.px)

@@ -1,0 +1,167 @@
+package mpi
+
+import (
+	"runtime/debug"
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+)
+
+// Allocation-regression tests for the message fast path: after warmup, the
+// point-to-point path (pooled envelopes + size-classed payload buffers +
+// recycled posted-receive channels) must run allocation-free, and the tree
+// collectives (per-rank scratch) must stay within a small constant. GC is
+// disabled for the measurement window — a collection would drain the
+// sync.Pools and show the refill as false allocations.
+
+// pingPong is one synchronized round trip between ranks 0 and 1. Lockstep
+// keeps the mailbox occupancy bounded, so the measured window exercises
+// the steady state rather than queue growth.
+func pingPong(c *Comm, payload []byte) error {
+	peer := 1 - c.Rank()
+	if c.Rank() == 0 {
+		if err := c.Send(peer, 0, payload); err != nil {
+			return err
+		}
+		buf, _, err := c.Recv(peer, 0)
+		if err != nil {
+			return err
+		}
+		Release(buf)
+		return nil
+	}
+	buf, _, err := c.Recv(peer, 0)
+	if err != nil {
+		return err
+	}
+	Release(buf)
+	return c.Send(peer, 0, payload)
+}
+
+func TestSendRecvSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector allocates shadow memory; alloc counts are meaningless")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	const warmup, runs = 64, 100
+	payload := make([]byte, 1024)
+	cfg := Config{Ranks: 2, Model: machine.Ideal(2, 1), Seed: 1, Timeout: time.Minute}
+	var avg float64
+	_, err := Run(cfg, func(c *Comm) error {
+		for i := 0; i < warmup; i++ {
+			if err := pingPong(c, payload); err != nil {
+				return err
+			}
+		}
+		if c.Rank() != 0 {
+			// Mirror rank 0's AllocsPerRun schedule: one warmup call plus
+			// `runs` measured calls.
+			for i := 0; i < runs+1; i++ {
+				if err := pingPong(c, payload); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		var stepErr error
+		avg = testing.AllocsPerRun(runs, func() {
+			if stepErr == nil {
+				stepErr = pingPong(c, payload)
+			}
+		})
+		return stepErr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg != 0 {
+		t.Errorf("steady-state Send/Recv: %v allocs/op, want 0", avg)
+	}
+}
+
+func TestAllreduceSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector allocates shadow memory; alloc counts are meaningless")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	const warmup, runs = 64, 100
+	cfg := Config{Ranks: 8, Model: machine.Ideal(8, 1), Seed: 1, Timeout: time.Minute}
+	var avg float64
+	_, err := Run(cfg, func(c *Comm) error {
+		xs := []float64{1, 2, 3, 4, float64(c.Rank()), 6, 7, 8}
+		step := func() error {
+			_, err := c.Allreduce(xs, OpSum)
+			return err
+		}
+		for i := 0; i < warmup; i++ {
+			if err := step(); err != nil {
+				return err
+			}
+		}
+		if c.Rank() != 0 {
+			for i := 0; i < runs+1; i++ {
+				if err := step(); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		var stepErr error
+		avg = testing.AllocsPerRun(runs, func() {
+			if stepErr == nil {
+				stepErr = step()
+			}
+		})
+		return stepErr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The public Allreduce hands every caller an owned result slice — one
+	// allocation per rank per op is the contract (AllocsPerRun counts the
+	// whole process, i.e. all 8 ranks). Anything above means the internal
+	// scratch reuse (encode buffers, accumulator, recv vectors) regressed.
+	if avg > 8 {
+		t.Errorf("steady-state Allreduce: %v allocs/op across 8 ranks, want <= 8 (one result copy per rank)", avg)
+	}
+}
+
+// BenchmarkSendRecv is the steady-state p2p micro-benchmark the fast path
+// targets: 0 allocs/op.
+func BenchmarkSendRecv(b *testing.B) {
+	payload := make([]byte, 1024)
+	cfg := Config{Ranks: 2, Model: machine.Ideal(2, 1), Seed: 1, Timeout: 10 * time.Minute}
+	b.ReportAllocs()
+	b.ResetTimer()
+	_, err := Run(cfg, func(c *Comm) error {
+		for i := 0; i < b.N; i++ {
+			if err := pingPong(c, payload); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkAllreduce measures the vector collective with per-rank scratch.
+func BenchmarkAllreduce(b *testing.B) {
+	cfg := Config{Ranks: 8, Model: machine.Ideal(8, 1), Seed: 1, Timeout: 10 * time.Minute}
+	b.ReportAllocs()
+	b.ResetTimer()
+	_, err := Run(cfg, func(c *Comm) error {
+		xs := []float64{1, 2, 3, 4, float64(c.Rank()), 6, 7, 8}
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Allreduce(xs, OpSum); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

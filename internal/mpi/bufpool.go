@@ -1,0 +1,142 @@
+package mpi
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Payload buffers are recycled through size-classed sync.Pools so the
+// steady state of a simulation — millions of fixed-size halo messages —
+// runs without per-message allocation. Ownership rule: a buffer obtained
+// from Recv/Wait belongs to the caller; passing it to Release hands it
+// back to the runtime, after which the caller must not touch it again (see
+// Release and the package doc for the full contract).
+//
+// Pool mechanics: buffers live in the pools boxed as *[]byte so Get/Put
+// never box a slice header into an interface (which would itself
+// allocate); the empty boxes are recycled through a second pool.
+
+const (
+	minClassBits = 6  // smallest pooled buffer: 64 B
+	maxClassBits = 22 // largest pooled buffer: 4 MiB; larger falls back to make
+	numClasses   = maxClassBits - minClassBits + 1
+)
+
+type payloadPool struct {
+	classes [numClasses]sync.Pool // of *[]byte, len == cap == class size
+	boxes   sync.Pool             // of *[]byte with nil contents
+}
+
+var payloads payloadPool
+
+// classFor returns the smallest class whose buffers hold n bytes, or -1
+// when n exceeds the largest class.
+func classFor(n int) int {
+	c := bits.Len(uint(n-1)) - minClassBits
+	if c < 0 {
+		return 0
+	}
+	if c >= numClasses {
+		return -1
+	}
+	return c
+}
+
+// get returns a buffer of length n. Contents are unspecified (recycled
+// buffers keep their previous bytes); callers overwrite or zero as needed.
+func (p *payloadPool) get(n int) []byte {
+	if n == 0 {
+		return nil
+	}
+	c := classFor(n)
+	if c < 0 {
+		return make([]byte, n)
+	}
+	if v := p.classes[c].Get(); v != nil {
+		box := v.(*[]byte)
+		b := *box
+		*box = nil
+		p.boxes.Put(box)
+		return b[:n]
+	}
+	return make([]byte, n, 1<<(c+minClassBits))
+}
+
+// put recycles b. Buffers smaller than the smallest class or larger than
+// the largest are dropped for the garbage collector.
+func (p *payloadPool) put(b []byte) {
+	n := cap(b)
+	if n < 1<<minClassBits {
+		return
+	}
+	// Class by capacity floor: a class-c buffer serves any request up to
+	// 1<<(c+minClassBits) <= cap.
+	c := bits.Len(uint(n)) - 1 - minClassBits
+	if c >= numClasses {
+		return
+	}
+	var box *[]byte
+	if v := p.boxes.Get(); v != nil {
+		box = v.(*[]byte)
+	} else {
+		box = new([]byte)
+	}
+	*box = b[:n]
+	p.classes[c].Put(box)
+}
+
+// Release returns a payload buffer previously obtained from Recv, Wait or
+// a typed receive helper to the runtime's buffer pool, eliminating the
+// allocation for a future message of similar size. It is optional — the
+// garbage collector reclaims unreleased payloads — and nil-safe. After
+// Release the caller must not read or write b, and must not Release it
+// again: the bytes will be handed to an unrelated future message.
+func Release(b []byte) {
+	payloads.put(b)
+}
+
+// envelopes and posted receives are recycled too; both are small fixed
+// structs, but at one of each per message they dominate the allocation
+// profile once payloads are pooled.
+
+var envPool = sync.Pool{New: func() any { return new(envelope) }}
+
+// newEnvelope returns a zeroed envelope from the pool.
+func newEnvelope() *envelope {
+	return envPool.Get().(*envelope)
+}
+
+// freeEnvelope recycles e and its payload buffer (when still attached).
+func freeEnvelope(e *envelope) {
+	if e.data != nil {
+		payloads.put(e.data)
+	}
+	*e = envelope{}
+	envPool.Put(e)
+}
+
+// releaseEnvelope recycles e without touching its payload — used after
+// ownership of e.data moved to the receiver.
+func releaseEnvelope(e *envelope) {
+	*e = envelope{}
+	envPool.Put(e)
+}
+
+// postedPool recycles posted receives together with their one-slot match
+// channels, so Irecv/Recv do not allocate a channel per operation. A
+// posted may be recycled only when its channel is provably empty: either
+// it matched immediately (the channel was never used) or its single
+// envelope has been received.
+var postedPool = sync.Pool{New: func() any {
+	return &posted{ch: make(chan *envelope, 1)}
+}}
+
+func newPosted(src, tag int) *posted {
+	p := postedPool.Get().(*posted)
+	p.src, p.tag = src, tag
+	return p
+}
+
+func freePosted(p *posted) {
+	postedPool.Put(p)
+}

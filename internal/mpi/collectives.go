@@ -150,13 +150,33 @@ func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
 // Reduce folds each rank's vector with op; the reduced vector lands on
 // root (other ranks get nil). Binomial-tree reduction.
 func (c *Comm) Reduce(root int, xs []float64, op Op) ([]float64, error) {
+	acc, err := c.reduceScratch(root, xs, op, "Reduce")
+	if err != nil || acc == nil {
+		return nil, err
+	}
+	// Copy out of the rank scratch: the caller owns the result.
+	out := make([]float64, len(acc))
+	copy(out, acc)
+	return out, nil
+}
+
+// reduceScratch runs the binomial-tree reduction with the fold accumulator
+// and the peer-decode buffer living in the rank's preallocated scratch. At
+// root it returns the accumulator itself — valid only until the next
+// collective or typed receive on this rank — so Allreduce can re-encode it
+// without an intermediate copy. Non-root ranks return nil.
+func (c *Comm) reduceScratch(root int, xs []float64, op Op, name string) ([]float64, error) {
 	if err := c.checkRoot(root); err != nil {
 		return nil, err
 	}
-	c.collectiveBegin("Reduce")
-	defer c.collectiveEnd("Reduce")
+	c.collectiveBegin(name)
+	defer c.collectiveEnd(name)
 	p := c.Size()
-	acc := make([]float64, len(xs))
+	rs := c.rs
+	if cap(rs.accScratch) < len(xs) {
+		rs.accScratch = make([]float64, len(xs))
+	}
+	acc := rs.accScratch[:len(xs)]
 	copy(acc, xs)
 	if p == 1 {
 		return acc, nil
@@ -166,10 +186,11 @@ func (c *Comm) Reduce(root int, xs []float64, op Op) ([]float64, error) {
 		if vrank%(2*step) == 0 {
 			peer := vrank + step
 			if peer < p {
-				b, _, err := c.RecvFloat64s((peer+root)%p, tagReduce)
+				b, _, err := c.recvFloat64sInto(rs.vecScratch, (peer+root)%p, tagReduce)
 				if err != nil {
 					return nil, err
 				}
+				rs.vecScratch = b
 				if err := op.apply(acc, b); err != nil {
 					return nil, err
 				}
@@ -189,23 +210,31 @@ func (c *Comm) Reduce(root int, xs []float64, op Op) ([]float64, error) {
 }
 
 // Allreduce is Reduce to rank 0 followed by Bcast; every rank receives the
-// reduced vector.
+// reduced vector. The tree traffic runs entirely on rank scratch and pooled
+// wire buffers: the only per-call allocation is the returned vector.
 func (c *Comm) Allreduce(xs []float64, op Op) ([]float64, error) {
 	c.collectiveBegin("Allreduce")
 	defer c.collectiveEnd("Allreduce")
-	red, err := c.Reduce(0, xs, op)
+	red, err := c.reduceScratch(0, xs, op, "Reduce")
 	if err != nil {
 		return nil, err
 	}
 	var payload []byte
 	if c.rank == 0 {
-		payload = Float64sToBytes(red)
+		payload = AppendFloat64s(c.rs.encScratch[:0], red)
+		c.rs.encScratch = payload[:0]
 	}
 	b, err := c.Bcast(0, payload)
 	if err != nil {
 		return nil, err
 	}
-	return BytesToFloat64s(b)
+	out, err := BytesToFloat64s(b)
+	if c.rank != 0 {
+		// Non-root ranks own the received wire buffer; recycle it. Root's
+		// b aliases its encode scratch and must stay with the rank.
+		Release(b)
+	}
+	return out, err
 }
 
 // Gather collects each rank's buffer at root: root receives a slice indexed

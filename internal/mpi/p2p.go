@@ -24,19 +24,44 @@ type Status struct {
 	Bytes  int
 }
 
-// envelope is a message in flight. Data is owned by the envelope (copied on
-// send), so callers may reuse their buffers immediately. vbytes is the
-// virtual (modeled) message size, normally len(data); scaled-down benchmark
+// envelope is a message in flight. data is owned by the envelope (copied
+// into a pooled buffer on send), so senders may reuse their buffers
+// immediately. nbytes is the real payload length; a ghost message carries
+// nbytes > 0 with data == nil — the paper-scale sweeps transport no bytes
+// at all while still charging full-size transfer time. vbytes is the
+// virtual (modeled) message size, normally nbytes; scaled-down benchmark
 // executions transport reduced real payloads while charging full-size
 // transfer time.
 type envelope struct {
 	src, tag int
 	data     []byte
+	nbytes   int
 	vbytes   int
 	arrival  float64 // virtual time at which the payload is available
 }
 
-// posted is an outstanding receive.
+// ghost reports whether the message carries no real bytes.
+func (e *envelope) ghost() bool { return e.data == nil && e.nbytes > 0 }
+
+// takePayload moves the payload out of the envelope to the caller. Ghost
+// messages materialize as a zeroed pooled buffer of the real length, so
+// plain Recv works on them too.
+func (e *envelope) takePayload() []byte {
+	if e.data != nil {
+		b := e.data
+		e.data = nil
+		return b
+	}
+	if e.nbytes == 0 {
+		return nil
+	}
+	b := payloads.get(e.nbytes)
+	clear(b)
+	return b
+}
+
+// posted is an outstanding receive. The one-slot channel is reused across
+// operations through postedPool.
 type posted struct {
 	src, tag int
 	ch       chan *envelope
@@ -73,7 +98,8 @@ func (b *mailbox) deliver(e *envelope) {
 }
 
 // post matches a receive against queued sends or registers it. It returns
-// either an immediately matched envelope or a channel to wait on.
+// either an immediately matched envelope or nil, in which case the caller
+// waits on p.ch.
 func (b *mailbox) post(p *posted) *envelope {
 	b.mu.Lock()
 	for i, e := range b.sends {
@@ -104,8 +130,7 @@ type Request struct {
 // software overhead and stamps the message with its model-derived arrival
 // time. data is copied.
 func (c *Comm) Send(dst, tag int, data []byte) error {
-	_, err := c.sendInternal(dst, tag, data, len(data))
-	return err
+	return c.sendInternal(dst, tag, data, len(data), len(data), false)
 }
 
 // SendSized is Send with an explicit virtual message size: the receiver
@@ -116,25 +141,41 @@ func (c *Comm) SendSized(dst, tag int, data []byte, virtualBytes int) error {
 	if virtualBytes < 0 {
 		return fmt.Errorf("mpi: negative virtual size %d", virtualBytes)
 	}
-	_, err := c.sendInternal(dst, tag, data, virtualBytes)
-	return err
+	return c.sendInternal(dst, tag, data, len(data), virtualBytes, false)
+}
+
+// SendGhost transmits a message of nbytes whose payload bytes are never
+// written or read: no buffer is allocated or copied on either side, while
+// matching, ordering, tool hooks and the virtualBytes-modeled transfer
+// time are exactly those of a real message. The sweeps use it when the
+// executed kernel is skipped (convolution.Params.SkipKernel) and only the
+// clock effects of communication matter. A plain Recv of a ghost message
+// returns a zeroed buffer of length nbytes; RecvDiscard avoids even that.
+func (c *Comm) SendGhost(dst, tag, nbytes, virtualBytes int) error {
+	if nbytes < 0 {
+		return fmt.Errorf("mpi: negative ghost size %d", nbytes)
+	}
+	if virtualBytes < 0 {
+		return fmt.Errorf("mpi: negative virtual size %d", virtualBytes)
+	}
+	return c.sendInternal(dst, tag, nil, nbytes, virtualBytes, true)
 }
 
 // Isend is Send; the returned request completes immediately (eager
 // buffering). It exists so ported MPI code keeps its shape.
 func (c *Comm) Isend(dst, tag int, data []byte) (*Request, error) {
-	if _, err := c.sendInternal(dst, tag, data, len(data)); err != nil {
+	if err := c.Send(dst, tag, data); err != nil {
 		return nil, err
 	}
 	return &Request{comm: c, done: true}, nil
 }
 
-func (c *Comm) sendInternal(dst, tag int, data []byte, vbytes int) (float64, error) {
+func (c *Comm) sendInternal(dst, tag int, data []byte, nbytes, vbytes int, ghost bool) error {
 	if dst < 0 || dst >= c.Size() {
-		return 0, fmt.Errorf("mpi: Send to invalid rank %d (size %d)", dst, c.Size())
+		return fmt.Errorf("mpi: Send to invalid rank %d (size %d)", dst, c.Size())
 	}
 	if tag < 0 && tag > internalTagBase {
-		return 0, fmt.Errorf("mpi: negative tag %d is reserved", tag)
+		return fmt.Errorf("mpi: negative tag %d is reserved", tag)
 	}
 	w := c.rs.world
 	model := w.cfg.Model
@@ -145,17 +186,22 @@ func (c *Comm) sendInternal(dst, tag int, data []byte, vbytes int) (float64, err
 	sameNode := w.placement.SameNode(srcWorld, dstWorld)
 	contenders := w.placement.NodesInUse()
 	transfer := model.MsgTime(vbytes, sameNode, contenders, c.rs.rng)
-	arrival := c.rs.now() + transfer
 
-	buf := make([]byte, len(data))
-	copy(buf, data)
-	e := &envelope{src: c.rank, tag: tag, data: buf, vbytes: vbytes, arrival: arrival}
+	e := newEnvelope()
+	e.src, e.tag = c.rank, tag
+	e.nbytes, e.vbytes = nbytes, vbytes
+	e.arrival = c.rs.now() + transfer
+	if !ghost {
+		buf := payloads.get(len(data))
+		copy(buf, data)
+		e.data = buf
+	}
 	c.shared.boxes[dst].deliver(e)
 
 	for _, t := range w.cfg.Tools {
 		t.MessageSent(c, dst, tag, vbytes, c.rs.now())
 	}
-	return arrival, nil
+	return nil
 }
 
 // Irecv posts a nonblocking receive for a message from src (or AnySource)
@@ -164,18 +210,48 @@ func (c *Comm) Irecv(src, tag int) (*Request, error) {
 	if src != AnySource && (src < 0 || src >= c.Size()) {
 		return nil, fmt.Errorf("mpi: Irecv from invalid rank %d (size %d)", src, c.Size())
 	}
-	p := &posted{src: src, tag: tag, ch: make(chan *envelope, 1)}
+	p := newPosted(src, tag)
 	req := &Request{comm: c, pending: p}
 	if e := c.shared.boxes[c.rank].post(p); e != nil {
 		req.env = e
 		req.pending = nil
+		freePosted(p) // never waited on: channel untouched
 	}
 	return req, nil
 }
 
+// recvEnvelope blocks for a matching message and returns its envelope with
+// the clock advanced and the tool hooks fired — the request-free receive
+// path Recv, RecvDiscard and the collectives run on.
+func (c *Comm) recvEnvelope(src, tag int) (*envelope, error) {
+	if src != AnySource && (src < 0 || src >= c.Size()) {
+		return nil, fmt.Errorf("mpi: Recv from invalid rank %d (size %d)", src, c.Size())
+	}
+	p := newPosted(src, tag)
+	e := c.shared.boxes[c.rank].post(p)
+	if e == nil {
+		e = <-p.ch
+	}
+	freePosted(p)
+	c.completeRecv(e)
+	return e, nil
+}
+
+// completeRecv advances the receiver's clock to the arrival stamp and
+// fires the tool hooks for e.
+func (c *Comm) completeRecv(e *envelope) {
+	model := c.rs.world.cfg.Model
+	c.rs.advance(model.Net.RecvOverhead)
+	c.rs.advanceTo(e.arrival)
+	for _, tool := range c.rs.world.cfg.Tools {
+		tool.MessageRecv(c, e.src, e.tag, e.vbytes, c.rs.now())
+	}
+}
+
 // Wait completes a request. For receives it blocks until the message is
 // matched, advances the virtual clock to the arrival stamp, and returns the
-// payload and status. For sends it returns immediately.
+// payload and status. For sends it returns immediately. The returned
+// payload is owned by the caller (see Release).
 func (r *Request) Wait() ([]byte, Status, error) {
 	if r == nil {
 		return nil, Status{}, fmt.Errorf("mpi: Wait on nil request")
@@ -187,16 +263,15 @@ func (r *Request) Wait() ([]byte, Status, error) {
 	e := r.env
 	if e == nil {
 		e = <-r.pending.ch
+		freePosted(r.pending)
+		r.pending = nil
 	}
-	model := c.rs.world.cfg.Model
-	c.rs.advance(model.Net.RecvOverhead)
-	c.rs.advanceTo(e.arrival)
+	r.env = nil
+	c.completeRecv(e)
 	r.done = true
-	r.data = e.data
 	r.status = Status{Source: e.src, Tag: e.tag, Bytes: e.vbytes}
-	for _, tool := range c.rs.world.cfg.Tools {
-		tool.MessageRecv(c, e.src, e.tag, e.vbytes, c.rs.now())
-	}
+	r.data = e.takePayload()
+	releaseEnvelope(e)
 	return r.data, r.status, nil
 }
 
@@ -236,7 +311,7 @@ func (c *Comm) Iprobe(src, tag int) (Status, bool, error) {
 	if src != AnySource && (src < 0 || src >= c.Size()) {
 		return Status{}, false, fmt.Errorf("mpi: Iprobe from invalid rank %d (size %d)", src, c.Size())
 	}
-	probe := &posted{src: src, tag: tag}
+	probe := posted{src: src, tag: tag}
 	box := c.shared.boxes[c.rank]
 	box.mu.Lock()
 	defer box.mu.Unlock()
@@ -249,13 +324,32 @@ func (c *Comm) Iprobe(src, tag int) (Status, bool, error) {
 }
 
 // Recv blocks for a message from src (or AnySource) with tag (or AnyTag)
-// and returns its payload.
+// and returns its payload. Ownership of the payload transfers to the
+// caller: it stays valid indefinitely, and MAY be handed back to the
+// runtime's buffer pool with Release once decoded or consumed.
 func (c *Comm) Recv(src, tag int) ([]byte, Status, error) {
-	req, err := c.Irecv(src, tag)
+	e, err := c.recvEnvelope(src, tag)
 	if err != nil {
 		return nil, Status{}, err
 	}
-	return req.Wait()
+	st := Status{Source: e.src, Tag: e.tag, Bytes: e.vbytes}
+	data := e.takePayload()
+	releaseEnvelope(e)
+	return data, st, nil
+}
+
+// RecvDiscard receives a message and drops its payload, recycling the
+// buffer (ghost messages never materialize one). It is the receive side of
+// SendGhost and the zero-allocation path for messages whose bytes the
+// caller never reads.
+func (c *Comm) RecvDiscard(src, tag int) (Status, error) {
+	e, err := c.recvEnvelope(src, tag)
+	if err != nil {
+		return Status{}, err
+	}
+	st := Status{Source: e.src, Tag: e.tag, Bytes: e.vbytes}
+	freeEnvelope(e)
+	return st, nil
 }
 
 // Sendrecv sends to dst and receives from src in one logically concurrent
@@ -265,27 +359,41 @@ func (c *Comm) Sendrecv(dst, sendTag int, data []byte, src, recvTag int) ([]byte
 }
 
 // SendrecvSized is Sendrecv with an explicit virtual size for the outgoing
-// message (see SendSized).
+// message (see SendSized). Because sends buffer eagerly and never block,
+// sending first and then receiving matches the posted-receive-first MPI
+// formulation exactly.
 func (c *Comm) SendrecvSized(dst, sendTag int, data []byte, virtualBytes, src, recvTag int) ([]byte, Status, error) {
-	req, err := c.Irecv(src, recvTag)
-	if err != nil {
-		return nil, Status{}, err
-	}
 	if err := c.SendSized(dst, sendTag, data, virtualBytes); err != nil {
 		return nil, Status{}, err
 	}
-	return req.Wait()
+	return c.Recv(src, recvTag)
+}
+
+// SendrecvGhost is Sendrecv for ghost messages: nbytes of unmaterialized
+// payload out (modeled as virtualBytes), and the matching inbound message
+// received and discarded. The whole exchange allocates nothing.
+func (c *Comm) SendrecvGhost(dst, sendTag, nbytes, virtualBytes, src, recvTag int) (Status, error) {
+	if err := c.SendGhost(dst, sendTag, nbytes, virtualBytes); err != nil {
+		return Status{}, err
+	}
+	return c.RecvDiscard(src, recvTag)
 }
 
 // --- typed float64 helpers -------------------------------------------------
 
 // Float64sToBytes encodes xs little-endian; the inverse of BytesToFloat64s.
 func Float64sToBytes(xs []float64) []byte {
-	buf := make([]byte, 8*len(xs))
-	for i, x := range xs {
-		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(x))
+	return AppendFloat64s(make([]byte, 0, 8*len(xs)), xs)
+}
+
+// AppendFloat64s appends the little-endian encoding of xs to dst and
+// returns the extended buffer — the allocation-free variant of
+// Float64sToBytes for callers that reuse a scratch buffer.
+func AppendFloat64s(dst []byte, xs []float64) []byte {
+	for _, x := range xs {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(x))
 	}
-	return buf
+	return dst
 }
 
 // BytesToFloat64s decodes a buffer produced by Float64sToBytes.
@@ -293,34 +401,102 @@ func BytesToFloat64s(b []byte) ([]float64, error) {
 	if len(b)%8 != 0 {
 		return nil, fmt.Errorf("mpi: payload length %d is not a multiple of 8", len(b))
 	}
-	xs := make([]float64, len(b)/8)
-	for i := range xs {
-		xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
-	}
-	return xs, nil
+	return appendBytesToFloat64s(make([]float64, 0, len(b)/8), b), nil
 }
 
-// SendFloat64s sends a float64 vector.
+// appendBytesToFloat64s decodes b (length already validated as a multiple
+// of 8) onto dst.
+func appendBytesToFloat64s(dst []float64, b []byte) []float64 {
+	for i := 0; i+8 <= len(b); i += 8 {
+		dst = append(dst, math.Float64frombits(binary.LittleEndian.Uint64(b[i:])))
+	}
+	return dst
+}
+
+// SendFloat64s sends a float64 vector. The encoding runs through the
+// rank's scratch buffer, so the call allocates nothing.
 func (c *Comm) SendFloat64s(dst, tag int, xs []float64) error {
-	return c.Send(dst, tag, Float64sToBytes(xs))
+	return c.sendFloat64sSized(dst, tag, xs, 8*len(xs))
 }
 
-// RecvFloat64s receives a float64 vector.
+// SendFloat64sSized is SendFloat64s with an explicit virtual message size
+// (see SendSized).
+func (c *Comm) SendFloat64sSized(dst, tag int, xs []float64, virtualBytes int) error {
+	return c.sendFloat64sSized(dst, tag, xs, virtualBytes)
+}
+
+// sendFloat64sSized encodes xs into per-rank scratch and sends it with an
+// explicit virtual size.
+func (c *Comm) sendFloat64sSized(dst, tag int, xs []float64, vbytes int) error {
+	buf := AppendFloat64s(c.rs.encScratch[:0], xs)
+	c.rs.encScratch = buf[:0]
+	return c.SendSized(dst, tag, buf, vbytes)
+}
+
+// RecvFloat64s receives a float64 vector. The wire buffer is recycled
+// internally; the returned vector is freshly allocated and caller-owned.
 func (c *Comm) RecvFloat64s(src, tag int) ([]float64, Status, error) {
-	b, st, err := c.Recv(src, tag)
+	e, err := c.recvEnvelope(src, tag)
 	if err != nil {
-		return nil, st, err
+		return nil, Status{}, err
 	}
-	xs, err := BytesToFloat64s(b)
+	st := Status{Source: e.src, Tag: e.tag, Bytes: e.vbytes}
+	xs, err := decodeEnvelopeFloat64s(e, nil)
+	freeEnvelope(e)
 	return xs, st, err
+}
+
+// recvFloat64sInto receives a float64 vector into dst (grown as needed),
+// returning the filled slice — the zero-allocation receive the collectives
+// fold from.
+func (c *Comm) recvFloat64sInto(dst []float64, src, tag int) ([]float64, Status, error) {
+	e, err := c.recvEnvelope(src, tag)
+	if err != nil {
+		return nil, Status{}, err
+	}
+	st := Status{Source: e.src, Tag: e.tag, Bytes: e.vbytes}
+	xs, err := decodeEnvelopeFloat64s(e, dst[:0])
+	freeEnvelope(e)
+	return xs, st, err
+}
+
+// decodeEnvelopeFloat64s decodes e's payload onto dst. Ghost payloads
+// decode as zeros of the advertised length.
+func decodeEnvelopeFloat64s(e *envelope, dst []float64) ([]float64, error) {
+	if e.nbytes%8 != 0 {
+		return nil, fmt.Errorf("mpi: payload length %d is not a multiple of 8", e.nbytes)
+	}
+	n := e.nbytes / 8
+	if e.ghost() {
+		if cap(dst) < n {
+			dst = make([]float64, 0, n)
+		}
+		dst = dst[:n]
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst, nil
+	}
+	return appendBytesToFloat64s(dst, e.data), nil
 }
 
 // SendrecvFloat64s exchanges float64 vectors with neighbors.
 func (c *Comm) SendrecvFloat64s(dst, sendTag int, xs []float64, src, recvTag int) ([]float64, Status, error) {
-	b, st, err := c.Sendrecv(dst, sendTag, Float64sToBytes(xs), src, recvTag)
-	if err != nil {
-		return nil, st, err
-	}
-	out, err := BytesToFloat64s(b)
+	out, st, err := c.SendrecvFloat64sInto(dst, sendTag, xs, 8*len(xs), src, recvTag, nil)
 	return out, st, err
+}
+
+// SendrecvFloat64sInto is the scratch-friendly sendrecv for float64
+// vectors: xs is encoded through the rank's scratch buffer (no allocation),
+// the outgoing transfer is modeled as virtualBytes, and the received vector
+// is decoded into `into` (grown when too small) with the wire buffer
+// recycled. The returned slice aliases `into` when it fit.
+func (c *Comm) SendrecvFloat64sInto(dst, sendTag int, xs []float64, virtualBytes, src, recvTag int, into []float64) ([]float64, Status, error) {
+	if err := c.sendFloat64sSized(dst, sendTag, xs, virtualBytes); err != nil {
+		return nil, Status{}, err
+	}
+	if into == nil {
+		return c.RecvFloat64s(src, recvTag)
+	}
+	return c.recvFloat64sInto(into, src, recvTag)
 }

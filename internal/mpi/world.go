@@ -103,6 +103,15 @@ type rankState struct {
 	rng   *stats.RNG
 	world *World
 	start time.Time // wallclock epoch (Wallclock mode only)
+
+	// Scratch buffers for the typed send path and the tree collectives.
+	// They are per-rank (hence shared by every communicator of the rank,
+	// which is safe: one goroutine drives a rank, and collectives do not
+	// nest), grow to the high-water mark of the run, and keep the steady
+	// state of Reduce/Allreduce and SendFloat64s allocation-free.
+	encScratch []byte    // wire encoding for typed sends
+	accScratch []float64 // reduction accumulator
+	vecScratch []float64 // decoded peer contribution during reductions
 }
 
 func (r *rankState) advance(d float64) {
