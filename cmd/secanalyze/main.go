@@ -11,6 +11,12 @@
 //
 //	secanalyze -trace trace.csv [-width 100] [-focus HALO,CONVOLVE]
 //
+// or run the wait-state and critical-path analysis over a recorded trace
+// (one with message and collective events; see trace.Collector), printing
+// the binding section, its dominant cause, and the per-rank accounting:
+//
+//	secanalyze -waitstate trace.csv [-seq 5589.84]
+//
 // With -out <dir> every rendered report is additionally written to a file
 // in that directory (created if missing) instead of only stdout.
 package main
@@ -29,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/prof"
 	"repro/internal/trace"
+	"repro/internal/waitstate"
 )
 
 func main() {
@@ -38,6 +45,7 @@ func main() {
 	seq := flag.Float64("seq", 0, "sequential baseline time in seconds (required with -profile)")
 	perRankPath := flag.String("perrank", "", "per-rank profile CSV (from prof.Profile.WritePerRankCSV): load-balance analysis")
 	tracePath := flag.String("trace", "", "trace CSV (from trace.Buffer.WriteCSV)")
+	waitPath := flag.String("waitstate", "", "trace CSV with message events: wait-state and critical-path analysis (optional -seq adds Eq. 6 bounds)")
 	width := flag.Int("width", 100, "timeline width in columns")
 	focus := flag.String("focus", "", "comma-separated section labels for the timeline")
 	outDir := flag.String("out", "", "directory to also write the report into (created if missing)")
@@ -57,6 +65,9 @@ func main() {
 	case *tracePath != "":
 		run = func(w io.Writer) error { return renderTimeline(w, *tracePath, *width, *focus) }
 		name = "timeline.txt"
+	case *waitPath != "":
+		run = func(w io.Writer) error { return analyzeWaitstate(w, *waitPath, *seq) }
+		name = "waitstate.txt"
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -183,6 +194,26 @@ func analyzeProfile(w io.Writer, path string, seq float64) error {
 		break
 	}
 	return nil
+}
+
+// analyzeWaitstate replays a recorded trace through the wait-state engine
+// and prints the full diagnosis report.
+func analyzeWaitstate(w io.Writer, path string, seq float64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := trace.ReadCSV(f)
+	if err != nil {
+		return err
+	}
+	a, err := waitstate.Analyze(events, waitstate.Options{SeqTime: seq})
+	if err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, a.Render())
+	return err
 }
 
 func renderTimeline(w io.Writer, path string, width int, focus string) error {

@@ -36,7 +36,7 @@ func TestEndpointsBeforeAnyRun(t *testing.T) {
 	if code != http.StatusOK || !strings.Contains(body, "secmon_up 1") {
 		t.Fatalf("metrics without a run: code %d body %q", code, body)
 	}
-	for _, path := range []string{"/sections", "/trace.json", "/spans.json"} {
+	for _, path := range []string{"/sections", "/trace.json", "/spans.json", "/waitstate.json", "/critpath.json"} {
 		if code, _ := get(t, h, path); code != http.StatusNotFound {
 			t.Fatalf("%s without a run: code %d, want 404", path, code)
 		}
@@ -183,5 +183,83 @@ func TestFullRunAllEndpoints(t *testing.T) {
 	}
 	if len(otlp.ResourceSpans) != 4 {
 		t.Fatalf("spans: %d resources, want one per rank (4)", len(otlp.ResourceSpans))
+	}
+
+	code, body = get(t, h, "/waitstate.json")
+	if code != http.StatusOK {
+		t.Fatalf("waitstate: code %d body %q", code, body)
+	}
+	var ws struct {
+		Experiment string `json:"experiment"`
+		Running    bool   `json:"running"`
+		Ranks      int    `json:"ranks"`
+		Messages   int    `json:"messages"`
+		Binding    *struct {
+			Section string  `json:"section"`
+			Cause   string  `json:"dominant_cause"`
+			Bound   float64 `json:"partial_bound"`
+		} `json:"binding"`
+		Sections []struct {
+			Section string  `json:"section"`
+			WaitIn  float64 `json:"wait_in_seconds"`
+		} `json:"sections"`
+		RankBreakdown []struct {
+			Wall     float64 `json:"wall_seconds"`
+			Wait     float64 `json:"wait_seconds"`
+			Compute  float64 `json:"compute_seconds"`
+			Residual float64 `json:"residual_seconds"`
+		} `json:"rank_breakdown"`
+	}
+	if err := json.Unmarshal([]byte(body), &ws); err != nil {
+		t.Fatalf("waitstate not JSON: %v\n%s", err, body)
+	}
+	if ws.Experiment != "conv" || ws.Running || ws.Ranks != 4 {
+		t.Fatalf("waitstate header inconsistent: %s", body)
+	}
+	if ws.Messages == 0 || len(ws.Sections) == 0 || len(ws.RankBreakdown) != 4 {
+		t.Fatalf("waitstate analysis empty: %s", body)
+	}
+	if ws.Binding == nil || ws.Binding.Section == "" || ws.Binding.Cause == "" {
+		t.Fatalf("waitstate has no binding verdict: %s", body)
+	}
+	if ws.Binding.Bound <= 0 {
+		t.Errorf("binding section lacks the Eq. 6 bound (seq baseline was on): %+v", ws.Binding)
+	}
+
+	code, body = get(t, h, "/critpath.json")
+	if code != http.StatusOK {
+		t.Fatalf("critpath: code %d body %q", code, body)
+	}
+	var cp struct {
+		Ranks      int     `json:"ranks"`
+		Wall       float64 `json:"wall_seconds"`
+		CritLen    float64 `json:"crit_len_seconds"`
+		Coverage   float64 `json:"coverage"`
+		PerSection []struct {
+			Section string  `json:"section"`
+			Share   float64 `json:"crit_share"`
+		} `json:"per_section"`
+		Segments []struct {
+			Kind string  `json:"kind"`
+			From float64 `json:"from"`
+			To   float64 `json:"to"`
+		} `json:"segments"`
+	}
+	if err := json.Unmarshal([]byte(body), &cp); err != nil {
+		t.Fatalf("critpath not JSON: %v\n%s", err, body)
+	}
+	if cp.Ranks != 4 || cp.Wall <= 0 || len(cp.Segments) == 0 || len(cp.PerSection) == 0 {
+		t.Fatalf("critpath empty: %s", body)
+	}
+	// Section events are in the stream, so the path must tile the wall.
+	if diff := cp.Coverage - 1; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("critical path covers %g of the wall, want 1.0", cp.Coverage)
+	}
+	var share float64
+	for _, sec := range cp.PerSection {
+		share += sec.Share
+	}
+	if diff := share - 1; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("per-section shares sum to %g, want 1.0", share)
 	}
 }

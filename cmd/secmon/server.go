@@ -13,18 +13,21 @@ import (
 	"repro/internal/export"
 	"repro/internal/mpi"
 	"repro/internal/prof"
+	"repro/internal/trace"
 )
 
 // runState is one launched (possibly still executing) experiment run.
 type runState struct {
-	opts     experiments.LiveOptions
-	rec      *export.Recorder
-	profiler *prof.Profiler
-	running  bool
-	err      error
-	wall     float64
-	started  time.Time
-	finished time.Time
+	opts      experiments.LiveOptions
+	rec       *export.Recorder
+	profiler  *prof.Profiler
+	collector *trace.Collector
+	seq       float64
+	running   bool
+	err       error
+	wall      float64
+	started   time.Time
+	finished  time.Time
 }
 
 // server multiplexes the monitor endpoints over the most recent run. The
@@ -45,6 +48,8 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/sections", s.handleSections)
 	mux.HandleFunc("/trace.json", s.handleTrace)
 	mux.HandleFunc("/spans.json", s.handleSpans)
+	mux.HandleFunc("/waitstate.json", s.handleWaitstate)
+	mux.HandleFunc("/critpath.json", s.handleCritpath)
 	mux.HandleFunc("/run", s.handleRun)
 	// Runtime profiling of the monitor process itself: with a sweep running
 	// behind /run, `go tool pprof http://.../debug/pprof/profile` lands in
@@ -75,6 +80,8 @@ func (s *server) handleIndex(w http.ResponseWriter, req *http.Request) {
 <li><a href="/sections">/sections</a> — JSON aggregates: Fig. 3 metrics and Eq. 6 partial bounds</li>
 <li><a href="/trace.json">/trace.json</a> — Chrome trace_event JSON (open in Perfetto / chrome://tracing)</li>
 <li><a href="/spans.json">/spans.json</a> — OTLP-style span export</li>
+<li><a href="/waitstate.json">/waitstate.json</a> — wait-state diagnosis: why the binding section caps the speedup</li>
+<li><a href="/critpath.json">/critpath.json</a> — critical path through the happens-before graph</li>
 <li><a href="/run?exp=conv&amp;p=64">/run?exp=conv&amp;p=64</a> — launch an experiment with the exporter attached
     (params: exp=conv|lulesh, p, steps, scale, seed, threads, wait=1, seq=0)</li>
 </ul>`)
@@ -221,7 +228,8 @@ func (s *server) handleRun(w http.ResponseWriter, req *http.Request) {
 
 	rec := export.NewRecorder(export.Options{Messages: true, Collectives: true})
 	profiler := prof.New()
-	opts.Tools = []mpi.Tool{profiler, rec}
+	collector := newAnalysisCollector()
+	opts.Tools = []mpi.Tool{profiler, rec, collector}
 
 	s.mu.Lock()
 	if s.cur != nil && s.cur.running {
@@ -229,7 +237,7 @@ func (s *server) handleRun(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, "a run is already in progress", http.StatusConflict)
 		return
 	}
-	st := &runState{opts: opts, rec: rec, profiler: profiler, running: true, started: time.Now()}
+	st := &runState{opts: opts, rec: rec, profiler: profiler, collector: collector, running: true, started: time.Now()}
 	s.cur = st
 	s.mu.Unlock()
 
@@ -241,6 +249,9 @@ func (s *server) handleRun(w http.ResponseWriter, req *http.Request) {
 		if withSeq {
 			if seq, runErr = experiments.SeqBaseline(opts); runErr == nil && seq > 0 {
 				rec.SetSeqTime(seq)
+				s.mu.Lock()
+				st.seq = seq
+				s.mu.Unlock()
 			}
 		}
 		var rep *mpi.Report

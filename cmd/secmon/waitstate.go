@@ -1,0 +1,133 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"repro/internal/trace"
+	"repro/internal/waitstate"
+)
+
+// The wait-state endpoints replay the run's recorded event stream through
+// internal/waitstate on demand: /waitstate.json answers WHY the binding
+// section caps the speedup (per-section wait classification, per-rank
+// accounting, collective stats) and /critpath.json serves the critical
+// path through the happens-before graph. Both work mid-run on the partial
+// stream recorded so far.
+
+// collectorLimit caps the monitor's trace buffer; past it the analysis
+// carries the truncation warning instead of growing without bound.
+const collectorLimit = 4 << 20
+
+// newAnalysisCollector records everything the wait-state engine consumes.
+func newAnalysisCollector() *trace.Collector {
+	c := trace.NewCollector(collectorLimit)
+	c.Messages = true
+	c.Collectives = true
+	return c
+}
+
+// analyze snapshots the current run's events and runs the engine. The
+// returned state is non-nil iff a run exists.
+func (s *server) analyze() (*runState, *waitstate.Analysis, error) {
+	st := s.snapshot()
+	if st == nil || st.collector == nil {
+		return st, nil, nil
+	}
+	s.mu.Lock()
+	seq := st.seq
+	s.mu.Unlock()
+	a, err := waitstate.Analyze(st.collector.Buffer().Events(), waitstate.Options{SeqTime: seq})
+	return st, a, err
+}
+
+// waitstateResponse is the /waitstate.json document: the full analysis
+// minus the path segments (those live on /critpath.json), plus the binding
+// verdict.
+type waitstateResponse struct {
+	Experiment string `json:"experiment"`
+	Running    bool   `json:"running"`
+	// Binding is the section with the largest average per-process time —
+	// the Eq. 6 bound holder — with its dominant wait-state cause.
+	Binding *waitstate.SectionDiagnosis `json:"binding,omitempty"`
+	*waitstate.Analysis
+}
+
+func (s *server) handleWaitstate(w http.ResponseWriter, req *http.Request) {
+	st, a, err := s.analyze()
+	if st == nil {
+		http.Error(w, "no run yet: GET /run?exp=conv&p=64 first", http.StatusNotFound)
+		return
+	}
+	if err != nil {
+		http.Error(w, "no events recorded yet: "+err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	s.mu.Lock()
+	resp := waitstateResponse{Experiment: st.opts.Experiment, Running: st.running, Analysis: a}
+	s.mu.Unlock()
+	resp.Binding = a.Binding()
+	resp.CritPath = nil
+	writeJSON(w, resp)
+}
+
+// critpathResponse is the /critpath.json document.
+type critpathResponse struct {
+	Experiment string  `json:"experiment"`
+	Running    bool    `json:"running"`
+	Ranks      int     `json:"ranks"`
+	Wall       float64 `json:"wall_seconds"`
+	// CritLen is the summed segment length; Coverage its share of the wall
+	// (1.0 when the stream includes the section events).
+	CritLen  float64 `json:"crit_len_seconds"`
+	Coverage float64 `json:"coverage"`
+	// PerSection maps each section to its time on the path and share of it.
+	PerSection []critpathSection       `json:"per_section"`
+	Segments   []waitstate.PathSegment `json:"segments"`
+	Warning    string                  `json:"warning,omitempty"`
+}
+
+type critpathSection struct {
+	Section string  `json:"section"`
+	Seconds float64 `json:"crit_seconds"`
+	Share   float64 `json:"crit_share"`
+}
+
+func (s *server) handleCritpath(w http.ResponseWriter, req *http.Request) {
+	st, a, err := s.analyze()
+	if st == nil {
+		http.Error(w, "no run yet: GET /run?exp=conv&p=64 first", http.StatusNotFound)
+		return
+	}
+	if err != nil {
+		http.Error(w, "no events recorded yet: "+err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	s.mu.Lock()
+	resp := critpathResponse{
+		Experiment: st.opts.Experiment, Running: st.running,
+		Ranks: a.Ranks, Wall: a.Wall, CritLen: a.CritLen,
+		Segments: a.CritPath, Warning: a.Warning,
+	}
+	s.mu.Unlock()
+	if a.Wall > 0 {
+		resp.Coverage = a.CritLen / a.Wall
+	}
+	for _, d := range a.Sections {
+		if d.CritTime > 0 {
+			resp.PerSection = append(resp.PerSection, critpathSection{
+				Section: d.Section, Seconds: d.CritTime, Share: d.CritShare,
+			})
+		}
+	}
+	writeJSON(w, resp)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		logf("json write: %v", err)
+	}
+}

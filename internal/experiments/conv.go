@@ -12,6 +12,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/prof"
 	"repro/internal/sched"
+	"repro/internal/trace"
 )
 
 // ConvOptions configures the convolution scaling study of §5.1.
@@ -34,18 +35,22 @@ type ConvOptions struct {
 	// (sched.Workers semantics: 0 selects the process default). Results are
 	// independent of the value.
 	Jobs int
+	// Diagnose attaches a trace collector to each point's rep-0 run and
+	// reports the binding section's wait-state diagnosis in the CSV.
+	Diagnose bool
 }
 
 // PaperConvOptions reproduces the paper's setup: the 5616×3744 image,
 // 1000 steps, up to 456 cores of the Nehalem cluster.
 func PaperConvOptions() ConvOptions {
 	return ConvOptions{
-		Ps:    []int{8, 16, 32, 64, 80, 96, 112, 128, 144, 192, 256, 320, 456},
-		Steps: 1000,
-		Reps:  3,
-		Scale: 8,
-		Seed:  2017,
-		Model: machine.NehalemCluster(),
+		Ps:       []int{8, 16, 32, 64, 80, 96, 112, 128, 144, 192, 256, 320, 456},
+		Steps:    1000,
+		Reps:     3,
+		Scale:    8,
+		Seed:     2017,
+		Model:    machine.NehalemCluster(),
+		Diagnose: true,
 	}
 }
 
@@ -54,12 +59,13 @@ func PaperConvOptions() ConvOptions {
 // shorter run.
 func QuickConvOptions() ConvOptions {
 	return ConvOptions{
-		Ps:    []int{2, 4, 8, 16},
-		Steps: 40,
-		Reps:  1,
-		Scale: 16,
-		Seed:  2017,
-		Model: machine.NehalemCluster(),
+		Ps:       []int{2, 4, 8, 16},
+		Steps:    40,
+		Reps:     1,
+		Scale:    16,
+		Seed:     2017,
+		Model:    machine.NehalemCluster(),
+		Diagnose: true,
 	}
 }
 
@@ -74,6 +80,8 @@ type ConvPoint struct {
 	AvgPerProc map[string]float64
 	// Shares: fraction of total exclusive time (Fig. 5(a)).
 	Shares map[string]float64
+	// Diag is the rep-0 wait-state diagnosis (nil with Diagnose off).
+	Diag *PointDiagnosis
 }
 
 // ConvResult is the full study.
@@ -116,6 +124,7 @@ func RunConvolution(o ConvOptions) (*ConvResult, error) {
 		wall   float64
 		totals map[string]float64
 		shares map[string]float64
+		diag   *PointDiagnosis
 	}
 	reps, err := sched.Map(sched.Workers(o.Jobs), len(o.Ps)*o.Reps, func(i int) (repResult, error) {
 		p := o.Ps[i/o.Reps]
@@ -127,6 +136,14 @@ func RunConvolution(o ConvOptions) (*ConvResult, error) {
 			Seed:    o.Seed + uint64(rep)*7919,
 			Tools:   []mpi.Tool{profiler},
 			Timeout: 10 * time.Minute,
+		}
+		// The rep-0 run doubles as the diagnosis specimen: tools observe the
+		// virtual clocks without perturbing them, so attaching the collector
+		// leaves the measured times bit-identical.
+		var collector *trace.Collector
+		if o.Diagnose && rep == 0 {
+			collector = newDiagCollector()
+			cfg.Tools = append(cfg.Tools, collector)
 		}
 		if _, err := convolution.Run(cfg, params); err != nil {
 			return repResult{}, fmt.Errorf("experiments: convolution p=%d rep=%d: %w", p, rep, err)
@@ -147,6 +164,9 @@ func RunConvolution(o ConvOptions) (*ConvResult, error) {
 				out.shares[label] = shares[label]
 			}
 		}
+		if collector != nil {
+			out.diag = diagnoseEvents(collector.Buffer().Events(), seq)
+		}
 		return out, nil
 	})
 	if err != nil {
@@ -160,6 +180,7 @@ func RunConvolution(o ConvOptions) (*ConvResult, error) {
 			AvgPerProc: map[string]float64{},
 			Shares:     map[string]float64{},
 		}
+		pt.Diag = reps[pi*o.Reps].diag
 		for rep := 0; rep < o.Reps; rep++ {
 			job := reps[pi*o.Reps+rep]
 			pt.Wall += job.wall
@@ -290,13 +311,15 @@ func (r *ConvResult) FitReport() string {
 	return "Section-time model fits T(p) = A + B/p + C·p and predicted inflexions\n" + t.String()
 }
 
-// WriteCSV emits every point with all per-section columns.
+// WriteCSV emits every point with all per-section columns plus the
+// wait-state diagnosis block (blank when Diagnose was off).
 func (r *ConvResult) WriteCSV(w io.Writer) error {
 	cols := sectionColumns()
 	header := []string{"p", "wall", "speedup"}
 	for _, c := range cols {
 		header = append(header, "total_"+c, "share_"+c)
 	}
+	header = append(header, diagHeader()...)
 	if _, err := io.WriteString(w, csvLine(header...)); err != nil {
 		return err
 	}
@@ -309,6 +332,7 @@ func (r *ConvResult) WriteCSV(w io.Writer) error {
 		for _, c := range cols {
 			cells = append(cells, fmt.Sprintf("%g", pt.Totals[c]), fmt.Sprintf("%g", pt.Shares[c]))
 		}
+		cells = append(cells, pt.Diag.csvCells()...)
 		if _, err := io.WriteString(w, csvLine(cells...)); err != nil {
 			return err
 		}

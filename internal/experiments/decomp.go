@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"repro/internal/convolution"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/prof"
 	"repro/internal/sched"
+	"repro/internal/trace"
 )
 
 // Decomposition ablation: the paper's §3 ties communication overhead to
@@ -29,6 +31,10 @@ type DecompPoint struct {
 	Halo2D  float64
 	Wall1D  float64
 	Wall2D  float64
+	// Diag1D / Diag2D are the per-variant wait-state diagnoses (nil with
+	// Diagnose off).
+	Diag1D *PointDiagnosis
+	Diag2D *PointDiagnosis
 }
 
 // DecompResult is the sweep.
@@ -45,16 +51,20 @@ type DecompOptions struct {
 	Model *machine.Model
 	// Jobs bounds the worker pool (sched.Workers semantics).
 	Jobs int
+	// Diagnose attaches a trace collector per run and reports the binding
+	// section's wait-state diagnosis in the CSV.
+	Diagnose bool
 }
 
 // QuickDecompOptions is a reduced comparison for tests.
 func QuickDecompOptions() DecompOptions {
 	return DecompOptions{
-		Ps:    []int{4, 16},
-		Steps: 20,
-		Scale: 16,
-		Seed:  2017,
-		Model: machine.NehalemCluster(),
+		Ps:       []int{4, 16},
+		Steps:    20,
+		Scale:    16,
+		Seed:     2017,
+		Model:    machine.NehalemCluster(),
+		Diagnose: true,
 	}
 }
 
@@ -88,7 +98,10 @@ func RunDecompComparison(o DecompOptions) (*DecompResult, error) {
 	}
 	// Two jobs per scale — the 1-D and 2-D runs are independent of each
 	// other too, so both decompositions fan out on the worker pool.
-	type variantResult struct{ halo, wall float64 }
+	type variantResult struct {
+		halo, wall float64
+		diag       *PointDiagnosis
+	}
 	runs, err := sched.Map(sched.Workers(o.Jobs), 2*len(o.Ps), func(i int) (variantResult, error) {
 		p := o.Ps[i/2]
 		runner, name := convolution.Run, "1-D"
@@ -100,6 +113,11 @@ func RunDecompComparison(o DecompOptions) (*DecompResult, error) {
 			Ranks: p, Model: o.Model, Seed: o.Seed,
 			Tools: []mpi.Tool{profiler}, Timeout: 10 * time.Minute,
 		}
+		var collector *trace.Collector
+		if o.Diagnose {
+			collector = newDiagCollector()
+			cfg.Tools = append(cfg.Tools, collector)
+		}
 		if _, err := runner(cfg, params); err != nil {
 			return variantResult{}, fmt.Errorf("experiments: %s p=%d: %w", name, p, err)
 		}
@@ -107,10 +125,14 @@ func RunDecompComparison(o DecompOptions) (*DecompResult, error) {
 		if err != nil {
 			return variantResult{}, err
 		}
-		return variantResult{
+		out := variantResult{
 			halo: profile.Section(convolution.SecHalo).AvgPerProcess(),
 			wall: profile.WallTime,
-		}, nil
+		}
+		if collector != nil {
+			out.diag = diagnoseEvents(collector.Buffer().Events(), 0)
+		}
+		return out, nil
 	})
 	if err != nil {
 		return nil, err
@@ -125,8 +147,10 @@ func RunDecompComparison(o DecompOptions) (*DecompResult, error) {
 			Bytes2D: params.Halo2DBytesPerProc(px, py),
 			Halo1D:  runs[2*i].halo,
 			Wall1D:  runs[2*i].wall,
+			Diag1D:  runs[2*i].diag,
 			Halo2D:  runs[2*i+1].halo,
 			Wall2D:  runs[2*i+1].wall,
+			Diag2D:  runs[2*i+1].diag,
 		})
 	}
 	return res, nil
@@ -149,4 +173,41 @@ func (r *DecompResult) Table() string {
 		)
 	}
 	return "Decomposition ablation (§3): 1-D rows vs 2-D tiles\n" + t.String()
+}
+
+// WriteCSV emits the comparison as one row per (p, variant) so the
+// diagnosis block applies to a single decomposition at a time.
+func (r *DecompResult) WriteCSV(w io.Writer) error {
+	header := append([]string{"p", "variant", "grid", "halo_bytes_per_proc", "halo_avg", "wall"}, diagHeader()...)
+	if _, err := io.WriteString(w, csvLine(header...)); err != nil {
+		return err
+	}
+	for _, pt := range r.Points {
+		rows := []struct {
+			variant string
+			grid    string
+			bytes   int
+			halo    float64
+			wall    float64
+			diag    *PointDiagnosis
+		}{
+			{"1d", fmt.Sprintf("1x%d", pt.P), pt.Bytes1D, pt.Halo1D, pt.Wall1D, pt.Diag1D},
+			{"2d", pt.Grid, pt.Bytes2D, pt.Halo2D, pt.Wall2D, pt.Diag2D},
+		}
+		for _, row := range rows {
+			cells := []string{
+				fmt.Sprintf("%d", pt.P),
+				row.variant,
+				row.grid,
+				fmt.Sprintf("%d", row.bytes),
+				fmt.Sprintf("%g", row.halo),
+				fmt.Sprintf("%g", row.wall),
+			}
+			cells = append(cells, row.diag.csvCells()...)
+			if _, err := io.WriteString(w, csvLine(cells...)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+	"repro/internal/waitstate"
+)
+
+// The sweep drivers answer WHICH section binds the speedup (Eq. 6); the
+// wait-state engine answers WHY. With Diagnose enabled each sweep point
+// attaches a trace collector to one representative run (the rep-0 seed),
+// replays the event stream through internal/waitstate and reports the
+// binding section's diagnosis next to the measured numbers — so the CSVs
+// carry {diag_section, diag_cause, diag_wait_in, diag_wait_out,
+// diag_crit_share} per point.
+
+// diagEventLimit caps the per-run trace buffer. A paper-scale convolution
+// sweep point records a few million events; past the cap the collector
+// counts drops and the analysis degrades to a partial (still deterministic)
+// diagnosis rather than exhausting memory.
+const diagEventLimit = 4 << 20
+
+// PointDiagnosis summarizes the binding section's wait-state analysis for
+// one sweep point.
+type PointDiagnosis struct {
+	// Section is the binding section (largest avg per-process time) and
+	// Cause its dominant wait-state classification.
+	Section string
+	Cause   string
+	// WaitIn / WaitOut are the binding section's blocked receive time and
+	// the late-sender wait it caused elsewhere, summed over ranks.
+	WaitIn  float64
+	WaitOut float64
+	// CritShare is the section's share of the critical path.
+	CritShare float64
+}
+
+// newDiagCollector returns a trace collector recording everything the
+// wait-state engine consumes: sections, matched messages and collective
+// participation spans.
+func newDiagCollector() *trace.Collector {
+	c := trace.NewCollector(diagEventLimit)
+	c.Messages = true
+	c.Collectives = true
+	return c
+}
+
+// diagnoseEvents runs the wait-state engine over one recorded run and
+// extracts the binding section's record. It returns nil when the trace is
+// empty or carries no named sections — sweeps degrade to blank diagnosis
+// columns instead of failing.
+func diagnoseEvents(events []trace.Event, seq float64) *PointDiagnosis {
+	if len(events) == 0 {
+		return nil
+	}
+	a, err := waitstate.Analyze(events, waitstate.Options{SeqTime: seq})
+	if err != nil {
+		return nil
+	}
+	b := a.Binding()
+	if b == nil {
+		return nil
+	}
+	return &PointDiagnosis{
+		Section:   b.Section,
+		Cause:     b.DominantCause,
+		WaitIn:    b.WaitIn,
+		WaitOut:   b.WaitOut,
+		CritShare: b.CritShare,
+	}
+}
+
+// diagHeader is the diagnosis column block shared by every sweep CSV.
+func diagHeader() []string {
+	return []string{"diag_section", "diag_cause", "diag_wait_in", "diag_wait_out", "diag_crit_share"}
+}
+
+// csvCells renders the diagnosis columns; a nil receiver (diagnosis off or
+// unavailable) yields empty cells so the column layout stays fixed.
+func (d *PointDiagnosis) csvCells() []string {
+	if d == nil {
+		return []string{"", "", "", "", ""}
+	}
+	return []string{
+		d.Section,
+		d.Cause,
+		fmt.Sprintf("%g", d.WaitIn),
+		fmt.Sprintf("%g", d.WaitOut),
+		fmt.Sprintf("%g", d.CritShare),
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/convolution"
 	"repro/internal/lulesh"
 	"repro/internal/machine"
+	"repro/internal/waitstate"
 )
 
 // The shape assertions below are the machine-checkable form of the paper's
@@ -121,6 +122,51 @@ func TestConvRenderers(t *testing.T) {
 	}
 	if lines := strings.Count(buf.String(), "\n"); lines != len(res.Points)+1 {
 		t.Errorf("CSV lines = %d", lines)
+	}
+}
+
+func TestConvDiagnosisExplainsTheBound(t *testing.T) {
+	// End-to-end acceptance of the wait-state wiring: at a mid-size scale of
+	// the Fig. 5(d) sweep the HALO section binds the speedup, and the
+	// diagnosis columns must both name it and classify why with a
+	// communication cause — while at the smallest scale the run is still
+	// compute-bound on CONVOLVE.
+	o := QuickConvOptions()
+	o.Ps = []int{2, 64}
+	res, err := RunConvolution(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, mid := res.Points[0].Diag, res.Points[1].Diag
+	if small == nil || mid == nil {
+		t.Fatal("Diagnose on but no diagnosis recorded")
+	}
+	if small.Section != convolution.SecConvolve || small.Cause != waitstate.CauseCompute {
+		t.Errorf("p=2 diagnosis = %s/%s, want %s/%s",
+			small.Section, small.Cause, convolution.SecConvolve, waitstate.CauseCompute)
+	}
+	if mid.Section != convolution.SecHalo {
+		t.Errorf("p=64 binding section = %q, want %q", mid.Section, convolution.SecHalo)
+	}
+	switch mid.Cause {
+	case waitstate.CauseLateSender, waitstate.CauseTransfer, waitstate.CauseCollectiveWait:
+	default:
+		t.Errorf("p=64 HALO cause = %q, want a wait-state classification", mid.Cause)
+	}
+	if mid.WaitIn <= 0 {
+		t.Errorf("p=64 HALO wait_in = %g, want > 0", mid.WaitIn)
+	}
+	for _, d := range []*PointDiagnosis{small, mid} {
+		if d.CritShare < 0 || d.CritShare > 1 {
+			t.Errorf("crit share %g out of [0,1]", d.CritShare)
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "diag_section") || !strings.Contains(buf.String(), convolution.SecHalo+",") {
+		t.Errorf("CSV missing diagnosis columns:\n%s", buf.String())
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/prof"
 	"repro/internal/sched"
+	"repro/internal/trace"
 )
 
 // HybridOptions configures the LULESH MPI+OpenMP study of §5.2.
@@ -32,6 +33,9 @@ type HybridOptions struct {
 	Seed uint64
 	// Jobs bounds the worker pool (sched.Workers semantics).
 	Jobs int
+	// Diagnose attaches a trace collector per grid cell and reports the
+	// binding section's wait-state diagnosis in the CSV.
+	Diagnose bool
 }
 
 // PaperBroadwellOptions reproduces Fig. 8's sweep.
@@ -68,6 +72,7 @@ func QuickHybridOptions() HybridOptions {
 		Steps:    3,
 		MaxScale: 8,
 		Seed:     2017,
+		Diagnose: true,
 	}
 }
 
@@ -102,6 +107,8 @@ type HybridPoint struct {
 	NodalAvg, ElementsAvg float64
 	// Totals holds the summed-over-ranks time of every section.
 	Totals map[string]float64
+	// Diag is the wait-state diagnosis (nil with Diagnose off).
+	Diag *PointDiagnosis
 }
 
 // HybridResult is the full study on one machine.
@@ -145,6 +152,11 @@ func RunHybrid(o HybridOptions) (*HybridResult, error) {
 			Tools:          []mpi.Tool{profiler},
 			Timeout:        10 * time.Minute,
 		}
+		var collector *trace.Collector
+		if o.Diagnose {
+			collector = newDiagCollector()
+			cfg.Tools = append(cfg.Tools, collector)
+		}
 		if _, err := lulesh.Run(cfg, params); err != nil {
 			return HybridPoint{}, fmt.Errorf("experiments: lulesh p=%d t=%d: %w", cell.ranks, cell.threads, err)
 		}
@@ -167,6 +179,9 @@ func RunHybrid(o HybridOptions) (*HybridResult, error) {
 		}
 		if sec := profile.Section(lulesh.SecElements); sec != nil {
 			pt.ElementsAvg = sec.AvgPerProcess()
+		}
+		if collector != nil {
+			pt.Diag = diagnoseEvents(collector.Buffer().Events(), 0)
 		}
 		return pt, nil
 	})
@@ -296,21 +311,23 @@ func (a *Fig10Analysis) Render() string {
 		a.LagrangeBound, a.ElementsBound)
 }
 
-// WriteCSV emits every hybrid point.
+// WriteCSV emits every hybrid point plus the wait-state diagnosis block
+// (blank when Diagnose was off).
 func (r *HybridResult) WriteCSV(w io.Writer) error {
-	if _, err := io.WriteString(w,
-		csvLine("ranks", "threads", "wall", "nodal_avg", "elements_avg")); err != nil {
+	header := append([]string{"ranks", "threads", "wall", "nodal_avg", "elements_avg"}, diagHeader()...)
+	if _, err := io.WriteString(w, csvLine(header...)); err != nil {
 		return err
 	}
 	for _, pt := range r.Points {
-		line := csvLine(
+		cells := []string{
 			fmt.Sprintf("%d", pt.Ranks),
 			fmt.Sprintf("%d", pt.Threads),
 			fmt.Sprintf("%g", pt.Wall),
 			fmt.Sprintf("%g", pt.NodalAvg),
 			fmt.Sprintf("%g", pt.ElementsAvg),
-		)
-		if _, err := io.WriteString(w, line); err != nil {
+		}
+		cells = append(cells, pt.Diag.csvCells()...)
+		if _, err := io.WriteString(w, csvLine(cells...)); err != nil {
 			return err
 		}
 	}

@@ -64,39 +64,37 @@ func TestHybridSweepDeterministicAcrossWorkers(t *testing.T) {
 // cover them with the same invariant so a future driver change cannot
 // silently reintroduce order dependence.
 func TestWeakAndDecompDeterministicAcrossWorkers(t *testing.T) {
-	weakWall := func(jobs int) []float64 {
+	weakCSV := func(jobs int) []byte {
 		o := QuickWeakOptions()
 		o.Jobs = jobs
 		res, err := RunWeakConvolution(o)
 		if err != nil {
 			t.Fatalf("RunWeakConvolution(jobs=%d): %v", jobs, err)
 		}
-		walls := make([]float64, len(res.Points))
-		for i, pt := range res.Points {
-			walls[i] = pt.Wall
+		var buf bytes.Buffer
+		if err := res.WriteCSV(&buf); err != nil {
+			t.Fatalf("WriteCSV(jobs=%d): %v", jobs, err)
 		}
-		return walls
+		return buf.Bytes()
 	}
-	w1, w8 := weakWall(1), weakWall(8)
-	for i := range w1 {
-		if w1[i] != w8[i] {
-			t.Errorf("weak point %d: wall %v (-j 1) != %v (-j 8)", i, w1[i], w8[i])
-		}
+	if w1, w8 := weakCSV(1), weakCSV(8); !bytes.Equal(w1, w8) {
+		t.Errorf("weak sweep CSV differs between -j 1 and -j 8:\n-j 1:\n%s\n-j 8:\n%s", w1, w8)
 	}
 
-	decomp := func(jobs int) []DecompPoint {
+	decompCSV := func(jobs int) []byte {
 		o := QuickDecompOptions()
 		o.Jobs = jobs
 		res, err := RunDecompComparison(o)
 		if err != nil {
 			t.Fatalf("RunDecompComparison(jobs=%d): %v", jobs, err)
 		}
-		return res.Points
-	}
-	d1, d8 := decomp(1), decomp(8)
-	for i := range d1 {
-		if d1[i] != d8[i] {
-			t.Errorf("decomp point %d: %+v (-j 1) != %+v (-j 8)", i, d1[i], d8[i])
+		var buf bytes.Buffer
+		if err := res.WriteCSV(&buf); err != nil {
+			t.Fatalf("WriteCSV(jobs=%d): %v", jobs, err)
 		}
+		return buf.Bytes()
+	}
+	if d1, d8 := decompCSV(1), decompCSV(8); !bytes.Equal(d1, d8) {
+		t.Errorf("decomp CSV differs between -j 1 and -j 8:\n-j 1:\n%s\n-j 8:\n%s", d1, d8)
 	}
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"repro/internal/convolution"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/prof"
 	"repro/internal/sched"
+	"repro/internal/trace"
 )
 
 // The paper's §2 contrasts strong scaling (Amdahl) with the scaled-speedup
@@ -34,6 +36,9 @@ type WeakOptions struct {
 	Model *machine.Model
 	// Jobs bounds the worker pool (sched.Workers semantics).
 	Jobs int
+	// Diagnose attaches a trace collector per point and reports the binding
+	// section's wait-state diagnosis in the CSV.
+	Diagnose bool
 }
 
 // QuickWeakOptions is a reduced sweep for tests.
@@ -46,6 +51,7 @@ func QuickWeakOptions() WeakOptions {
 		Scale:      8,
 		Seed:       2017,
 		Model:      machine.NehalemCluster(),
+		Diagnose:   true,
 	}
 }
 
@@ -73,6 +79,8 @@ type WeakPoint struct {
 	// HaloAvg is the per-process HALO time (constant per-process slab ⇒
 	// the communication term weak scaling must keep flat).
 	HaloAvg float64
+	// Diag is the wait-state diagnosis (nil with Diagnose off).
+	Diag *PointDiagnosis
 }
 
 // WeakResult is the sweep output.
@@ -111,6 +119,11 @@ func RunWeakConvolution(o WeakOptions) (*WeakResult, error) {
 			Tools:   []mpi.Tool{profiler},
 			Timeout: 10 * time.Minute,
 		}
+		var collector *trace.Collector
+		if o.Diagnose {
+			collector = newDiagCollector()
+			cfg.Tools = append(cfg.Tools, collector)
+		}
 		if _, err := convolution.Run(cfg, params); err != nil {
 			return WeakPoint{}, fmt.Errorf("experiments: weak p=%d: %w", p, err)
 		}
@@ -121,6 +134,11 @@ func RunWeakConvolution(o WeakOptions) (*WeakResult, error) {
 		pt := WeakPoint{P: p, Wall: profile.WallTime}
 		if halo := profile.Section(convolution.SecHalo); halo != nil {
 			pt.HaloAvg = halo.AvgPerProcess()
+		}
+		if collector != nil {
+			// No strong-scaling baseline exists in a weak sweep, so the
+			// diagnosis omits the Eq. 6 bound (seq = 0).
+			pt.Diag = diagnoseEvents(collector.Buffer().Events(), 0)
 		}
 		return pt, nil
 	})
@@ -181,4 +199,27 @@ func (r *WeakResult) Table() (string, error) {
 		"Weak scaling (per-process slab %d×%d, %d steps); implied serial share s = %.3f\n",
 		r.Opts.Width, r.Opts.BaseHeight, r.Opts.Steps, s)
 	return caption + t.String(), nil
+}
+
+// WriteCSV emits every weak-scaling point plus the wait-state diagnosis
+// block (blank when Diagnose was off).
+func (r *WeakResult) WriteCSV(w io.Writer) error {
+	header := append([]string{"p", "wall", "efficiency", "scaled_speedup", "halo_avg"}, diagHeader()...)
+	if _, err := io.WriteString(w, csvLine(header...)); err != nil {
+		return err
+	}
+	for _, pt := range r.Points {
+		cells := []string{
+			fmt.Sprintf("%d", pt.P),
+			fmt.Sprintf("%g", pt.Wall),
+			fmt.Sprintf("%g", pt.Efficiency),
+			fmt.Sprintf("%g", pt.ScaledSpeedup),
+			fmt.Sprintf("%g", pt.HaloAvg),
+		}
+		cells = append(cells, pt.Diag.csvCells()...)
+		if _, err := io.WriteString(w, csvLine(cells...)); err != nil {
+			return err
+		}
+	}
+	return nil
 }

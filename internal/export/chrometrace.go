@@ -203,6 +203,21 @@ func flowEvents(msgs []msgEvent) []chromeEvent {
 		flowID++
 		id := fmt.Sprintf("p2p-%d", flowID)
 		args := map[string]any{"tag": m.tag, "bytes": m.bytes}
+		// Wait split from the receive half's matched-pair stamps (zero on
+		// pre-MatchInfo snapshots): how long the receiver blocked and how
+		// much of that the sender's lateness explains.
+		if wait := m.t - m.postT; wait > 0 && m.arrival > 0 {
+			args["wait_us"] = wait * secToUs
+			if late := m.sendT - m.postT; late > 0 {
+				if late > wait {
+					late = wait
+				}
+				args["late_sender_us"] = late * secToUs
+			}
+			if m.postT > m.arrival {
+				args["late_receiver"] = true
+			}
+		}
 		out = append(out,
 			chromeEvent{Name: "p2p", Ph: "s", Ts: send.t * secToUs,
 				Pid: send.src, Tid: send.src, Cat: "p2p", ID: id, Args: args, seq: send.seq},

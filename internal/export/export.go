@@ -115,6 +115,8 @@ type Span struct {
 }
 
 // msgEvent is one half of a point-to-point message (send or recv side).
+// Receive halves carry the matched-pair timestamps (mpi.MatchInfo) so the
+// Chrome-trace flow arrows can annotate each edge with its wait split.
 type msgEvent struct {
 	send     bool
 	src, dst int // world ranks
@@ -122,6 +124,9 @@ type msgEvent struct {
 	bytes    int
 	t        float64
 	seq      uint64
+	sendT    float64
+	postT    float64
+	arrival  float64
 }
 
 // counterSample is one point on a per-section imbalance counter track: the
@@ -189,6 +194,15 @@ type sectionAgg struct {
 	perRankEx []float64
 	last      InstanceMetrics
 	hasLast   bool
+	// Wait-state accumulators (Scalasca-style, from mpi.MatchInfo): blocked
+	// receive time inside the section split into late-sender time, residual
+	// transfer wait, and collective-internal wait (tag < 0 traffic).
+	waitIn   float64
+	lateSend float64
+	transfer float64
+	collWait float64
+	lateRecv int // receives posted after the payload already arrived
+	recvs    int
 }
 
 // Recorder is the exporter's mpi.Tool. Attach it via mpi.Config.Tools —
@@ -503,8 +517,10 @@ func (r *Recorder) MessageSent(c *mpi.Comm, dst, tag, bytes int, t float64) {
 	})
 }
 
-// MessageRecv implements mpi.Tool.
-func (r *Recorder) MessageRecv(c *mpi.Comm, src, tag, bytes int, t float64) {
+// MessageRecv implements mpi.Tool: besides recording the flow-arrow half,
+// it classifies the receive's blocked time from the matched-pair stamps and
+// folds it into the innermost open section's wait-state counters.
+func (r *Recorder) MessageRecv(c *mpi.Comm, src, tag, bytes int, t float64, m mpi.MatchInfo) {
 	if !r.opts.Messages {
 		return
 	}
@@ -515,7 +531,39 @@ func (r *Recorder) MessageRecv(c *mpi.Comm, src, tag, bytes int, t float64) {
 	r.msgs = append(r.msgs, msgEvent{
 		send: false, src: c.WorldRankOf(src), dst: world,
 		tag: tag, bytes: bytes, t: t, seq: r.nextSeqLocked(world),
+		sendT: m.SendT, postT: m.PostT, arrival: m.Arrival,
 	})
+	// Attribute to the receiving rank's innermost open section on this comm.
+	st := r.stacks[rankKey{comm: c.ID(), rank: c.Rank()}]
+	if len(st) == 0 {
+		return
+	}
+	a := r.aggs[secKey{comm: c.ID(), label: st[len(st)-1].span.Label}]
+	if a == nil {
+		return
+	}
+	wait := t - m.PostT
+	if wait < 0 {
+		wait = 0
+	}
+	a.recvs++
+	a.waitIn += wait
+	if m.PostT > m.Arrival {
+		a.lateRecv++
+	}
+	if tag < 0 {
+		a.collWait += wait
+		return
+	}
+	late := m.SendT - m.PostT
+	if late < 0 {
+		late = 0
+	}
+	if late > wait {
+		late = wait
+	}
+	a.lateSend += late
+	a.transfer += wait - late
 }
 
 // Finalize implements mpi.Tool: it records the run report and discards any
@@ -605,6 +653,16 @@ type SectionSnapshot struct {
 	LastInstance *InstanceMetrics `json:"last_instance,omitempty"`
 	// PerRankTotal is each rank's summed inclusive time.
 	PerRankTotal []float64 `json:"per_rank_total_seconds"`
+	// Wait-state split (requires Options.Messages): total blocked receive
+	// time inside the section, its late-sender / transfer / collective
+	// components, the count of late-receiver messages, and the number of
+	// receives observed.
+	WaitIn       float64 `json:"wait_in_seconds"`
+	LateSender   float64 `json:"late_sender_seconds"`
+	TransferWait float64 `json:"transfer_wait_seconds"`
+	CollWait     float64 `json:"collective_wait_seconds"`
+	LateRecvs    int     `json:"late_receiver_total"`
+	Recvs        int     `json:"recv_total"`
 }
 
 // Sections snapshots the streaming aggregates, sorted by total inclusive
@@ -632,6 +690,12 @@ func (r *Recorder) Sections() []SectionSnapshot {
 			SpanTotal:     a.spanTotal,
 			PerRankTotal:  append([]float64(nil), a.perRank...),
 			LoadImbalance: loadImbalance(a.perRank),
+			WaitIn:        a.waitIn,
+			LateSender:    a.lateSend,
+			TransferWait:  a.transfer,
+			CollWait:      a.collWait,
+			LateRecvs:     a.lateRecv,
+			Recvs:         a.recvs,
 		}
 		if a.ranks > 0 {
 			s.AvgPerProc = s.Total / float64(a.ranks)

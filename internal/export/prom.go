@@ -20,6 +20,11 @@ import (
 //	section_span_seconds_total   counter  Σ (Tmax − Tmin) over instances
 //	section_load_imbalance_ratio gauge    max/mean − 1 over per-rank totals
 //	section_partial_speedup_bound gauge   Eq. 6 bound (needs Options.SeqTime)
+//	section_wait_in_seconds_total counter blocked receive time in the section
+//	section_late_sender_seconds_total counter late-sender share of wait_in
+//	section_transfer_wait_seconds_total counter transfer share of wait_in
+//	section_collective_wait_seconds_total counter collective-internal wait
+//	section_late_receiver_total  counter receives posted after arrival
 //	mpi_messages_total           counter  point-to-point events recorded
 //	mpi_message_bytes_total      counter  bytes carried by recorded messages
 //	dropped_events               counter  spans/frames discarded by the cap
@@ -186,6 +191,45 @@ func (r *Recorder) WritePrometheus(w io.Writer) error {
 			promLabels(a.comm, a.label, ""), a.loadImb); err != nil {
 			return err
 		}
+	}
+	waitCounter := func(name, help string, value func(a aggCopy) float64) error {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name); err != nil {
+			return err
+		}
+		for _, a := range aggs {
+			if a.recvs == 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %.17g\n", name, promLabels(a.comm, a.label, ""), value(a)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := waitCounter("section_wait_in_seconds_total",
+		"Blocked receive time accumulated inside the section (Scalasca wait-state input).",
+		func(a aggCopy) float64 { return a.waitIn }); err != nil {
+		return err
+	}
+	if err := waitCounter("section_late_sender_seconds_total",
+		"Late-sender share of section_wait_in_seconds_total (send posted after the receive).",
+		func(a aggCopy) float64 { return a.lateSend }); err != nil {
+		return err
+	}
+	if err := waitCounter("section_transfer_wait_seconds_total",
+		"In-flight transfer share of section_wait_in_seconds_total.",
+		func(a aggCopy) float64 { return a.transfer }); err != nil {
+		return err
+	}
+	if err := waitCounter("section_collective_wait_seconds_total",
+		"Blocked time on collective-internal traffic inside the section.",
+		func(a aggCopy) float64 { return a.collWait }); err != nil {
+		return err
+	}
+	if err := waitCounter("section_late_receiver_total",
+		"Receives posted after the payload had already arrived (message sat in the mailbox).",
+		func(a aggCopy) float64 { return float64(a.lateRecv) }); err != nil {
+		return err
 	}
 	if seqTime > 0 {
 		if _, err := fmt.Fprint(w, "# HELP section_partial_speedup_bound Eq. 6 partial speedup bound seq / avg-per-proc section time.\n# TYPE section_partial_speedup_bound gauge\n"); err != nil {

@@ -80,6 +80,67 @@ func TestSendRecvSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// waitStateTool is a no-op consumer of the matched-pair timestamps — the
+// shape of a wait-state analyzer attached in production. It pins down that
+// delivering MatchInfo to a tool costs nothing: the struct is passed by
+// value, so the fast path stays allocation-free with the tool attached.
+type waitStateTool struct {
+	BaseTool
+	recvs int
+	wait  float64
+}
+
+func (w *waitStateTool) MessageRecv(c *Comm, src, tag, bytes int, t float64, m MatchInfo) {
+	w.recvs++
+	if d := t - m.PostT; d > 0 {
+		w.wait += d
+	}
+}
+
+func TestSendRecvSteadyStateAllocsWithWaitStateTool(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector allocates shadow memory; alloc counts are meaningless")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	const warmup, runs = 64, 100
+	payload := make([]byte, 1024)
+	tool := &waitStateTool{}
+	cfg := Config{Ranks: 2, Model: machine.Ideal(2, 1), Seed: 1,
+		Tools: []Tool{tool}, Timeout: time.Minute}
+	var avg float64
+	_, err := Run(cfg, func(c *Comm) error {
+		for i := 0; i < warmup; i++ {
+			if err := pingPong(c, payload); err != nil {
+				return err
+			}
+		}
+		if c.Rank() != 0 {
+			for i := 0; i < runs+1; i++ {
+				if err := pingPong(c, payload); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		var stepErr error
+		avg = testing.AllocsPerRun(runs, func() {
+			if stepErr == nil {
+				stepErr = pingPong(c, payload)
+			}
+		})
+		return stepErr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg != 0 {
+		t.Errorf("steady-state Send/Recv with wait-state tool: %v allocs/op, want 0", avg)
+	}
+	if tool.recvs == 0 {
+		t.Fatal("wait-state tool observed no receives")
+	}
+}
+
 func TestAllreduceSteadyStateAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race detector allocates shadow memory; alloc counts are meaningless")

@@ -37,6 +37,7 @@ type envelope struct {
 	data     []byte
 	nbytes   int
 	vbytes   int
+	sendT    float64 // virtual time the send was posted (MessageSent's t)
 	arrival  float64 // virtual time at which the payload is available
 }
 
@@ -120,6 +121,7 @@ type Request struct {
 	// recv side; nil for completed sends
 	pending *posted
 	env     *envelope
+	postT   float64 // virtual time the receive was posted
 	done    bool
 	status  Status
 	data    []byte
@@ -190,7 +192,8 @@ func (c *Comm) sendInternal(dst, tag int, data []byte, nbytes, vbytes int, ghost
 	e := newEnvelope()
 	e.src, e.tag = c.rank, tag
 	e.nbytes, e.vbytes = nbytes, vbytes
-	e.arrival = c.rs.now() + transfer
+	e.sendT = c.rs.now()
+	e.arrival = e.sendT + transfer
 	if !ghost {
 		buf := payloads.get(len(data))
 		copy(buf, data)
@@ -211,7 +214,7 @@ func (c *Comm) Irecv(src, tag int) (*Request, error) {
 		return nil, fmt.Errorf("mpi: Irecv from invalid rank %d (size %d)", src, c.Size())
 	}
 	p := newPosted(src, tag)
-	req := &Request{comm: c, pending: p}
+	req := &Request{comm: c, pending: p, postT: c.rs.now()}
 	if e := c.shared.boxes[c.rank].post(p); e != nil {
 		req.env = e
 		req.pending = nil
@@ -228,23 +231,31 @@ func (c *Comm) recvEnvelope(src, tag int) (*envelope, error) {
 		return nil, fmt.Errorf("mpi: Recv from invalid rank %d (size %d)", src, c.Size())
 	}
 	p := newPosted(src, tag)
+	postT := c.rs.now()
 	e := c.shared.boxes[c.rank].post(p)
 	if e == nil {
 		e = <-p.ch
 	}
 	freePosted(p)
-	c.completeRecv(e)
+	c.completeRecv(e, postT)
 	return e, nil
 }
 
 // completeRecv advances the receiver's clock to the arrival stamp and
-// fires the tool hooks for e.
-func (c *Comm) completeRecv(e *envelope) {
+// fires the tool hooks for e. postT is the virtual time the receive was
+// posted — it rides into the MatchInfo handed to tools together with the
+// envelope's matched send stamps.
+func (c *Comm) completeRecv(e *envelope, postT float64) {
 	model := c.rs.world.cfg.Model
 	c.rs.advance(model.Net.RecvOverhead)
 	c.rs.advanceTo(e.arrival)
-	for _, tool := range c.rs.world.cfg.Tools {
-		tool.MessageRecv(c, e.src, e.tag, e.vbytes, c.rs.now())
+	tools := c.rs.world.cfg.Tools
+	if len(tools) == 0 {
+		return
+	}
+	m := MatchInfo{SendT: e.sendT, PostT: postT, Arrival: e.arrival}
+	for _, tool := range tools {
+		tool.MessageRecv(c, e.src, e.tag, e.vbytes, c.rs.now(), m)
 	}
 }
 
@@ -267,7 +278,7 @@ func (r *Request) Wait() ([]byte, Status, error) {
 		r.pending = nil
 	}
 	r.env = nil
-	c.completeRecv(e)
+	c.completeRecv(e, r.postT)
 	r.done = true
 	r.status = Status{Source: e.src, Tag: e.tag, Bytes: e.vbytes}
 	r.data = e.takePayload()

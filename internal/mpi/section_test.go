@@ -58,7 +58,7 @@ func (r *recordingTool) MessageSent(c *Comm, dst, tag, bytes int, t float64) {
 	r.sent++
 }
 
-func (r *recordingTool) MessageRecv(c *Comm, src, tag, bytes int, t float64) {
+func (r *recordingTool) MessageRecv(c *Comm, src, tag, bytes int, t float64, m MatchInfo) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.received++

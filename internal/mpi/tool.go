@@ -22,6 +22,27 @@ const ToolDataSize = 32
 // e.g. their own synchronized timestamps.
 type ToolData = [ToolDataSize]byte
 
+// MatchInfo carries the matched-pair timestamps of one received message —
+// the contract wait-state analysis (Scalasca-style late-sender /
+// late-receiver classification) is built on. All three stamps are virtual
+// seconds on the run's shared clock base:
+//
+//   - SendT is the moment the matching send was posted on the sender
+//     (identical to the t of its MessageSent event).
+//   - PostT is the moment the receive was posted on the receiver (Recv
+//     entry, or Irecv post for nonblocking receives).
+//   - Arrival is the moment the payload became available at the receiver
+//     per the machine model (SendT + modeled transfer).
+//
+// The receive completes at t >= max(PostT, Arrival); t - PostT is the
+// receiver's blocked time, and SendT - PostT > 0 identifies a late sender.
+// The struct is passed by value — tools must not retain pointers into it.
+type MatchInfo struct {
+	SendT   float64
+	PostT   float64
+	Arrival float64
+}
+
 // Tool is the PMPI-analogue interception interface. A profiling or tracing
 // tool implements it (usually by embedding BaseTool) and is attached via
 // Config.Tools; the runtime then invokes the hooks inline from the rank
@@ -39,7 +60,7 @@ type Tool interface {
 	SectionLeave(c *Comm, label string, t float64, data *ToolData)
 	Pcontrol(c *Comm, level int, t float64)
 	MessageSent(c *Comm, dst, tag, bytes int, t float64)
-	MessageRecv(c *Comm, src, tag, bytes int, t float64)
+	MessageRecv(c *Comm, src, tag, bytes int, t float64, m MatchInfo)
 	CollectiveBegin(c *Comm, name string, t float64)
 	CollectiveEnd(c *Comm, name string, t float64)
 }
@@ -67,7 +88,7 @@ func (BaseTool) Pcontrol(*Comm, int, float64) {}
 func (BaseTool) MessageSent(*Comm, int, int, int, float64) {}
 
 // MessageRecv implements Tool.
-func (BaseTool) MessageRecv(*Comm, int, int, int, float64) {}
+func (BaseTool) MessageRecv(*Comm, int, int, int, float64, MatchInfo) {}
 
 // CollectiveBegin implements Tool.
 func (BaseTool) CollectiveBegin(*Comm, string, float64) {}

@@ -17,6 +17,14 @@
 //     centrally for the paper — MPI_Section events (MPIX_Section_enter /
 //     MPIX_Section_exit, Figs. 1–2 of the paper), including the 32-byte
 //     tool-data payload preserved between enter and leave.
+//
+// Matched-pair timestamp contract: every MessageRecv hook receives a
+// MatchInfo with the matching send's post time (SendT), the receive's own
+// post time (PostT) and the modeled payload arrival — the inputs
+// Scalasca-style wait-state classification (internal/waitstate) needs
+// without re-matching sends to receives offline. MatchInfo is passed by
+// value on the allocation-free fast path; see its doc for the exact
+// semantics of each stamp.
 package mpi
 
 import (

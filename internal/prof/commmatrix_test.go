@@ -139,4 +139,55 @@ func TestCommMatrixBoundsSafe(t *testing.T) {
 	if m.Bytes(0, 0) != 0 || m.Messages(-1, 5) != 0 || m.TotalBytes() != 0 {
 		t.Error("uninitialized matrix not zero-safe")
 	}
+	if c, s := m.CollectiveSpans(2); c != 0 || s != 0 {
+		t.Error("uninitialized collective spans not zero-safe")
+	}
+}
+
+func TestCommMatrixSeparatesCollectiveTraffic(t *testing.T) {
+	// A barrier's internal messages must land in the collective matrices
+	// and every rank must get one participation span — while user p2p
+	// traffic in the same run stays in the plain matrices.
+	const p = 4
+	m := runWithMatrix(t, p, func(c *mpi.Comm) error {
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			return c.Send(1, 0, make([]byte, 128))
+		}
+		if c.Rank() == 1 {
+			_, _, err := c.Recv(0, 0)
+			return err
+		}
+		return nil
+	})
+	if got := m.Bytes(0, 1); got != 128 {
+		t.Errorf("user Bytes(0,1) = %d, want 128", got)
+	}
+	var collMsgs int64
+	for src := 0; src < p; src++ {
+		for dst := 0; dst < p; dst++ {
+			collMsgs += m.CollectiveMessages(src, dst)
+			// The barrier's internal traffic must NOT pollute the p2p view.
+			if src == 0 && dst == 1 {
+				continue
+			}
+			if got := m.Messages(src, dst); got != 0 {
+				t.Errorf("collective traffic leaked into p2p Messages(%d,%d) = %d", src, dst, got)
+			}
+		}
+	}
+	if collMsgs == 0 {
+		t.Error("no collective-internal messages recorded for the barrier")
+	}
+	for r := 0; r < p; r++ {
+		count, seconds := m.CollectiveSpans(r)
+		if count != 1 {
+			t.Errorf("rank %d: %d collective spans, want 1", r, count)
+		}
+		if seconds < 0 {
+			t.Errorf("rank %d: negative span time %g", r, seconds)
+		}
+	}
 }

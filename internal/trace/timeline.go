@@ -25,6 +25,13 @@ func Timeline(events []Event, width int, focus ...string) string {
 		return len(focusSet) == 0 || focusSet[label]
 	}
 
+	// Replay in deterministic order regardless of how the caller assembled
+	// the slice: time, then rank, then kind (leave before enter on ties) —
+	// the same tie-break Buffer.Events uses, so golden timelines are stable
+	// under any -j scheduling.
+	events = append([]Event(nil), events...)
+	SortEvents(events)
+
 	// Collect intervals per rank by replaying the enter/leave stream.
 	type ival struct {
 		from, to float64
@@ -91,10 +98,19 @@ func Timeline(events []Event, width int, focus ...string) string {
 		for i := range row {
 			row[i] = '.'
 		}
-		// Innermost wins: paint outer intervals first (longer first).
+		// Innermost wins: paint outer intervals first (longer first). Length
+		// ties break on start time then label so equal-length intervals
+		// paint in one fixed order.
 		ivs := perRank[r]
-		sort.Slice(ivs, func(i, j int) bool {
-			return (ivs[i].to - ivs[i].from) > (ivs[j].to - ivs[j].from)
+		sort.SliceStable(ivs, func(i, j int) bool {
+			di, dj := ivs[i].to-ivs[i].from, ivs[j].to-ivs[j].from
+			if di != dj {
+				return di > dj
+			}
+			if ivs[i].from != ivs[j].from {
+				return ivs[i].from < ivs[j].from
+			}
+			return ivs[i].label < ivs[j].label
 		})
 		for _, iv := range ivs {
 			lo := int(iv.from / dt)

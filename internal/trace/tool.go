@@ -55,15 +55,20 @@ func (c *Collector) MessageSent(cm *mpi.Comm, dst, tag, bytes int, t float64) {
 	if !c.Messages {
 		return
 	}
-	c.buf.Add(Event{T: t, Rank: cm.WorldRank(), Kind: KindSend, Comm: cm.ID(), Peer: dst, Bytes: bytes})
+	c.buf.Add(Event{T: t, Rank: cm.WorldRank(), Kind: KindSend, Comm: cm.ID(), Peer: dst, Bytes: bytes, Tag: tag})
 }
 
-// MessageRecv implements mpi.Tool.
-func (c *Collector) MessageRecv(cm *mpi.Comm, src, tag, bytes int, t float64) {
+// MessageRecv implements mpi.Tool. The matched-pair timestamps ride along
+// so an offline replay (internal/waitstate) can classify wait states
+// without re-matching sends to receives.
+func (c *Collector) MessageRecv(cm *mpi.Comm, src, tag, bytes int, t float64, m mpi.MatchInfo) {
 	if !c.Messages {
 		return
 	}
-	c.buf.Add(Event{T: t, Rank: cm.WorldRank(), Kind: KindRecv, Comm: cm.ID(), Peer: src, Bytes: bytes})
+	c.buf.Add(Event{
+		T: t, Rank: cm.WorldRank(), Kind: KindRecv, Comm: cm.ID(), Peer: src, Bytes: bytes, Tag: tag,
+		SendT: m.SendT, PostT: m.PostT, ArrT: m.Arrival,
+	})
 }
 
 // CollectiveBegin implements mpi.Tool.
@@ -72,6 +77,15 @@ func (c *Collector) CollectiveBegin(cm *mpi.Comm, name string, t float64) {
 		return
 	}
 	c.buf.Add(Event{T: t, Rank: cm.WorldRank(), Kind: KindCollective, Comm: cm.ID(), Label: name})
+}
+
+// CollectiveEnd implements mpi.Tool: the exit edge of a rank's collective
+// participation span (paired with the KindCollective begin event).
+func (c *Collector) CollectiveEnd(cm *mpi.Comm, name string, t float64) {
+	if !c.Collectives {
+		return
+	}
+	c.buf.Add(Event{T: t, Rank: cm.WorldRank(), Kind: KindCollectiveEnd, Comm: cm.ID(), Label: name})
 }
 
 // Pcontrol implements mpi.Tool.

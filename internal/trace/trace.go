@@ -28,16 +28,18 @@ const (
 	KindCollective
 	KindPcontrol
 	KindMarker
+	KindCollectiveEnd
 )
 
 var kindNames = map[Kind]string{
-	KindSectionEnter: "section-enter",
-	KindSectionLeave: "section-leave",
-	KindSend:         "send",
-	KindRecv:         "recv",
-	KindCollective:   "collective",
-	KindPcontrol:     "pcontrol",
-	KindMarker:       "marker",
+	KindSectionEnter:  "section-enter",
+	KindSectionLeave:  "section-leave",
+	KindSend:          "send",
+	KindRecv:          "recv",
+	KindCollective:    "collective",
+	KindPcontrol:      "pcontrol",
+	KindMarker:        "marker",
+	KindCollectiveEnd: "collective-end",
 }
 
 func (k Kind) String() string {
@@ -58,7 +60,11 @@ func ParseKind(s string) (Kind, error) {
 }
 
 // Event is one timestamped record. Peer and Bytes are kind-dependent
-// (message endpoints and sizes; Pcontrol level rides in Bytes).
+// (message endpoints and sizes; Pcontrol level rides in Bytes). Tag is the
+// message tag on send/recv events (collective-internal traffic carries
+// negative tags). SendT, PostT and ArrT are the matched-pair timestamps of
+// recv events (mpi.MatchInfo: matching send's post time, this receive's
+// post time, modeled payload arrival) — zero on every other kind.
 type Event struct {
 	T     float64 `json:"t"`
 	Rank  int     `json:"rank"`
@@ -67,6 +73,10 @@ type Event struct {
 	Label string  `json:"label"`
 	Peer  int     `json:"peer"`
 	Bytes int     `json:"bytes"`
+	Tag   int     `json:"tag,omitempty"`
+	SendT float64 `json:"sendt,omitempty"`
+	PostT float64 `json:"postt,omitempty"`
+	ArrT  float64 `json:"arrt,omitempty"`
 }
 
 // Buffer accumulates events from concurrent ranks. The zero value is ready.
@@ -130,16 +140,24 @@ func (b *Buffer) Events() []Event {
 	out := make([]Event, len(b.events))
 	copy(out, b.events)
 	b.mu.Unlock()
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].T != out[j].T {
-			return out[i].T < out[j].T
-		}
-		if out[i].Rank != out[j].Rank {
-			return out[i].Rank < out[j].Rank
-		}
-		return kindOrder(out[i].Kind) < kindOrder(out[j].Kind)
-	})
+	SortEvents(out)
 	return out
+}
+
+// SortEvents sorts events in the canonical replay order every consumer in
+// this repository uses: time, then rank, then kind (section leaves before
+// same-timestamp enters so interval replays stay well nested). Offline
+// analyses (internal/waitstate) normalize their input with it.
+func SortEvents(events []Event) {
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].T != events[j].T {
+			return events[i].T < events[j].T
+		}
+		if events[i].Rank != events[j].Rank {
+			return events[i].Rank < events[j].Rank
+		}
+		return kindOrder(events[i].Kind) < kindOrder(events[j].Kind)
+	})
 }
 
 // kindOrder breaks timestamp ties so that interval replays stay well
@@ -163,16 +181,25 @@ func (b *Buffer) Filter(keep func(Event) bool) []Event {
 	return out
 }
 
-// csvHeader is the stable column set of the CSV codec.
-var csvHeader = []string{"t", "rank", "kind", "comm", "label", "peer", "bytes"}
+// csvHeader is the stable column set of the CSV codec. The tag and
+// matched-pair timestamp columns (tag, sendt, postt, arrt) carry the
+// wait-state analysis inputs; they are zero for non-message kinds.
+var csvHeader = []string{"t", "rank", "kind", "comm", "label", "peer", "bytes", "tag", "sendt", "postt", "arrt"}
 
 // WriteCSV streams the buffer's time-sorted events as CSV with a header.
 func (b *Buffer) WriteCSV(w io.Writer) error {
+	return WriteEventsCSV(w, b.Events())
+}
+
+// WriteEventsCSV streams an already-assembled event slice as CSV with the
+// standard header — the replayable interchange format cmd/secanalyze
+// -waitstate consumes.
+func WriteEventsCSV(w io.Writer, events []Event) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(csvHeader); err != nil {
 		return err
 	}
-	for _, e := range b.Events() {
+	for _, e := range events {
 		rec := []string{
 			strconv.FormatFloat(e.T, 'g', 17, 64),
 			strconv.Itoa(e.Rank),
@@ -181,6 +208,10 @@ func (b *Buffer) WriteCSV(w io.Writer) error {
 			e.Label,
 			strconv.Itoa(e.Peer),
 			strconv.Itoa(e.Bytes),
+			strconv.Itoa(e.Tag),
+			strconv.FormatFloat(e.SendT, 'g', 17, 64),
+			strconv.FormatFloat(e.PostT, 'g', 17, 64),
+			strconv.FormatFloat(e.ArrT, 'g', 17, 64),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err
@@ -228,6 +259,18 @@ func ReadCSV(r io.Reader) ([]Event, error) {
 		if e.Bytes, err = strconv.Atoi(row[6]); err != nil {
 			return nil, fmt.Errorf("trace: row %d bytes: %w", i+2, err)
 		}
+		if e.Tag, err = strconv.Atoi(row[7]); err != nil {
+			return nil, fmt.Errorf("trace: row %d tag: %w", i+2, err)
+		}
+		if e.SendT, err = strconv.ParseFloat(row[8], 64); err != nil {
+			return nil, fmt.Errorf("trace: row %d sendt: %w", i+2, err)
+		}
+		if e.PostT, err = strconv.ParseFloat(row[9], 64); err != nil {
+			return nil, fmt.Errorf("trace: row %d postt: %w", i+2, err)
+		}
+		if e.ArrT, err = strconv.ParseFloat(row[10], 64); err != nil {
+			return nil, fmt.Errorf("trace: row %d arrt: %w", i+2, err)
+		}
 		out = append(out, e)
 	}
 	return out, nil
@@ -257,15 +300,7 @@ func Summarize(events []Event) []SectionSummary {
 	acc := map[string]*SectionSummary{}
 	// Events must be replayed in time order with leave-before-enter ties.
 	sorted := append([]Event(nil), events...)
-	sort.SliceStable(sorted, func(i, j int) bool {
-		if sorted[i].T != sorted[j].T {
-			return sorted[i].T < sorted[j].T
-		}
-		if sorted[i].Rank != sorted[j].Rank {
-			return sorted[i].Rank < sorted[j].Rank
-		}
-		return kindOrder(sorted[i].Kind) < kindOrder(sorted[j].Kind)
-	})
+	SortEvents(sorted)
 	for _, e := range sorted {
 		switch e.Kind {
 		case KindSectionEnter:

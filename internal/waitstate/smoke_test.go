@@ -1,0 +1,78 @@
+package waitstate
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// The committed smoke trace is a small recorded convolution run (4 ranks,
+// 2 steps) in the replayable CSV interchange format. CI replays it through
+// `secanalyze -waitstate` to prove the offline pipeline end to end;
+// regenerate it after an intentional format or model change with
+//
+//	go test ./internal/waitstate -run SmokeTrace -update-smoke
+var updateSmoke = flag.Bool("update-smoke", false, "regenerate testdata/smoke_trace.csv")
+
+const smokeTracePath = "testdata/smoke_trace.csv"
+
+func TestSmokeTraceCurrent(t *testing.T) {
+	if *updateSmoke {
+		events := recordedRun(t, 4, 2)
+		if err := os.MkdirAll(filepath.Dir(smokeTracePath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		f, err := os.Create(smokeTracePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := trace.WriteEventsCSV(f, events); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s (%d events)", smokeTracePath, len(events))
+	}
+	f, err := os.Open(smokeTracePath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update-smoke)", err)
+	}
+	defer f.Close()
+	events, err := trace.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The committed file must stay replayable AND byte-identical to what the
+	// current runtime records — a drifted trace format or timing model shows
+	// up here before it breaks the CI smoke step.
+	fresh := recordedRun(t, 4, 2)
+	if len(events) != len(fresh) {
+		t.Fatalf("committed trace has %d events, current runtime records %d (regenerate with -update-smoke)",
+			len(events), len(fresh))
+	}
+	a, err := Analyze(events, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ranks != 4 || a.Msgs == 0 || a.Warning != "" {
+		t.Fatalf("smoke analysis degenerate: ranks=%d msgs=%d warning=%q", a.Ranks, a.Msgs, a.Warning)
+	}
+	if diff := a.CritLen - a.Wall; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("critical path %g does not tile the wall %g", a.CritLen, a.Wall)
+	}
+	if a.Binding() == nil {
+		t.Error("smoke trace yields no binding section")
+	}
+	// The replayed analysis must match the in-memory one exactly.
+	af, err := Analyze(fresh, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Render() != af.Render() {
+		t.Error("analysis of the committed trace differs from a fresh recording (regenerate with -update-smoke)")
+	}
+}
