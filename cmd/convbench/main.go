@@ -6,7 +6,12 @@
 //
 //	convbench [-fig 5a|5b|5c|5d|6|all] [-quick] [-reps N] [-steps N]
 //	          [-seed N] [-out results] [-csv out.csv] [-j N]
+//	          [-fault-spec SPEC] [-fault-seed N] [-deadline D]
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// With -fault-spec the sweep runs in degraded mode: the plan is armed in
+// every point's runtime, points whose runs fail carry their root cause in
+// the CSV's `error` column, and the remaining points complete normally.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 
 	"repro/internal/diag"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 )
 
 // resolveOut places a relative artifact path inside dir (created on
@@ -47,9 +53,20 @@ func main() {
 	decomp := flag.Bool("decomp", false, "additionally run the 1-D vs 2-D decomposition ablation (§3)")
 	fit := flag.Bool("fit", false, "additionally fit T(p)=A+B/p+C·p per section and predict inflexions")
 	jobs := flag.Int("j", 0, "concurrent sweep workers (0 = GOMAXPROCS; output is identical for every value)")
+	faultSpec := flag.String("fault-spec", "", `fault plan, e.g. "kill:rank=8,after=50;drop:src=0,dst=1,prob=0.5" (see internal/fault)`)
+	faultSeed := flag.Uint64("fault-seed", 1, "seed for the fault plan's probabilistic rules")
+	deadline := flag.Duration("deadline", 0, "per-run deadlock detector deadline (default 30s when -fault-spec is set)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+
+	var plan *fault.Plan
+	if *faultSpec != "" {
+		var err error
+		if plan, err = fault.ParseSpec(*faultSpec, *faultSeed); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	stopProfiles, err := diag.StartProfiles(*cpuprofile, *memprofile)
 	if err != nil {
@@ -70,12 +87,22 @@ func main() {
 		opts.Seed = *seed
 	}
 	opts.Jobs = *jobs
+	opts.Fault = plan
+	opts.Deadline = *deadline
 
 	fmt.Printf("machine: %s  |  image 5616x3744 RGB, %d steps, %d reps, scales %v\n\n",
 		opts.Model.Name, opts.Steps, opts.Reps, opts.Ps)
+	if plan != nil {
+		fmt.Printf("fault plan armed (seed %d): %s\n\n", *faultSeed, plan)
+	}
 	res, err := experiments.RunConvolution(opts)
 	if err != nil {
 		log.Fatal(err)
+	}
+	for _, pt := range res.Points {
+		if pt.Err != "" {
+			fmt.Printf("DEGRADED POINT p=%d: %s\n", pt.P, pt.Err)
+		}
 	}
 
 	switch *fig {
@@ -119,6 +146,8 @@ func main() {
 			wopts = experiments.QuickWeakOptions()
 		}
 		wopts.Jobs = *jobs
+		wopts.Fault = plan
+		wopts.Deadline = *deadline
 		wres, err := experiments.RunWeakConvolution(wopts)
 		if err != nil {
 			log.Fatal(err)
@@ -136,6 +165,8 @@ func main() {
 			dopts = experiments.QuickDecompOptions()
 		}
 		dopts.Jobs = *jobs
+		dopts.Fault = plan
+		dopts.Deadline = *deadline
 		dres, err := experiments.RunDecompComparison(dopts)
 		if err != nil {
 			log.Fatal(err)

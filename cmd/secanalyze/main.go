@@ -22,6 +22,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -196,15 +197,29 @@ func analyzeProfile(w io.Writer, path string, seq float64) error {
 	return nil
 }
 
-// analyzeWaitstate replays a recorded trace through the wait-state engine
-// and prints the full diagnosis report.
-func analyzeWaitstate(w io.Writer, path string, seq float64) error {
+// readTrace loads a recorded trace, tolerating a truncated or corrupt tail:
+// the trace of a crashed or fault-killed run is damaged exactly where it is
+// most interesting, so a *trace.CorruptError becomes a warning and the
+// intact prefix is analyzed instead of failing the whole report.
+func readTrace(path string) ([]trace.Event, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer f.Close()
 	events, err := trace.ReadCSV(f)
+	var ce *trace.CorruptError
+	if errors.As(err, &ce) {
+		log.Printf("warning: %s: %v; analyzing the %d events before the damage", path, ce, len(events))
+		return events, nil
+	}
+	return events, err
+}
+
+// analyzeWaitstate replays a recorded trace through the wait-state engine
+// and prints the full diagnosis report.
+func analyzeWaitstate(w io.Writer, path string, seq float64) error {
+	events, err := readTrace(path)
 	if err != nil {
 		return err
 	}
@@ -217,12 +232,7 @@ func analyzeWaitstate(w io.Writer, path string, seq float64) error {
 }
 
 func renderTimeline(w io.Writer, path string, width int, focus string) error {
-	f, err := os.Open(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	events, err := trace.ReadCSV(f)
+	events, err := readTrace(path)
 	if err != nil {
 		return err
 	}

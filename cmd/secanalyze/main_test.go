@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// writeTraceFile records a tiny two-rank section trace and returns it as
+// CSV bytes plus the path it was written to under t.TempDir().
+func writeTraceFile(t *testing.T) (string, []byte) {
+	t.Helper()
+	buf := trace.NewBuffer(0)
+	for rank := 0; rank < 2; rank++ {
+		buf.Add(trace.Event{T: 0.1, Rank: rank, Kind: trace.KindSectionEnter, Label: "CONVOLVE"})
+		buf.Add(trace.Event{T: 0.9, Rank: rank, Kind: trace.KindSectionLeave, Label: "CONVOLVE"})
+		buf.Add(trace.Event{T: 1.0, Rank: rank, Kind: trace.KindSectionEnter, Label: "HALO"})
+		buf.Add(trace.Event{T: 1.2, Rank: rank, Kind: trace.KindSectionLeave, Label: "HALO"})
+	}
+	var csv bytes.Buffer
+	if err := buf.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	if err := os.WriteFile(path, csv.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, csv.Bytes()
+}
+
+func TestRenderTimelineIntactTrace(t *testing.T) {
+	path, _ := writeTraceFile(t)
+	var out bytes.Buffer
+	if err := renderTimeline(&out, path, 60, ""); err != nil {
+		t.Fatalf("renderTimeline: %v", err)
+	}
+	for _, label := range []string{"CONVOLVE", "HALO"} {
+		if !strings.Contains(out.String(), label) {
+			t.Errorf("timeline lacks section %q:\n%s", label, out.String())
+		}
+	}
+}
+
+// TestReadTraceToleratesCorruptTail pins the degraded-analysis contract: a
+// trace truncated mid-record — the shape a fault-killed run leaves behind —
+// is analyzed up to the damage instead of failing the report.
+func TestReadTraceToleratesCorruptTail(t *testing.T) {
+	path, csv := writeTraceFile(t)
+	cut := bytes.LastIndexByte(bytes.TrimRight(csv, "\n"), '\n')
+	truncated := csv[:cut+1+3] // keep a 3-byte fragment of the final record
+	if err := os.WriteFile(path, truncated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := readTrace(path)
+	if err != nil {
+		t.Fatalf("readTrace on truncated file: %v", err)
+	}
+	if len(events) != 7 {
+		t.Fatalf("got %d events from the intact prefix, want 7", len(events))
+	}
+
+	var out bytes.Buffer
+	if err := renderTimeline(&out, path, 60, ""); err != nil {
+		t.Fatalf("renderTimeline on truncated file: %v", err)
+	}
+	if !strings.Contains(out.String(), "CONVOLVE") {
+		t.Errorf("truncated timeline lost intact sections:\n%s", out.String())
+	}
+}

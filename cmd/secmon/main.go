@@ -7,14 +7,24 @@
 //
 //	secmon -addr :8080
 //	curl 'http://localhost:8080/run?exp=conv&p=64'
+//	curl 'http://localhost:8080/run?exp=conv&p=8&fault=kill:rank=2,after=100&wait=1'
 //	curl http://localhost:8080/metrics
+//	curl http://localhost:8080/faults.json
 //	curl -O http://localhost:8080/trace.json   # open in ui.perfetto.dev
+//
+// SIGINT/SIGTERM shut the monitor down gracefully: in-flight responses
+// drain (bounded by -drain), then the process exits.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/sched"
 )
@@ -24,10 +34,37 @@ func logf(format string, args ...any) { log.Printf(format, args...) }
 func main() {
 	addr := flag.String("addr", "localhost:8080", "listen address")
 	jobs := flag.Int("j", 0, "concurrent experiment runs admitted by /run (0 = GOMAXPROCS)")
+	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout for in-flight responses")
 	flag.Parse()
 
 	sched.SetParallelism(*jobs)
 	s := newServer()
-	log.Printf("secmon listening on http://%s (try /run?exp=conv&p=64 then /metrics)", *addr)
-	log.Fatal(http.ListenAndServe(*addr, s.handler()))
+	srv := &http.Server{Addr: *addr, Handler: s.handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("secmon listening on http://%s (try /run?exp=conv&p=64 then /metrics)", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		// Listen failed before any signal (port in use, bad address).
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // restore default handling: a second signal kills immediately
+		log.Printf("signal received; draining for up to %v", *drain)
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("serve: %v", err)
+		}
+		log.Printf("secmon stopped")
+	}
 }

@@ -1,12 +1,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 // get issues a request against the monitor handler and returns status+body.
@@ -74,6 +77,148 @@ func TestRunConflictWhileRunning(t *testing.T) {
 	s.cur = &runState{running: true}
 	if code, _ := get(t, s.handler(), "/run?exp=conv&p=2"); code != http.StatusConflict {
 		t.Fatalf("concurrent run: code %d, want 409", code)
+	}
+	// The guard is single-flight, not single-use: once the current run
+	// finishes, /run admits the next launch.
+	s.cur.running = false
+	if code, body := get(t, s.handler(), "/run?exp=conv&p=2&steps=4&scale=32&wait=1"); code != http.StatusOK {
+		t.Fatalf("run after finish: code %d body %q", code, body)
+	}
+}
+
+// TestRunFaultKnobs drives a faulty run through the HTTP surface: the
+// fault/fault-seed/deadline knobs arm the plan, /faults.json serves the
+// canonical event log live, and /metrics exposes section_fault_total.
+func TestRunFaultKnobs(t *testing.T) {
+	h := newServer().handler()
+	for _, path := range []string{
+		"/run?exp=conv&p=2&fault=bogus",
+		"/run?exp=conv&p=2&fault=kill:rank=0&fault-seed=x",
+		"/run?exp=conv&p=2&deadline=nope",
+		"/run?exp=conv&p=2&deadline=-3s",
+	} {
+		if code, _ := get(t, h, path); code != http.StatusBadRequest {
+			t.Fatalf("%s: code %d, want 400", path, code)
+		}
+	}
+
+	code, body := get(t, h,
+		"/run?exp=conv&p=4&steps=6&scale=32&seed=2017&wait=1&seq=0"+
+			"&fault=delay:src=*,dst=*,prob=1,secs=1e-6&fault-seed=9&deadline=30s")
+	if code != http.StatusOK {
+		t.Fatalf("faulty run: code %d body %q", code, body)
+	}
+	var run struct {
+		Status string `json:"status"`
+		Fault  string `json:"fault"`
+		Error  string `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(body), &run); err != nil {
+		t.Fatalf("run response not JSON: %v\n%s", err, body)
+	}
+	if run.Status != "finished" || run.Error != "" {
+		t.Fatalf("delay-only run should finish cleanly: %+v", run)
+	}
+	if !strings.Contains(run.Fault, "delay:") {
+		t.Fatalf("run response does not echo the armed plan: %+v", run)
+	}
+
+	code, body = get(t, h, "/faults.json")
+	if code != http.StatusOK {
+		t.Fatalf("faults: code %d body %q", code, body)
+	}
+	var faults struct {
+		Running bool   `json:"running"`
+		Plan    string `json:"plan"`
+		Seed    uint64 `json:"seed"`
+		Counts  []struct {
+			Kind  string `json:"kind"`
+			Count int    `json:"count"`
+		} `json:"counts"`
+		Events []struct {
+			Kind string  `json:"kind"`
+			T    float64 `json:"t"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &faults); err != nil {
+		t.Fatalf("faults not JSON: %v\n%s", err, body)
+	}
+	if faults.Running || faults.Seed != 9 || !strings.Contains(faults.Plan, "delay:") {
+		t.Fatalf("faults header inconsistent: %s", body)
+	}
+	if len(faults.Events) == 0 || len(faults.Counts) == 0 {
+		t.Fatalf("faults log empty despite prob=1 delays: %s", body)
+	}
+	for _, ev := range faults.Events {
+		if ev.Kind != "delay" {
+			t.Errorf("unexpected event kind %q", ev.Kind)
+		}
+	}
+	if faults.Counts[0].Kind != "delay" || faults.Counts[0].Count != len(faults.Events) {
+		t.Errorf("counts disagree with events: %+v vs %d events", faults.Counts, len(faults.Events))
+	}
+
+	code, body = get(t, h, "/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "section_fault_total") {
+		t.Fatalf("metrics after faulty run lack section_fault_total: code %d", code)
+	}
+
+	// A fail-stop run surfaces the root cause but still serves its partial
+	// observability, including the kill event. Go's query parser drops any
+	// parameter containing the spec's `;` rule separator, so multi-rule
+	// plans arrive as repeated fault= parameters — one rule each.
+	code, body = get(t, h,
+		"/run?exp=conv&p=4&steps=6&scale=32&wait=1&seq=0"+
+			"&fault=kill:rank=2,after=5&fault=delay:src=*,dst=*,prob=1,secs=1e-6")
+	if code != http.StatusOK || !strings.Contains(body, "fail-stop") {
+		t.Fatalf("killed run: code %d body %q", code, body)
+	}
+	if !strings.Contains(body, "kill:") || !strings.Contains(body, "delay:") {
+		t.Fatalf("multi-rule plan not rejoined from repeated fault= params: %q", body)
+	}
+	code, body = get(t, h, "/faults.json")
+	if code != http.StatusOK || !strings.Contains(body, `"kill"`) {
+		t.Fatalf("faults after kill: code %d body %q", code, body)
+	}
+}
+
+// TestGracefulShutdown pins the drain contract: Shutdown returns once
+// in-flight responses complete, the listener closes, and Serve reports
+// ErrServerClosed rather than a hard kill.
+func TestGracefulShutdown(t *testing.T) {
+	srv := &http.Server{Handler: newServer().handler()}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	base := "http://" + ln.Addr().String()
+	resp, err := http.Get(base + "/")
+	if err != nil {
+		t.Fatalf("pre-shutdown request: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-shutdown status %d", resp.StatusCode)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	select {
+	case err := <-errc:
+		if err != http.ErrServerClosed {
+			t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after Shutdown")
+	}
+	if _, err := http.Get(base + "/"); err == nil {
+		t.Fatal("listener still accepting after Shutdown")
 	}
 }
 

@@ -6,11 +6,13 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/export"
+	"repro/internal/fault"
 	"repro/internal/mpi"
 	"repro/internal/prof"
 	"repro/internal/trace"
@@ -50,6 +52,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/spans.json", s.handleSpans)
 	mux.HandleFunc("/waitstate.json", s.handleWaitstate)
 	mux.HandleFunc("/critpath.json", s.handleCritpath)
+	mux.HandleFunc("/faults.json", s.handleFaults)
 	mux.HandleFunc("/run", s.handleRun)
 	// Runtime profiling of the monitor process itself: with a sweep running
 	// behind /run, `go tool pprof http://.../debug/pprof/profile` lands in
@@ -82,8 +85,10 @@ func (s *server) handleIndex(w http.ResponseWriter, req *http.Request) {
 <li><a href="/spans.json">/spans.json</a> — OTLP-style span export</li>
 <li><a href="/waitstate.json">/waitstate.json</a> — wait-state diagnosis: why the binding section caps the speedup</li>
 <li><a href="/critpath.json">/critpath.json</a> — critical path through the happens-before graph</li>
+<li><a href="/faults.json">/faults.json</a> — injected faults and failure consequences of the current run</li>
 <li><a href="/run?exp=conv&amp;p=64">/run?exp=conv&amp;p=64</a> — launch an experiment with the exporter attached
-    (params: exp=conv|lulesh, p, steps, scale, seed, threads, wait=1, seq=0)</li>
+    (params: exp=conv|lulesh, p, steps, scale, seed, threads, wait=1, seq=0,
+    fault=kill:rank=2,after=100, fault-seed=N, deadline=30s; repeat fault= for multi-rule plans)</li>
 </ul>`)
 }
 
@@ -133,7 +138,7 @@ func (s *server) handleSections(w http.ResponseWriter, req *http.Request) {
 		WallTime:   st.wall,
 	}
 	if st.err != nil {
-		resp.Error = st.err.Error()
+		resp.Error = mpi.RootCause(st.err).Error()
 	}
 	s.mu.Unlock()
 	resp.TraceID = st.rec.TraceID().String()
@@ -177,6 +182,51 @@ func (s *server) handleSpans(w http.ResponseWriter, req *http.Request) {
 	}
 }
 
+// faultsResponse is the /faults.json document.
+type faultsResponse struct {
+	TraceID string `json:"trace_id"`
+	Running bool   `json:"running"`
+	// Plan is the armed fault spec ("" for a healthy run).
+	Plan string `json:"plan,omitempty"`
+	Seed uint64 `json:"seed,omitempty"`
+	// Counts aggregates events per (section, kind); Events is the full
+	// canonically ordered log.
+	Counts []export.FaultCount `json:"counts"`
+	Events []fault.Event       `json:"events"`
+}
+
+// handleFaults serves the current run's fault log — injected events plus
+// observed consequences — live while the ranks are still executing.
+func (s *server) handleFaults(w http.ResponseWriter, req *http.Request) {
+	st := s.snapshot()
+	if st == nil {
+		http.Error(w, "no run yet: GET /run?exp=conv&p=4&fault=kill:rank=2,after=100 first", http.StatusNotFound)
+		return
+	}
+	s.mu.Lock()
+	resp := faultsResponse{Running: st.running}
+	if st.opts.Fault != nil {
+		resp.Plan = st.opts.Fault.String()
+		resp.Seed = st.opts.Fault.Seed
+	}
+	s.mu.Unlock()
+	resp.TraceID = st.rec.TraceID().String()
+	resp.Counts = st.rec.FaultCounts()
+	resp.Events = st.rec.Faults()
+	if resp.Events == nil {
+		resp.Events = []fault.Event{}
+	}
+	if resp.Counts == nil {
+		resp.Counts = []export.FaultCount{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(resp); err != nil {
+		logf("faults write: %v", err)
+	}
+}
+
 // queryInt parses an integer query parameter with a default.
 func queryInt(req *http.Request, key string, def int) (int, error) {
 	v := req.URL.Query().Get(key)
@@ -215,6 +265,33 @@ func (s *server) handleRun(w http.ResponseWriter, req *http.Request) {
 			return
 		}
 		opts.Seed = v
+	}
+	// Fault knobs: a spec (internal/fault syntax) arms deterministic
+	// injection in the launched run; the deadline arms the deadlock
+	// detector so a degraded run ends in a per-rank blocked report.
+	// Go's query parser rejects the spec's `;` rule separator outright, so
+	// multi-rule plans ride as repeated fault= parameters (one rule each)
+	// and are rejoined here.
+	if spec := strings.Join(q["fault"], ";"); spec != "" {
+		seed := uint64(1)
+		if v := q.Get("fault-seed"); v != "" {
+			if seed, err = strconv.ParseUint(v, 10, 64); err != nil {
+				http.Error(w, "parameter fault-seed is not an unsigned integer", http.StatusBadRequest)
+				return
+			}
+		}
+		if opts.Fault, err = fault.ParseSpec(spec, seed); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	if v := q.Get("deadline"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			http.Error(w, "parameter deadline is not a positive duration", http.StatusBadRequest)
+			return
+		}
+		opts.Deadline = d
 	}
 	withSeq := q.Get("seq") != "0"
 	wait := q.Get("wait") == "1"
@@ -287,10 +364,16 @@ func (s *server) handleRun(w http.ResponseWriter, req *http.Request) {
 		"seed":     opts.Seed,
 		"trace_id": rec.TraceID().String(),
 	}
+	if opts.Fault != nil {
+		resp["fault"] = opts.Fault.String()
+	}
 	if !st.running {
 		resp["wall_seconds"] = st.wall
 		if st.err != nil {
-			resp["error"] = st.err.Error()
+			// The raw error tree leads with whichever secondary victim
+			// happened to be collected first; distill the primary cause (an
+			// injected kill outranks the revocations it provokes).
+			resp["error"] = mpi.RootCause(st.err).Error()
 		}
 	}
 	s.mu.Unlock()

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/convolution"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/mpi"
 	"repro/internal/prof"
@@ -38,6 +39,13 @@ type ConvOptions struct {
 	// Diagnose attaches a trace collector to each point's rep-0 run and
 	// reports the binding section's wait-state diagnosis in the CSV.
 	Diagnose bool
+	// Fault arms a deterministic fault plan in every point's runtime; points
+	// whose runs fail degrade to an `error` CSV cell instead of aborting the
+	// sweep.
+	Fault *fault.Plan
+	// Deadline arms the per-run deadlock detector (default 30s when Fault is
+	// set, off otherwise).
+	Deadline time.Duration
 }
 
 // PaperConvOptions reproduces the paper's setup: the 5616×3744 image,
@@ -82,6 +90,10 @@ type ConvPoint struct {
 	Shares map[string]float64
 	// Diag is the rep-0 wait-state diagnosis (nil with Diagnose off).
 	Diag *PointDiagnosis
+	// Err is the root cause of the first failed repetition ("" for a healthy
+	// point). A failed point keeps zero metrics and is excluded from the
+	// bound study, but the sweep itself completes.
+	Err string
 }
 
 // ConvResult is the full study.
@@ -125,6 +137,7 @@ func RunConvolution(o ConvOptions) (*ConvResult, error) {
 		totals map[string]float64
 		shares map[string]float64
 		diag   *PointDiagnosis
+		errMsg string
 	}
 	reps, err := sched.Map(sched.Workers(o.Jobs), len(o.Ps)*o.Reps, func(i int) (repResult, error) {
 		p := o.Ps[i/o.Reps]
@@ -137,6 +150,7 @@ func RunConvolution(o ConvOptions) (*ConvResult, error) {
 			Tools:   []mpi.Tool{profiler},
 			Timeout: 10 * time.Minute,
 		}
+		applyFault(&cfg, o.Fault, o.Deadline)
 		// The rep-0 run doubles as the diagnosis specimen: tools observe the
 		// virtual clocks without perturbing them, so attaching the collector
 		// leaves the measured times bit-identical.
@@ -146,7 +160,9 @@ func RunConvolution(o ConvOptions) (*ConvResult, error) {
 			cfg.Tools = append(cfg.Tools, collector)
 		}
 		if _, err := convolution.Run(cfg, params); err != nil {
-			return repResult{}, fmt.Errorf("experiments: convolution p=%d rep=%d: %w", p, rep, err)
+			// Degraded mode: the point records its root cause and the sweep
+			// carries on — returning the error would abort every other point.
+			return repResult{errMsg: runErrCell(err)}, nil
 		}
 		profile, err := profiler.Result()
 		if err != nil {
@@ -183,6 +199,9 @@ func RunConvolution(o ConvOptions) (*ConvResult, error) {
 		pt.Diag = reps[pi*o.Reps].diag
 		for rep := 0; rep < o.Reps; rep++ {
 			job := reps[pi*o.Reps+rep]
+			if job.errMsg != "" && pt.Err == "" {
+				pt.Err = fmt.Sprintf("p=%d rep=%d: %s", p, rep, job.errMsg)
+			}
 			pt.Wall += job.wall
 			for _, label := range convolution.Labels() {
 				if t, ok := job.totals[label]; ok {
@@ -190,6 +209,18 @@ func RunConvolution(o ConvOptions) (*ConvResult, error) {
 					pt.Shares[label] += job.shares[label]
 				}
 			}
+		}
+		if pt.Err != "" {
+			// A failed repetition poisons the point's averages: report the
+			// root cause, keep the metrics zero, and leave the bound study to
+			// the points that completed.
+			pt.Wall, pt.Speedup = 0, 0
+			pt.Totals = map[string]float64{}
+			pt.AvgPerProc = map[string]float64{}
+			pt.Shares = map[string]float64{}
+			pt.Diag = nil
+			res.Points = append(res.Points, pt)
+			continue
 		}
 		inv := 1 / float64(o.Reps)
 		pt.Wall *= inv
@@ -320,6 +351,7 @@ func (r *ConvResult) WriteCSV(w io.Writer) error {
 		header = append(header, "total_"+c, "share_"+c)
 	}
 	header = append(header, diagHeader()...)
+	header = append(header, "error")
 	if _, err := io.WriteString(w, csvLine(header...)); err != nil {
 		return err
 	}
@@ -333,6 +365,7 @@ func (r *ConvResult) WriteCSV(w io.Writer) error {
 			cells = append(cells, fmt.Sprintf("%g", pt.Totals[c]), fmt.Sprintf("%g", pt.Shares[c]))
 		}
 		cells = append(cells, pt.Diag.csvCells()...)
+		cells = append(cells, csvEscape(pt.Err))
 		if _, err := io.WriteString(w, csvLine(cells...)); err != nil {
 			return err
 		}

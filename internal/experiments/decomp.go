@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/convolution"
+	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/mpi"
 	"repro/internal/prof"
@@ -35,6 +36,9 @@ type DecompPoint struct {
 	// Diagnose off).
 	Diag1D *PointDiagnosis
 	Diag2D *PointDiagnosis
+	// Err1D / Err2D carry each variant's root cause ("" when healthy).
+	Err1D string
+	Err2D string
 }
 
 // DecompResult is the sweep.
@@ -54,6 +58,12 @@ type DecompOptions struct {
 	// Diagnose attaches a trace collector per run and reports the binding
 	// section's wait-state diagnosis in the CSV.
 	Diagnose bool
+	// Fault arms a deterministic fault plan; failed variants degrade to an
+	// `error` CSV cell instead of aborting the comparison.
+	Fault *fault.Plan
+	// Deadline arms the per-run deadlock detector (default 30s when Fault is
+	// set, off otherwise).
+	Deadline time.Duration
 }
 
 // QuickDecompOptions is a reduced comparison for tests.
@@ -101,25 +111,29 @@ func RunDecompComparison(o DecompOptions) (*DecompResult, error) {
 	type variantResult struct {
 		halo, wall float64
 		diag       *PointDiagnosis
+		errMsg     string
 	}
 	runs, err := sched.Map(sched.Workers(o.Jobs), 2*len(o.Ps), func(i int) (variantResult, error) {
 		p := o.Ps[i/2]
-		runner, name := convolution.Run, "1-D"
+		runner := convolution.Run
 		if i%2 == 1 {
-			runner, name = convolution.Run2D, "2-D"
+			runner = convolution.Run2D
 		}
 		profiler := prof.New()
 		cfg := mpi.Config{
 			Ranks: p, Model: o.Model, Seed: o.Seed,
 			Tools: []mpi.Tool{profiler}, Timeout: 10 * time.Minute,
 		}
+		applyFault(&cfg, o.Fault, o.Deadline)
 		var collector *trace.Collector
 		if o.Diagnose {
 			collector = newDiagCollector()
 			cfg.Tools = append(cfg.Tools, collector)
 		}
 		if _, err := runner(cfg, params); err != nil {
-			return variantResult{}, fmt.Errorf("experiments: %s p=%d: %w", name, p, err)
+			// Degraded mode: record the root cause, let the sweep carry on;
+			// the CSV row's variant column names the failed decomposition.
+			return variantResult{errMsg: runErrCell(err)}, nil
 		}
 		profile, err := profiler.Result()
 		if err != nil {
@@ -148,9 +162,11 @@ func RunDecompComparison(o DecompOptions) (*DecompResult, error) {
 			Halo1D:  runs[2*i].halo,
 			Wall1D:  runs[2*i].wall,
 			Diag1D:  runs[2*i].diag,
+			Err1D:   runs[2*i].errMsg,
 			Halo2D:  runs[2*i+1].halo,
 			Wall2D:  runs[2*i+1].wall,
 			Diag2D:  runs[2*i+1].diag,
+			Err2D:   runs[2*i+1].errMsg,
 		})
 	}
 	return res, nil
@@ -179,6 +195,7 @@ func (r *DecompResult) Table() string {
 // diagnosis block applies to a single decomposition at a time.
 func (r *DecompResult) WriteCSV(w io.Writer) error {
 	header := append([]string{"p", "variant", "grid", "halo_bytes_per_proc", "halo_avg", "wall"}, diagHeader()...)
+	header = append(header, "error")
 	if _, err := io.WriteString(w, csvLine(header...)); err != nil {
 		return err
 	}
@@ -190,9 +207,10 @@ func (r *DecompResult) WriteCSV(w io.Writer) error {
 			halo    float64
 			wall    float64
 			diag    *PointDiagnosis
+			errMsg  string
 		}{
-			{"1d", fmt.Sprintf("1x%d", pt.P), pt.Bytes1D, pt.Halo1D, pt.Wall1D, pt.Diag1D},
-			{"2d", pt.Grid, pt.Bytes2D, pt.Halo2D, pt.Wall2D, pt.Diag2D},
+			{"1d", fmt.Sprintf("1x%d", pt.P), pt.Bytes1D, pt.Halo1D, pt.Wall1D, pt.Diag1D, pt.Err1D},
+			{"2d", pt.Grid, pt.Bytes2D, pt.Halo2D, pt.Wall2D, pt.Diag2D, pt.Err2D},
 		}
 		for _, row := range rows {
 			cells := []string{
@@ -204,6 +222,7 @@ func (r *DecompResult) WriteCSV(w io.Writer) error {
 				fmt.Sprintf("%g", row.wall),
 			}
 			cells = append(cells, row.diag.csvCells()...)
+			cells = append(cells, csvEscape(row.errMsg))
 			if _, err := io.WriteString(w, csvLine(cells...)); err != nil {
 				return err
 			}

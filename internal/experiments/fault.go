@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"strings"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/mpi"
+)
+
+// Degraded-mode sweeps: every sweep driver accepts a fault plan and a
+// deadlock deadline. A point whose run fails — an injected fail-stop, a
+// deadlock report, an application error — no longer aborts the sweep: the
+// point's metrics stay zero, its `error` CSV column carries the
+// deterministic root cause (mpi.RootCause), and the remaining points
+// complete normally. Healthy sweeps emit an empty error column, so the
+// schema is fixed either way.
+
+// defaultFaultDeadline arms the deadlock detector whenever a fault plan is
+// attached and the caller did not choose a deadline: injected failures can
+// legitimately strand peers (a killed rank's partner blocks forever), and a
+// degraded sweep must terminate with a report instead of hanging until the
+// 10-minute watchdog.
+const defaultFaultDeadline = 30 * time.Second
+
+// applyFault wires a sweep's fault plan and deadline into one run config.
+func applyFault(cfg *mpi.Config, plan *fault.Plan, deadline time.Duration) {
+	cfg.Fault = plan
+	cfg.Deadline = deadline
+	if plan != nil && deadline == 0 {
+		cfg.Deadline = defaultFaultDeadline
+	}
+}
+
+// runErrCell renders a failed run for the `error` CSV column: the root
+// cause only, which is deterministic across worker counts, where the full
+// joined error tree is not (casualty join order depends on scheduling).
+func runErrCell(err error) string {
+	if err == nil {
+		return ""
+	}
+	return mpi.RootCause(err).Error()
+}
+
+// csvEscape quotes a cell per RFC 4180 when it contains a comma, quote or
+// newline — error messages from degraded runs carry arbitrary text, unlike
+// the numeric cells csvLine was written for.
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}

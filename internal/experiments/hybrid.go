@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/lulesh"
 	"repro/internal/machine"
 	"repro/internal/mpi"
@@ -36,6 +37,12 @@ type HybridOptions struct {
 	// Diagnose attaches a trace collector per grid cell and reports the
 	// binding section's wait-state diagnosis in the CSV.
 	Diagnose bool
+	// Fault arms a deterministic fault plan; failed cells degrade to an
+	// `error` CSV cell instead of aborting the sweep.
+	Fault *fault.Plan
+	// Deadline arms the per-run deadlock detector (default 30s when Fault is
+	// set, off otherwise).
+	Deadline time.Duration
 }
 
 // PaperBroadwellOptions reproduces Fig. 8's sweep.
@@ -109,6 +116,9 @@ type HybridPoint struct {
 	Totals map[string]float64
 	// Diag is the wait-state diagnosis (nil with Diagnose off).
 	Diag *PointDiagnosis
+	// Err is the run's root cause ("" when healthy); failed cells keep zero
+	// metrics while the sweep completes.
+	Err string
 }
 
 // HybridResult is the full study on one machine.
@@ -152,13 +162,18 @@ func RunHybrid(o HybridOptions) (*HybridResult, error) {
 			Tools:          []mpi.Tool{profiler},
 			Timeout:        10 * time.Minute,
 		}
+		applyFault(&cfg, o.Fault, o.Deadline)
 		var collector *trace.Collector
 		if o.Diagnose {
 			collector = newDiagCollector()
 			cfg.Tools = append(cfg.Tools, collector)
 		}
 		if _, err := lulesh.Run(cfg, params); err != nil {
-			return HybridPoint{}, fmt.Errorf("experiments: lulesh p=%d t=%d: %w", cell.ranks, cell.threads, err)
+			// Degraded mode: record the root cause, let the sweep carry on.
+			return HybridPoint{
+				Ranks: cell.ranks, Threads: cell.threads,
+				Totals: map[string]float64{}, Err: runErrCell(err),
+			}, nil
 		}
 		profile, err := profiler.Result()
 		if err != nil {
@@ -259,7 +274,7 @@ type Fig10Analysis struct {
 func (r *HybridResult) AnalyzeFig10() (*Fig10Analysis, error) {
 	a := &Fig10Analysis{}
 	for _, pt := range r.Points {
-		if pt.Ranks != 1 {
+		if pt.Ranks != 1 || pt.Err != "" {
 			continue
 		}
 		a.Threads = append(a.Threads, pt.Threads)
@@ -315,6 +330,7 @@ func (a *Fig10Analysis) Render() string {
 // (blank when Diagnose was off).
 func (r *HybridResult) WriteCSV(w io.Writer) error {
 	header := append([]string{"ranks", "threads", "wall", "nodal_avg", "elements_avg"}, diagHeader()...)
+	header = append(header, "error")
 	if _, err := io.WriteString(w, csvLine(header...)); err != nil {
 		return err
 	}
@@ -327,6 +343,7 @@ func (r *HybridResult) WriteCSV(w io.Writer) error {
 			fmt.Sprintf("%g", pt.ElementsAvg),
 		}
 		cells = append(cells, pt.Diag.csvCells()...)
+		cells = append(cells, csvEscape(pt.Err))
 		if _, err := io.WriteString(w, csvLine(cells...)); err != nil {
 			return err
 		}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/convolution"
+	"repro/internal/fault"
 	"repro/internal/lulesh"
 	"repro/internal/machine"
 	"repro/internal/mpi"
@@ -40,6 +41,14 @@ type LiveOptions struct {
 	Tools []mpi.Tool
 	// Timeout is the deadlock watchdog (default 10 minutes).
 	Timeout time.Duration
+	// Fault arms a deterministic fault plan in the run's runtime; the
+	// monitor's observers (trace collectors, export recorders) see the
+	// injected events live.
+	Fault *fault.Plan
+	// Deadline arms the deadlock detector (default 30s when Fault is set,
+	// off otherwise) — a faulty live run must end in a per-rank blocked
+	// report, not a hung monitor.
+	Deadline time.Duration
 }
 
 func (o LiveOptions) withDefaults() (LiveOptions, error) {
@@ -132,6 +141,7 @@ func RunLive(o LiveOptions) (*mpi.Report, error) {
 		Tools:   o.Tools,
 		Timeout: o.Timeout,
 	}
+	applyFault(&cfg, o.Fault, o.Deadline)
 	switch o.Experiment {
 	case "conv":
 		params := convolution.Params{

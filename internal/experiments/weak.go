@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/convolution"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/mpi"
 	"repro/internal/prof"
@@ -39,6 +40,12 @@ type WeakOptions struct {
 	// Diagnose attaches a trace collector per point and reports the binding
 	// section's wait-state diagnosis in the CSV.
 	Diagnose bool
+	// Fault arms a deterministic fault plan; failed points degrade to an
+	// `error` CSV cell instead of aborting the sweep.
+	Fault *fault.Plan
+	// Deadline arms the per-run deadlock detector (default 30s when Fault is
+	// set, off otherwise).
+	Deadline time.Duration
 }
 
 // QuickWeakOptions is a reduced sweep for tests.
@@ -81,6 +88,9 @@ type WeakPoint struct {
 	HaloAvg float64
 	// Diag is the wait-state diagnosis (nil with Diagnose off).
 	Diag *PointDiagnosis
+	// Err is the run's root cause ("" when healthy); failed points keep zero
+	// metrics while the sweep completes.
+	Err string
 }
 
 // WeakResult is the sweep output.
@@ -119,13 +129,15 @@ func RunWeakConvolution(o WeakOptions) (*WeakResult, error) {
 			Tools:   []mpi.Tool{profiler},
 			Timeout: 10 * time.Minute,
 		}
+		applyFault(&cfg, o.Fault, o.Deadline)
 		var collector *trace.Collector
 		if o.Diagnose {
 			collector = newDiagCollector()
 			cfg.Tools = append(cfg.Tools, collector)
 		}
 		if _, err := convolution.Run(cfg, params); err != nil {
-			return WeakPoint{}, fmt.Errorf("experiments: weak p=%d: %w", p, err)
+			// Degraded mode: record the root cause, let the sweep carry on.
+			return WeakPoint{P: p, Err: runErrCell(err)}, nil
 		}
 		profile, err := profiler.Result()
 		if err != nil {
@@ -147,6 +159,11 @@ func RunWeakConvolution(o WeakOptions) (*WeakResult, error) {
 	}
 	base := points[0].Wall // Ps[0] == 1, validated above
 	for i := range points {
+		// Efficiency needs both the baseline and this point to have survived;
+		// a failed run leaves the derived columns zero next to its error.
+		if points[i].Err != "" || base <= 0 || points[i].Wall <= 0 {
+			continue
+		}
 		points[i].Efficiency = base / points[i].Wall
 		points[i].ScaledSpeedup = float64(points[i].P) * points[i].Efficiency
 	}
@@ -205,6 +222,7 @@ func (r *WeakResult) Table() (string, error) {
 // block (blank when Diagnose was off).
 func (r *WeakResult) WriteCSV(w io.Writer) error {
 	header := append([]string{"p", "wall", "efficiency", "scaled_speedup", "halo_avg"}, diagHeader()...)
+	header = append(header, "error")
 	if _, err := io.WriteString(w, csvLine(header...)); err != nil {
 		return err
 	}
@@ -217,6 +235,7 @@ func (r *WeakResult) WriteCSV(w io.Writer) error {
 			fmt.Sprintf("%g", pt.HaloAvg),
 		}
 		cells = append(cells, pt.Diag.csvCells()...)
+		cells = append(cells, csvEscape(pt.Err))
 		if _, err := io.WriteString(w, csvLine(cells...)); err != nil {
 			return err
 		}

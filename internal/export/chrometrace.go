@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"repro/internal/fault"
 )
 
 // This file renders the recorded run in the Chrome trace_event JSON format
@@ -31,6 +33,7 @@ type chromeEvent struct {
 	Cat  string         `json:"cat,omitempty"`
 	ID   string         `json:"id,omitempty"`
 	BP   string         `json:"bp,omitempty"`
+	S    string         `json:"s,omitempty"` // instant-event scope (g/p/t)
 	Args map[string]any `json:"args,omitempty"`
 
 	// seq orders same-timestamp events of one rank by execution order; it
@@ -57,10 +60,12 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	spans := append([]Span(nil), r.spans...)
 	counters := append([]counterSample(nil), r.counters...)
 	msgs := append([]msgEvent(nil), r.msgs...)
+	faults := append([]fault.Event(nil), r.faults...)
 	traceID := r.traceID
 	ranks := r.ranks
 	dropped := r.dropped
 	r.mu.Unlock()
+	fault.SortEvents(faults)
 
 	// Rank tracks: every rank that produced a span or message, plus the
 	// world size recorded at Init (so an idle rank still gets its track and
@@ -77,6 +82,11 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 		}
 		if m.dst > maxRank {
 			maxRank = m.dst
+		}
+	}
+	for _, fe := range faults {
+		if fe.Rank > maxRank {
+			maxRank = fe.Rank
 		}
 	}
 	metricsPid := maxRank + metricsPidOffset + 1
@@ -132,6 +142,40 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 		return slices[i].seq < slices[j].seq
 	})
 	events = append(events, slices...)
+
+	// Fault instants: one ph:"i" marker per injected fault or observed
+	// failure consequence, process-scoped on the afflicted rank's track
+	// (global when the event has no rank). Perfetto draws them as flags, so
+	// a kill or a dropped message is visible right where the slices distort.
+	for _, fe := range faults {
+		ev := chromeEvent{
+			Name: "fault: " + fe.Kind.String(), Ph: "i", Ts: fe.T * secToUs,
+			Cat: "fault", S: "p",
+		}
+		if fe.Rank >= 0 {
+			ev.Pid, ev.Tid = fe.Rank, fe.Rank
+		} else {
+			ev.S = "g"
+		}
+		args := map[string]any{"kind": fe.Kind.String()}
+		if fe.Section != "" {
+			args["section"] = fe.Section
+		}
+		if fe.Src >= 0 {
+			args["src"] = fe.Src
+		}
+		if fe.Dst >= 0 {
+			args["dst"] = fe.Dst
+		}
+		if fe.Bytes != 0 {
+			args["bytes"] = fe.Bytes
+		}
+		if fe.Delay != 0 {
+			args["delay_us"] = fe.Delay * secToUs
+		}
+		ev.Args = args
+		events = append(events, ev)
+	}
 
 	sort.SliceStable(counters, func(i, j int) bool {
 		if counters[i].t != counters[j].t {

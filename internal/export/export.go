@@ -31,6 +31,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/mpi"
 	"repro/internal/stats"
 )
@@ -147,6 +148,14 @@ type rankKey struct {
 	rank int
 }
 
+// faultKey aggregates fault events per (section, kind) for the Prometheus
+// section_fault_total family. Link faults outside any section aggregate
+// under the empty section label.
+type faultKey struct {
+	section string
+	kind    string
+}
+
 type instKey struct {
 	comm  int64
 	label string
@@ -212,25 +221,26 @@ type sectionAgg struct {
 type Recorder struct {
 	mpi.BaseTool
 
-	mu         sync.Mutex
-	opts       Options
-	world      *mpi.WorldInfo
-	traceID    TraceID
-	nextSpanID uint64
-	seqs       []uint64 // per-world-rank event sequence counters
-	stacks     map[rankKey][]openSpan
-	nextIdx    map[rankKey]map[string]int
-	collOpen   map[int][]openSpan // per-world-rank open collectives
-	inst       map[instKey]*instAcc
-	aggs       map[secKey]*sectionAgg
-	spans      []Span
-	counters   []counterSample
-	msgs       []msgEvent
-	dropped    int
-	maxT       float64
-	finished   bool
-	wall       float64
-	ranks      int
+	mu       sync.Mutex
+	opts     Options
+	world    *mpi.WorldInfo
+	traceID  TraceID
+	seqs     []uint64 // per-world-rank event sequence counters
+	stacks   map[rankKey][]openSpan
+	nextIdx  map[rankKey]map[string]int
+	collOpen map[int][]openSpan // per-world-rank open collectives
+	inst     map[instKey]*instAcc
+	aggs     map[secKey]*sectionAgg
+	spans    []Span
+	counters []counterSample
+	msgs     []msgEvent
+	faults   []fault.Event
+	faultAgg map[faultKey]int
+	dropped  int
+	maxT     float64
+	finished bool
+	wall     float64
+	ranks    int
 }
 
 // NewRecorder returns a Recorder with the given options.
@@ -251,6 +261,7 @@ func NewRecorder(opts Options) *Recorder {
 		collOpen: map[int][]openSpan{},
 		inst:     map[instKey]*instAcc{},
 		aggs:     map[secKey]*sectionAgg{},
+		faultAgg: map[faultKey]int{},
 	}
 }
 
@@ -293,6 +304,15 @@ func (r *Recorder) nextSeqLocked(worldRank int) uint64 {
 	return r.seqs[worldRank]
 }
 
+// spanID derives a span's identity from its rank and per-rank event
+// sequence. Ranks race for r.mu, so a global allocation counter would hand
+// out different ids run to run; this derivation depends only on each
+// rank's own (deterministic, virtual-time) execution order, which keeps
+// golden traces, OTLP spans and Fig. 2 payload stamps byte-stable.
+func spanID(worldRank int, seq uint64) uint64 {
+	return uint64(worldRank+1)<<40 | seq
+}
+
 // observeLocked tracks the latest event timestamp for live wall estimates.
 func (r *Recorder) observeLocked(t float64) {
 	if t > r.maxT {
@@ -317,9 +337,7 @@ func (r *Recorder) SectionEnter(c *mpi.Comm, label string, t float64, data *mpi.
 	idx := idxs[label]
 	idxs[label] = idx + 1
 
-	r.nextSpanID++
 	sp := Span{
-		ID:       r.nextSpanID,
 		Label:    label,
 		Comm:     c.ID(),
 		Rank:     world,
@@ -327,6 +345,7 @@ func (r *Recorder) SectionEnter(c *mpi.Comm, label string, t float64, data *mpi.
 		Start:    t,
 		EnterSeq: r.nextSeqLocked(world),
 	}
+	sp.ID = spanID(world, sp.EnterSeq)
 	parentLabel := ""
 	if st := r.stacks[rk]; len(st) > 0 {
 		sp.Parent = st[len(st)-1].span.ID
@@ -464,9 +483,7 @@ func (r *Recorder) CollectiveBegin(c *mpi.Comm, name string, t float64) {
 	defer r.mu.Unlock()
 	r.observeLocked(t)
 	world := c.WorldRank()
-	r.nextSpanID++
 	sp := Span{
-		ID:         r.nextSpanID,
 		Label:      name,
 		Collective: true,
 		Comm:       c.ID(),
@@ -475,6 +492,7 @@ func (r *Recorder) CollectiveBegin(c *mpi.Comm, name string, t float64) {
 		Start:      t,
 		EnterSeq:   r.nextSeqLocked(world),
 	}
+	sp.ID = spanID(world, sp.EnterSeq)
 	if st := r.stacks[rankKey{comm: c.ID(), rank: c.Rank()}]; len(st) > 0 {
 		sp.Parent = st[len(st)-1].span.ID
 	}
@@ -564,6 +582,57 @@ func (r *Recorder) MessageRecv(c *mpi.Comm, src, tag, bytes int, t float64, m mp
 	}
 	a.lateSend += late
 	a.transfer += wait - late
+}
+
+// FaultEvent implements mpi.FaultObserver: injected faults and their
+// observed consequences stream into the recorder as they happen, so a
+// scrape (or the Chrome trace of a live snapshot) sees the degradation the
+// moment it is injected. Events are retained verbatim for /faults.json-style
+// consumers and aggregated per (section, kind) for the section_fault_total
+// Prometheus family.
+func (r *Recorder) FaultEvent(ev fault.Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.observeLocked(ev.T)
+	r.faults = append(r.faults, ev)
+	r.faultAgg[faultKey{section: ev.Section, kind: ev.Kind.String()}]++
+}
+
+// Faults returns the fault events recorded so far in canonical order
+// (fault.SortEvents), so the same run yields a byte-identical JSON log
+// however the rank goroutines interleaved.
+func (r *Recorder) Faults() []fault.Event {
+	r.mu.Lock()
+	out := append([]fault.Event(nil), r.faults...)
+	r.mu.Unlock()
+	fault.SortEvents(out)
+	return out
+}
+
+// FaultCount is one (section, kind) cell of the fault aggregate.
+type FaultCount struct {
+	Section string `json:"section,omitempty"`
+	Kind    string `json:"kind"`
+	Count   int    `json:"count"`
+}
+
+// FaultCounts snapshots the per-(section, kind) fault totals, sorted by
+// section then kind — the deterministic order the Prometheus writer and
+// cmd/secmon's /faults.json both render.
+func (r *Recorder) FaultCounts() []FaultCount {
+	r.mu.Lock()
+	out := make([]FaultCount, 0, len(r.faultAgg))
+	for k, n := range r.faultAgg {
+		out = append(out, FaultCount{Section: k.section, Kind: k.kind, Count: n})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Section != out[j].Section {
+			return out[i].Section < out[j].Section
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
 }
 
 // Finalize implements mpi.Tool: it records the run report and discards any
@@ -759,3 +828,4 @@ func DecodePayload(data mpi.ToolData) (spanID, parentID uint64, enterT float64, 
 }
 
 var _ mpi.Tool = (*Recorder)(nil)
+var _ mpi.FaultObserver = (*Recorder)(nil)

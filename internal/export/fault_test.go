@@ -1,0 +1,132 @@
+package export_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/export"
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/mpi"
+)
+
+// runFaulty drives a 2-rank send/recv pair inside a section with the given
+// fault plan and an attached Recorder, returning both the report and the
+// recorder.
+func runFaulty(t *testing.T, spec string, seed uint64) (*mpi.Report, *export.Recorder) {
+	t.Helper()
+	plan, err := fault.ParseSpec(spec, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := export.NewRecorder(export.Options{Messages: true})
+	cfg := mpi.Config{
+		Ranks:   2,
+		Model:   machine.NehalemCluster(),
+		Seed:    1,
+		Fault:   plan,
+		Tools:   []mpi.Tool{rec},
+		Timeout: time.Minute,
+	}
+	rep, err := mpi.Run(cfg, func(c *mpi.Comm) error {
+		return c.Section("HALO", func() error {
+			for i := 0; i < 4; i++ {
+				if c.Rank() == 0 {
+					if err := c.Send(1, i, []byte("payload")); err != nil {
+						return err
+					}
+				} else if _, err := c.RecvDiscard(0, i); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return rep, rec
+}
+
+// TestRecorderStreamsFaults pins the FaultObserver side of the exporter:
+// the streamed log matches the report's canonical log, and the per-kind
+// counts aggregate correctly.
+func TestRecorderStreamsFaults(t *testing.T) {
+	rep, rec := runFaulty(t, "delay:src=0,dst=1,prob=1,secs=1e-5", 42)
+	if len(rep.Faults) != 4 {
+		t.Fatalf("report has %d faults, want 4 delays", len(rep.Faults))
+	}
+	if got := rec.Faults(); !reflect.DeepEqual(got, rep.Faults) {
+		t.Fatalf("recorder log diverges from report:\n got %+v\nwant %+v", got, rep.Faults)
+	}
+	counts := rec.FaultCounts()
+	if len(counts) != 1 || counts[0].Kind != "delay" || counts[0].Count != 4 {
+		t.Fatalf("fault counts = %+v, want one delay×4 cell", counts)
+	}
+}
+
+// TestPrometheusFaultCounters: the section_fault_total family renders one
+// deterministic row per (section, kind), and is absent on healthy runs.
+func TestPrometheusFaultCounters(t *testing.T) {
+	_, rec := runFaulty(t, "delay:src=0,dst=1,prob=1,secs=1e-5", 42)
+	var buf bytes.Buffer
+	if err := rec.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# TYPE section_fault_total counter") {
+		t.Fatalf("missing section_fault_total family:\n%s", out)
+	}
+	if !strings.Contains(out, `section_fault_total{section="",kind="delay"} 4`) {
+		t.Fatalf("missing delay counter row:\n%s", out)
+	}
+
+	healthy := export.NewRecorder(export.Options{})
+	buf.Reset()
+	if err := healthy.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "section_fault_total") {
+		t.Fatal("healthy run exposes a fault family")
+	}
+}
+
+// TestChromeTraceFaultInstants: each fault event becomes a ph:"i" instant
+// with a scope key, placed on the afflicted rank's track.
+func TestChromeTraceFaultInstants(t *testing.T) {
+	_, rec := runFaulty(t, "trunc:src=0,dst=1,prob=1,frac=0.5", 7)
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var instants int
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] != "i" {
+			continue
+		}
+		instants++
+		if ev["cat"] != "fault" {
+			t.Errorf("instant has cat %v, want fault", ev["cat"])
+		}
+		if s, ok := ev["s"].(string); !ok || (s != "p" && s != "g") {
+			t.Errorf("instant scope = %v, want p or g", ev["s"])
+		}
+		name, _ := ev["name"].(string)
+		if !strings.HasPrefix(name, "fault: ") {
+			t.Errorf("instant name = %q", name)
+		}
+	}
+	if instants != 4 {
+		t.Fatalf("got %d fault instants, want 4", instants)
+	}
+}

@@ -25,6 +25,7 @@ import (
 //	section_transfer_wait_seconds_total counter transfer share of wait_in
 //	section_collective_wait_seconds_total counter collective-internal wait
 //	section_late_receiver_total  counter receives posted after arrival
+//	section_fault_total          counter injected faults per {section,kind}
 //	mpi_messages_total           counter  point-to-point events recorded
 //	mpi_message_bytes_total      counter  bytes carried by recorded messages
 //	dropped_events               counter  spans/frames discarded by the cap
@@ -110,6 +111,10 @@ func (r *Recorder) WritePrometheus(w io.Writer) error {
 			msgCount++
 			msgBytes += int64(m.bytes)
 		}
+	}
+	faultRows := make([]FaultCount, 0, len(r.faultAgg))
+	for k, n := range r.faultAgg {
+		faultRows = append(faultRows, FaultCount{Section: k.section, Kind: k.kind, Count: n})
 	}
 	dropped := r.dropped
 	finished := r.finished
@@ -230,6 +235,23 @@ func (r *Recorder) WritePrometheus(w io.Writer) error {
 		"Receives posted after the payload had already arrived (message sat in the mailbox).",
 		func(a aggCopy) float64 { return float64(a.lateRecv) }); err != nil {
 		return err
+	}
+	if len(faultRows) > 0 {
+		sort.Slice(faultRows, func(i, j int) bool {
+			if faultRows[i].Section != faultRows[j].Section {
+				return faultRows[i].Section < faultRows[j].Section
+			}
+			return faultRows[i].Kind < faultRows[j].Kind
+		})
+		if _, err := fmt.Fprint(w, "# HELP section_fault_total Injected faults and observed failure consequences by section and kind.\n# TYPE section_fault_total counter\n"); err != nil {
+			return err
+		}
+		for _, fr := range faultRows {
+			if _, err := fmt.Fprintf(w, "section_fault_total{section=\"%s\",kind=\"%s\"} %d\n",
+				promEscape(fr.Section), promEscape(fr.Kind), fr.Count); err != nil {
+				return err
+			}
+		}
 	}
 	if seqTime > 0 {
 		if _, err := fmt.Fprint(w, "# HELP section_partial_speedup_bound Eq. 6 partial speedup bound seq / avg-per-proc section time.\n# TYPE section_partial_speedup_bound gauge\n"); err != nil {

@@ -1,0 +1,160 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	spec := "kill:rank=2,after=100;kill:rank=1,section=HALO;drop:src=0,dst=1,prob=0.5;delay:src=*,dst=*,prob=0.2,secs=0.0001;trunc:src=*,dst=3,prob=0.1,frac=0.5"
+	p, err := ParseSpec(spec, 42)
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if len(p.Rules) != 5 {
+		t.Fatalf("got %d rules, want 5", len(p.Rules))
+	}
+	if got := p.String(); got != spec {
+		t.Errorf("String() = %q, want %q", got, spec)
+	}
+	p2, err := ParseSpec(p.String(), 42)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if p2.String() != p.String() {
+		t.Errorf("round trip diverged: %q vs %q", p2.String(), p.String())
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"kill:after=3",                   // no rank
+		"kill:rank=1",                    // neither after nor section
+		"kill:rank=1,after=3,section=X",  // both
+		"kill:rank=1,after=0",            // zero threshold
+		"drop:src=0,dst=1",               // no prob
+		"drop:src=0,dst=1,prob=2",        // prob out of range
+		"delay:src=0,prob=0.5",           // no secs
+		"trunc:dst=1,prob=0.5",           // no frac
+		"trunc:dst=1,prob=0.5,frac=1.5",  // frac out of range
+		"dead_peer:src=0,dst=1,prob=0.5", // not injectable
+		"bogus:rank=1",                   // unknown kind
+		"drop:src=0,dst=1,prob=0.5,x=y",  // unknown field
+		"kill rank=1",                    // missing colon
+		"kill:rank=-2,after=1",           // negative rank
+	}
+	for _, spec := range bad {
+		if _, err := ParseSpec(spec, 1); err == nil {
+			t.Errorf("ParseSpec(%q) accepted invalid spec", spec)
+		}
+	}
+}
+
+func TestKillLookups(t *testing.T) {
+	p, err := ParseSpec("kill:rank=2,after=100;kill:rank=2,after=50;kill:rank=1,section=HALO", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := p.KillAfter(2); !ok || n != 50 {
+		t.Errorf("KillAfter(2) = %d, %v; want 50, true (earliest rule wins)", n, ok)
+	}
+	if _, ok := p.KillAfter(1); ok {
+		t.Errorf("KillAfter(1) should be false (section rule only)")
+	}
+	if !p.KillSection(1, "HALO") {
+		t.Errorf("KillSection(1, HALO) = false, want true")
+	}
+	if p.KillSection(1, "EXCHANGE") || p.KillSection(0, "HALO") {
+		t.Errorf("KillSection matched wrong rank or section")
+	}
+	var nilPlan *Plan
+	if _, ok := nilPlan.KillAfter(0); ok || nilPlan.KillSection(0, "X") || nilPlan.HasLinkRules() {
+		t.Errorf("nil plan must inject nothing")
+	}
+}
+
+func TestLinkFaultDeterminismAndRate(t *testing.T) {
+	p, err := ParseSpec("drop:src=0,dst=1,prob=0.25", 2017)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.HasLinkRules() {
+		t.Fatal("HasLinkRules = false")
+	}
+	const n = 20000
+	drops := 0
+	for i := uint64(0); i < n; i++ {
+		d1 := p.LinkFault(0, 1, i)
+		d2 := p.LinkFault(0, 1, i)
+		if d1 != d2 {
+			t.Fatalf("LinkFault not deterministic at idx %d: %+v vs %+v", i, d1, d2)
+		}
+		if d1.Delay != 0 || d1.Frac != 1 {
+			t.Fatalf("drop rule produced delay/trunc: %+v", d1)
+		}
+		if d1.Drop {
+			drops++
+		}
+		if d := p.LinkFault(1, 0, i); d.Drop {
+			t.Fatalf("reverse link 1->0 should not match src=0,dst=1 rule")
+		}
+	}
+	rate := float64(drops) / n
+	if math.Abs(rate-0.25) > 0.02 {
+		t.Errorf("drop rate %.3f, want ~0.25", rate)
+	}
+	// A different seed must produce a different schedule.
+	p2 := &Plan{Seed: 2018, Rules: p.Rules}
+	same := 0
+	for i := uint64(0); i < 1000; i++ {
+		if p.LinkFault(0, 1, i).Drop == p2.LinkFault(0, 1, i).Drop {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Errorf("seeds 2017 and 2018 produced identical schedules")
+	}
+}
+
+func TestLinkFaultCombines(t *testing.T) {
+	p, err := ParseSpec("delay:src=*,dst=*,prob=1,secs=0.001;trunc:src=*,dst=*,prob=1,frac=0.5;trunc:src=*,dst=*,prob=1,frac=0.25", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := p.LinkFault(3, 4, 0)
+	if d.Drop {
+		t.Errorf("no drop rule but Drop=true")
+	}
+	if d.Delay != 0.001 {
+		t.Errorf("Delay = %g, want 0.001", d.Delay)
+	}
+	if d.Frac != 0.25 {
+		t.Errorf("Frac = %g, want 0.25 (smallest wins)", d.Frac)
+	}
+}
+
+func TestSortEventsCanonical(t *testing.T) {
+	events := []Event{
+		{T: 2, Kind: Kill, Rank: 1},
+		{T: 1, Kind: DeadPeer, Rank: 0, Src: 1, Dst: 0},
+		{T: 1, Kind: Drop, Rank: 0, Src: 0, Dst: 2},
+		{T: 1, Kind: Drop, Rank: 0, Src: 0, Dst: 1},
+	}
+	SortEvents(events)
+	if events[0].Dst != 1 || events[1].Dst != 2 || events[2].Kind != DeadPeer || events[3].Kind != Kill {
+		t.Errorf("unexpected canonical order: %+v", events)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range []Kind{Kill, Drop, Delay, Trunc, DeadPeer} {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("nope"); err == nil {
+		t.Errorf("ParseKind accepted unknown name")
+	}
+}

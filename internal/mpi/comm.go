@@ -17,6 +17,15 @@ type commShared struct {
 
 	splitMu  sync.Mutex
 	splitGen map[int]*splitState // keyed by per-rank collective call index
+
+	// Fault tolerance (ft.go): revoked closes when the communicator is
+	// revoked; pi carries the reason and is immutable once set.
+	revokeOnce sync.Once
+	revoked    chan struct{}
+	pi         *poisonInfo
+
+	ftMu  sync.Mutex
+	ftGen map[int]*ftState // keyed by per-rank Shrink/Agree call index
 }
 
 // Comm is one rank's handle on a communicator. Handles are cheap values
@@ -28,9 +37,28 @@ type Comm struct {
 
 	splitCalls int // per-rank ordinal of Split/Dup calls on this comm
 	sectionIdx int // per-rank position in the section sequence log
+	ftCalls    int // per-rank ordinal of Shrink/Agree calls on this comm
 }
 
 func (w *World) newCommShared(group []int) *commShared {
+	cs := w.newCommSharedClean(group)
+	// A communicator born into an already-failed world starts revoked, so
+	// post-mortem Splits cannot silently block on a dead member. Shrink
+	// results bypass this via newCommSharedClean: their groups hold only
+	// survivors.
+	w.ftMu.Lock()
+	pi := w.failPi
+	w.ftMu.Unlock()
+	if pi != nil {
+		cs.revoke(pi)
+	}
+	return cs
+}
+
+// newCommSharedClean builds and registers a communicator without the
+// failed-world auto-revocation — the constructor Shrink uses for the
+// survivors' communicator.
+func (w *World) newCommSharedClean(group []int) *commShared {
 	w.commMu.Lock()
 	id := w.nextComm
 	w.nextComm++
@@ -41,11 +69,16 @@ func (w *World) newCommShared(group []int) *commShared {
 		group:    group,
 		boxes:    make([]*mailbox, len(group)),
 		splitGen: make(map[int]*splitState),
+		revoked:  make(chan struct{}),
+		ftGen:    make(map[int]*ftState),
 	}
 	for i := range cs.boxes {
 		cs.boxes[i] = newMailbox()
 	}
 	cs.sections = newSectionRegistry(len(group))
+	w.ftMu.Lock()
+	w.comms = append(w.comms, cs)
+	w.ftMu.Unlock()
 	return cs
 }
 
@@ -159,7 +192,22 @@ func (c *Comm) Split(color, key int) (*Comm, error) {
 		close(st.done)
 	}
 	st.mu.Unlock()
-	<-st.done
+	c.rs.enterBlocked(c, "Split", -1, 0)
+	select {
+	case <-st.done:
+		c.rs.exitBlocked()
+	case <-cs.revoked:
+		c.rs.exitBlocked()
+		// A member died (or the run was aborted) before every rank
+		// arrived: the split can never complete.
+		select {
+		case <-st.done:
+			// Completed concurrently with the revocation; fall through
+			// and let the follow-up Barrier surface the failure.
+		default:
+			return nil, fmt.Errorf("mpi: rank %d: Split aborted: %w", c.rank, cs.pi.reason)
+		}
+	}
 
 	// Synchronize virtual clocks like the barrier a real split implies.
 	if err := c.Barrier(); err != nil {

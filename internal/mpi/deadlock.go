@@ -1,0 +1,201 @@
+package mpi
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Global deadlock detection. With Config.Deadline set, every rank
+// publishes what it is blocked on (op, peer, tag, section) around each
+// parking point, and a sampler goroutine watches the whole world: when
+// every live rank has been blocked across consecutive samples with no
+// progress in between, the run is quiesced — no message can ever arrive —
+// so the detector aborts it with a DeadlockError carrying the per-rank
+// report instead of hanging until the watchdog. Without a Deadline the
+// tracking pointers stay nil and the fast path pays one nil check.
+
+// rank block states.
+const (
+	blkRunning int32 = iota
+	blkBlocked
+	blkFinished
+)
+
+// blockedInfo is one rank's published parking state.
+type blockedInfo struct {
+	mu      sync.Mutex
+	state   int32
+	op      string
+	peer    int // world rank, -1 when unknown/any
+	tag     int
+	comm    int64
+	section string
+	since   float64 // virtual time the rank parked
+}
+
+// BlockedOp describes one rank's position in a detected deadlock: the
+// operation it is parked in, the peer it waits for (world rank, -1 for
+// wildcards and peerless waits), and the innermost open section.
+type BlockedOp struct {
+	Rank    int     `json:"rank"`
+	Op      string  `json:"op"`
+	Peer    int     `json:"peer"`
+	Tag     int     `json:"tag"`
+	Comm    int64   `json:"comm"`
+	Section string  `json:"section,omitempty"`
+	Since   float64 `json:"since"`
+}
+
+// DeadlockError reports that every live rank of a run was blocked with no
+// possible progress. Blocked lists the parked ranks ascending — the
+// per-rank "blocked in op X, section Y, peer Z" report.
+type DeadlockError struct {
+	Deadline time.Duration
+	Blocked  []BlockedOp
+}
+
+func (e *DeadlockError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mpi: deadlock detected: all %d live ranks blocked", len(e.Blocked))
+	for _, op := range e.Blocked {
+		fmt.Fprintf(&b, "; rank %d blocked in %s", op.Rank, op.Op)
+		if op.Peer >= 0 {
+			fmt.Fprintf(&b, " on peer %d", op.Peer)
+		}
+		if op.Tag != 0 {
+			fmt.Fprintf(&b, " tag %d", op.Tag)
+		}
+		if op.Section != "" {
+			fmt.Fprintf(&b, " in section %s", op.Section)
+		}
+	}
+	return b.String()
+}
+
+// enterBlocked publishes that the rank is about to park in op, waiting on
+// peer (comm rank of c, or AnySource/-1) with the given tag. No-op unless
+// deadlock detection is active.
+func (rs *rankState) enterBlocked(c *Comm, op string, peer, tag int) {
+	b := rs.blk
+	if b == nil {
+		return
+	}
+	wpeer := -1
+	if peer >= 0 && peer < len(c.shared.group) {
+		wpeer = c.shared.group[peer]
+	}
+	b.mu.Lock()
+	b.state = blkBlocked
+	b.op, b.peer, b.tag = op, wpeer, tag
+	b.comm = c.shared.id
+	b.section = c.sectionLabel()
+	b.since = rs.now()
+	b.mu.Unlock()
+}
+
+// exitBlocked publishes that the rank unparked, counting global progress.
+func (rs *rankState) exitBlocked() {
+	b := rs.blk
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.state = blkRunning
+	b.mu.Unlock()
+	rs.world.progress.Add(1)
+}
+
+// markFinished retires the rank from the detector's live set (normal
+// return and death both end here).
+func (rs *rankState) markFinished() {
+	b := rs.blk
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.state = blkFinished
+	b.mu.Unlock()
+	rs.world.progress.Add(1)
+}
+
+// detector samples the world's blocked state.
+type detector struct {
+	w        *World
+	deadline time.Duration
+	stopc    chan struct{}
+	stopOnce sync.Once
+}
+
+func newDetector(w *World, deadline time.Duration) *detector {
+	for _, rs := range w.ranks {
+		rs.blk = &blockedInfo{peer: -1}
+	}
+	return &detector{w: w, deadline: deadline, stopc: make(chan struct{})}
+}
+
+func (d *detector) stop() { d.stopOnce.Do(func() { close(d.stopc) }) }
+
+// run samples at deadline/8 and fires once three consecutive samples show
+// every live rank blocked with an unchanged progress counter — a quiescent
+// world, since any deliverable message unparks a rank (which bumps the
+// counter). Three stable samples keep a momentarily-starved runnable
+// goroutine from reading as deadlock, while still reporting well within
+// the configured deadline.
+func (d *detector) run() {
+	interval := d.deadline / 8
+	if interval < 200*time.Microsecond {
+		interval = 200 * time.Microsecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	stable := 0
+	var prevProgress uint64
+	for {
+		select {
+		case <-d.stopc:
+			return
+		case <-ticker.C:
+		}
+		all, blocked := d.snapshot()
+		prog := d.w.progress.Load()
+		if all && stable > 0 && prog == prevProgress {
+			stable++
+		} else if all {
+			stable = 1
+		} else {
+			stable = 0
+		}
+		prevProgress = prog
+		if stable >= 3 {
+			d.w.abort(&DeadlockError{Deadline: d.deadline, Blocked: blocked})
+			return
+		}
+	}
+}
+
+// snapshot reports whether every live rank is blocked, and the blocked set.
+func (d *detector) snapshot() (bool, []BlockedOp) {
+	live, parked := 0, 0
+	ops := make([]BlockedOp, 0, len(d.w.ranks))
+	for i, rs := range d.w.ranks {
+		b := rs.blk
+		b.mu.Lock()
+		st := b.state
+		op := BlockedOp{
+			Rank: i, Op: b.op, Peer: b.peer, Tag: b.tag,
+			Comm: b.comm, Section: b.section, Since: b.since,
+		}
+		b.mu.Unlock()
+		if st == blkFinished {
+			continue
+		}
+		live++
+		if st == blkBlocked {
+			parked++
+			ops = append(ops, op)
+		}
+	}
+	return live > 0 && parked == live, ops
+}

@@ -1,0 +1,171 @@
+package mpi
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// dlCfg uses a short deadline so the ground-truth deadlocks below resolve
+// quickly; the elapsed-time assertions enforce the "terminates within the
+// Deadline" contract rather than relying on the coarse watchdog.
+func dlCfg(ranks int) Config {
+	cfg := testCfg(ranks)
+	cfg.Deadline = time.Second
+	cfg.Timeout = 30 * time.Second
+	return cfg
+}
+
+// blockedByRank indexes a deadlock report for assertions.
+func blockedByRank(t *testing.T, err error, wantLen int) map[int]BlockedOp {
+	t.Helper()
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("no DeadlockError in %v", err)
+	}
+	if RootCause(err) != error(dl) {
+		t.Errorf("RootCause = %v, want the deadlock report", RootCause(err))
+	}
+	if len(dl.Blocked) != wantLen {
+		t.Fatalf("%d ranks in report, want %d: %+v", len(dl.Blocked), wantLen, dl.Blocked)
+	}
+	byRank := make(map[int]BlockedOp, len(dl.Blocked))
+	for _, op := range dl.Blocked {
+		byRank[op.Rank] = op
+	}
+	return byRank
+}
+
+// TestDeadlockMismatchedTag: rank 0's message to rank 1 carries tag 1 but
+// rank 1 posts its receive for tag 2; every rank ends up parked in a
+// receive that can never match. The detector must name all four ranks with
+// the exact op, peer and tag each is stuck on.
+func TestDeadlockMismatchedTag(t *testing.T) {
+	start := time.Now()
+	_, err := Run(dlCfg(4), func(c *Comm) error {
+		c.SectionEnter("EXCHANGE")
+		defer c.SectionExit("EXCHANGE")
+		switch c.Rank() {
+		case 0:
+			if serr := c.Send(1, 1, []byte("x")); serr != nil {
+				return serr
+			}
+			_, rerr := c.RecvDiscard(1, 1)
+			return rerr
+		case 1:
+			_, rerr := c.RecvDiscard(0, 2) // tag mismatch: 0 sent tag 1
+			return rerr
+		default:
+			_, rerr := c.RecvDiscard(1, 3)
+			return rerr
+		}
+	})
+	if err == nil {
+		t.Fatal("mismatched-tag program returned nil error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("detection took %v, want well within a few deadlines", elapsed)
+	}
+	byRank := blockedByRank(t, err, 4)
+	for rank, want := range map[int]struct{ peer, tag int }{
+		0: {1, 1}, 1: {0, 2}, 2: {1, 3}, 3: {1, 3},
+	} {
+		got := byRank[rank]
+		if got.Op != "Recv" || got.Peer != want.peer || got.Tag != want.tag {
+			t.Errorf("rank %d blocked in %s on peer %d tag %d, want Recv on peer %d tag %d",
+				rank, got.Op, got.Peer, got.Tag, want.peer, want.tag)
+		}
+		if got.Section != "EXCHANGE" {
+			t.Errorf("rank %d blocked in section %q, want EXCHANGE", rank, got.Section)
+		}
+	}
+}
+
+// TestDeadlockRecvCycle: a pure receive cycle (rank i waits on rank i+1,
+// nobody sends) — the canonical circular wait. Eager-buffered sends cannot
+// form send/send cycles in this runtime, so receive cycles are the ground
+// truth for cyclic deadlock.
+func TestDeadlockRecvCycle(t *testing.T) {
+	const n = 4
+	_, err := Run(dlCfg(n), func(c *Comm) error {
+		_, rerr := c.RecvDiscard((c.Rank()+1)%n, 7)
+		return rerr
+	})
+	if err == nil {
+		t.Fatal("receive cycle returned nil error")
+	}
+	byRank := blockedByRank(t, err, n)
+	for rank := 0; rank < n; rank++ {
+		got := byRank[rank]
+		if got.Op != "Recv" || got.Peer != (rank+1)%n || got.Tag != 7 {
+			t.Errorf("rank %d: blocked %+v, want Recv on peer %d tag 7", rank, got, (rank+1)%n)
+		}
+	}
+}
+
+// TestDeadlockRecvFromFinishedRank: rank 0 exits cleanly without sending;
+// rank 1 then waits on it forever. The detector's live set must exclude the
+// finished rank and report only the genuinely stuck one.
+func TestDeadlockRecvFromFinishedRank(t *testing.T) {
+	_, err := Run(dlCfg(2), func(c *Comm) error {
+		if c.Rank() == 0 {
+			return nil
+		}
+		_, rerr := c.RecvDiscard(0, 0)
+		return rerr
+	})
+	if err == nil {
+		t.Fatal("recv from finished rank returned nil error")
+	}
+	byRank := blockedByRank(t, err, 1)
+	got, ok := byRank[1]
+	if !ok || got.Op != "Recv" || got.Peer != 0 {
+		t.Fatalf("blocked set %+v, want rank 1 in Recv on peer 0", byRank)
+	}
+}
+
+// TestNoFalsePositiveOnSlowRun: a healthy run that takes several detector
+// sampling periods (staggered real-time work between messages) must not be
+// reported as deadlocked.
+func TestNoFalsePositiveOnSlowRun(t *testing.T) {
+	cfg := dlCfg(2)
+	cfg.Deadline = 200 * time.Millisecond // 25ms sampling period
+	_, err := Run(cfg, func(c *Comm) error {
+		for i := 0; i < 8; i++ {
+			if c.Rank() == 0 {
+				time.Sleep(30 * time.Millisecond) // longer than a sample
+				if serr := c.Send(1, i, []byte("tick")); serr != nil {
+					return serr
+				}
+			} else {
+				if _, rerr := c.RecvDiscard(0, i); rerr != nil {
+					return rerr
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("healthy slow run reported: %v", err)
+	}
+}
+
+// TestDeadlockErrorString: the report must render the per-rank
+// "blocked in op X on peer Z in section Y" line the issue asks for.
+func TestDeadlockErrorString(t *testing.T) {
+	dl := &DeadlockError{Deadline: time.Second, Blocked: []BlockedOp{
+		{Rank: 0, Op: "Recv", Peer: 1, Tag: 5, Section: "HALO"},
+		{Rank: 1, Op: "Wait", Peer: -1},
+	}}
+	got := dl.Error()
+	for _, want := range []string{
+		"all 2 live ranks blocked",
+		"rank 0 blocked in Recv on peer 1 tag 5 in section HALO",
+		"rank 1 blocked in Wait",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report %q missing %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Package mpi implements the in-process message-passing runtime this
+// repository uses in place of a real MPI library. One goroutine plays each
+// rank; communicators, tagged point-to-point messaging (with wildcards and
+// nonblocking operations) and tree-based collectives follow MPI semantics.
+//
+// Two things distinguish it from a toy:
+//
+//   - Virtual time. Every rank carries a virtual clock (float64 seconds).
+//     Real computation runs on real data, but its duration is charged
+//     through a machine.Model (see internal/machine), and messages carry
+//     model-derived arrival stamps. This reproduces the paper's 456-core
+//     cluster and 272-hardware-thread KNL experiments deterministically on
+//     a laptop.
+//
+//   - A PMPI-like tool layer. Tools (profilers, tracers) register hooks
+//     that the runtime invokes on message, collective, Pcontrol and —
+//     centrally for the paper — MPI_Section events (MPIX_Section_enter /
+//     MPIX_Section_exit, Figs. 1–2 of the paper), including the 32-byte
+//     tool-data payload preserved between enter and leave.
+//
+// Matched-pair timestamp contract: every MessageRecv hook receives a
+// MatchInfo with the matching send's post time (SendT), the receive's own
+// post time (PostT) and the modeled payload arrival — the inputs
+// Scalasca-style wait-state classification (internal/waitstate) needs
+// without re-matching sends to receives offline. MatchInfo is passed by
+// value on the allocation-free fast path; see its doc for the exact
+// semantics of each stamp.
+//
+// # Fault injection and fault tolerance
+//
+// The runtime can execute a deterministic failure schedule and survive
+// it. Config.Fault attaches a fault.Plan (see internal/fault for the spec
+// syntax) whose rules the hot paths consult:
+//
+//   - kill rules fail-stop a rank after its Nth point-to-point operation
+//     or on its first entry into a named section;
+//   - drop, delay and trunc rules perturb messages on a (src, dst) link
+//     with a per-message probability decided purely by the plan seed and
+//     the link's message ordinal — the schedule is identical across
+//     scheduler interleavings and -j worker counts.
+//
+// When Config.Fault is nil the checks compile to a single nil comparison:
+// the no-plan fast path stays at 0 allocs/op (pinned by
+// TestSendRecvSteadyStateAllocs).
+//
+// Failures surface as errors, not crashes. A panic inside a rank function
+// — including an injected fail-stop — is recovered into a
+// RankError{Rank, Section, Err}; peers blocked on the dead rank are
+// unblocked with poison envelopes, observe ErrRevoked-wrapped failures
+// and report a dead_peer fault event carrying the time they spent
+// blocked. Propagation follows ULFM: Comm.Revoke poisons a communicator
+// (pending and future operations return ErrRevoked), Comm.Shrink builds a
+// replacement communicator over the survivors, and Comm.Agree runs a
+// fault-tolerant agreement that reports dead participants instead of
+// hanging. Run collects every rank's failure into its returned error;
+// RootCause distills the primary cause (an injected kill outranks the
+// secondary ErrRevoked / dead-peer noise it provokes).
+//
+// Hangs are bounded too: Config.Deadline arms a global deadlock detector.
+// If no rank makes progress for the deadline, the run aborts with a
+// DeadlockError whose report lists every blocked rank — the operation it
+// is stuck in, the section it was executing, and the peer it is waiting
+// on.
+//
+// Every injected fault and observed consequence is appended to
+// Report.Faults (canonically ordered via fault.SortEvents) and streamed
+// to any attached Tool implementing FaultObserver, which is how the
+// trace, export and waitstate layers see failures; Report.Dead lists the
+// ranks that did not survive the run.
+package mpi

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"sync"
+
+	"repro/internal/fault"
 )
 
 // Wildcards for Recv.
@@ -39,6 +41,9 @@ type envelope struct {
 	vbytes   int
 	sendT    float64 // virtual time the send was posted (MessageSent's t)
 	arrival  float64 // virtual time at which the payload is available
+	// fail marks a poison envelope: no message, only a failure to report
+	// to a parked receiver (see ft.go). nil on every real message.
+	fail *poisonInfo
 }
 
 // ghost reports whether the message carries no real bytes.
@@ -78,29 +83,41 @@ type mailbox struct {
 	mu    sync.Mutex
 	sends []*envelope
 	recvs []*posted
+	// fail is set when the owning communicator is revoked (ft.go): new
+	// receives fail fast and new sends bounce, while already-queued
+	// messages stay matchable.
+	fail *poisonInfo
 }
 
 func newMailbox() *mailbox { return &mailbox{} }
 
 // deliver matches e against posted receives or queues it. Called with the
-// box unlocked.
-func (b *mailbox) deliver(e *envelope) {
+// box unlocked. A non-nil return means the box is poisoned: the message
+// was not delivered and the sender must fail with the carried reason.
+func (b *mailbox) deliver(e *envelope) *poisonInfo {
 	b.mu.Lock()
+	if pi := b.fail; pi != nil {
+		b.mu.Unlock()
+		freeEnvelope(e)
+		return pi
+	}
 	for i, p := range b.recvs {
 		if p.matches(e) {
 			b.recvs = append(b.recvs[:i], b.recvs[i+1:]...)
 			b.mu.Unlock()
 			p.ch <- e
-			return
+			return nil
 		}
 	}
 	b.sends = append(b.sends, e)
 	b.mu.Unlock()
+	return nil
 }
 
 // post matches a receive against queued sends or registers it. It returns
 // either an immediately matched envelope or nil, in which case the caller
-// waits on p.ch.
+// waits on p.ch. On a poisoned box with no queued match it returns a
+// poison envelope instead of parking the receive forever.
 func (b *mailbox) post(p *posted) *envelope {
 	b.mu.Lock()
 	for i, e := range b.sends {
@@ -109,6 +126,13 @@ func (b *mailbox) post(p *posted) *envelope {
 			b.mu.Unlock()
 			return e
 		}
+	}
+	if pi := b.fail; pi != nil {
+		b.mu.Unlock()
+		e := newEnvelope()
+		e.src = -1
+		e.fail = pi
+		return e
 	}
 	b.recvs = append(b.recvs, p)
 	b.mu.Unlock()
@@ -121,6 +145,7 @@ type Request struct {
 	// recv side; nil for completed sends
 	pending *posted
 	env     *envelope
+	src     int     // requested source (comm rank or AnySource)
 	postT   float64 // virtual time the receive was posted
 	done    bool
 	status  Status
@@ -189,17 +214,33 @@ func (c *Comm) sendInternal(dst, tag int, data []byte, nbytes, vbytes int, ghost
 	contenders := w.placement.NodesInUse()
 	transfer := model.MsgTime(vbytes, sameNode, contenders, c.rs.rng)
 
-	e := newEnvelope()
-	e.src, e.tag = c.rank, tag
-	e.nbytes, e.vbytes = nbytes, vbytes
-	e.sendT = c.rs.now()
-	e.arrival = e.sendT + transfer
-	if !ghost {
-		buf := payloads.get(len(data))
-		copy(buf, data)
-		e.data = buf
+	dropped := false
+	if fi := w.fi; fi != nil {
+		c.countOp()
+		if fi.hasLink {
+			dropped, nbytes, transfer = c.applyLinkFaults(srcWorld, dstWorld, nbytes, vbytes, transfer)
+		}
 	}
-	c.shared.boxes[dst].deliver(e)
+
+	if !dropped {
+		e := newEnvelope()
+		e.src, e.tag = c.rank, tag
+		e.nbytes, e.vbytes = nbytes, vbytes
+		e.sendT = c.rs.now()
+		e.arrival = e.sendT + transfer
+		if !ghost {
+			n := nbytes
+			if n > len(data) {
+				n = len(data)
+			}
+			buf := payloads.get(n)
+			copy(buf, data[:n])
+			e.data = buf
+		}
+		if pi := c.shared.boxes[dst].deliver(e); pi != nil {
+			return fmt.Errorf("mpi: rank %d: Send to rank %d failed: %w", c.rank, dst, pi.reason)
+		}
+	}
 
 	for _, t := range w.cfg.Tools {
 		t.MessageSent(c, dst, tag, vbytes, c.rs.now())
@@ -213,8 +254,11 @@ func (c *Comm) Irecv(src, tag int) (*Request, error) {
 	if src != AnySource && (src < 0 || src >= c.Size()) {
 		return nil, fmt.Errorf("mpi: Irecv from invalid rank %d (size %d)", src, c.Size())
 	}
+	if c.rs.world.fi != nil {
+		c.countOp()
+	}
 	p := newPosted(src, tag)
-	req := &Request{comm: c, pending: p, postT: c.rs.now()}
+	req := &Request{comm: c, pending: p, src: src, postT: c.rs.now()}
 	if e := c.shared.boxes[c.rank].post(p); e != nil {
 		req.env = e
 		req.pending = nil
@@ -230,15 +274,49 @@ func (c *Comm) recvEnvelope(src, tag int) (*envelope, error) {
 	if src != AnySource && (src < 0 || src >= c.Size()) {
 		return nil, fmt.Errorf("mpi: Recv from invalid rank %d (size %d)", src, c.Size())
 	}
+	if c.rs.world.fi != nil {
+		c.countOp()
+	}
 	p := newPosted(src, tag)
 	postT := c.rs.now()
 	e := c.shared.boxes[c.rank].post(p)
 	if e == nil {
-		e = <-p.ch
+		if c.rs.blk != nil {
+			c.rs.enterBlocked(c, "Recv", src, tag)
+			e = <-p.ch
+			c.rs.exitBlocked()
+		} else {
+			e = <-p.ch
+		}
 	}
 	freePosted(p)
+	if e.fail != nil {
+		return nil, c.failRecv(e, postT, src)
+	}
 	c.completeRecv(e, postT)
 	return e, nil
+}
+
+// failRecv consumes a poison envelope: the receive failed because the
+// communicator was revoked while (or before) it was parked. The receiver's
+// clock advances to the failure's virtual time, so the interval it spent
+// blocked on the dead peer is measurable — and reported as a dead_peer
+// fault event with the original post time.
+func (c *Comm) failRecv(e *envelope, postT float64, src int) error {
+	pi := e.fail
+	releaseEnvelope(e)
+	c.rs.advanceTo(pi.deathT)
+	srcWorld := -1
+	if src >= 0 && src < len(c.shared.group) {
+		srcWorld = c.shared.group[src]
+	}
+	w := c.rs.world
+	w.emitFault(fault.Event{
+		T: c.rs.now(), Kind: fault.DeadPeer, Rank: c.WorldRank(),
+		Src: srcWorld, Dst: c.WorldRank(), Comm: c.shared.id,
+		Section: c.sectionLabel(), PostT: postT,
+	})
+	return fmt.Errorf("mpi: rank %d: receive aborted: %w", c.rank, pi.reason)
 }
 
 // completeRecv advances the receiver's clock to the arrival stamp and
@@ -273,11 +351,21 @@ func (r *Request) Wait() ([]byte, Status, error) {
 	c := r.comm
 	e := r.env
 	if e == nil {
-		e = <-r.pending.ch
+		if c.rs.blk != nil {
+			c.rs.enterBlocked(c, "Wait", r.src, r.pending.tag)
+			e = <-r.pending.ch
+			c.rs.exitBlocked()
+		} else {
+			e = <-r.pending.ch
+		}
 		freePosted(r.pending)
 		r.pending = nil
 	}
 	r.env = nil
+	if e.fail != nil {
+		r.done = true
+		return nil, Status{}, c.failRecv(e, r.postT, r.src)
+	}
 	c.completeRecv(e, r.postT)
 	r.done = true
 	r.status = Status{Source: e.src, Tag: e.tag, Bytes: e.vbytes}

@@ -55,6 +55,9 @@ func newSectionRegistry(ranks int) *sectionRegistry {
 // non-blocking; tools attached to the run receive the enter callback with a
 // pointer to the 32-byte data slot they may fill.
 func (c *Comm) SectionEnter(label string) {
+	if fi := c.rs.world.fi; fi != nil && fi.plan.KillSection(c.WorldRank(), label) {
+		panic(&killPanic{section: label, err: errFailStop})
+	}
 	reg := c.shared.sections
 	reg.mu.Lock()
 	rs := &reg.perRank[c.rank]

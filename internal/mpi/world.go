@@ -1,38 +1,13 @@
-// Package mpi implements the in-process message-passing runtime this
-// repository uses in place of a real MPI library. One goroutine plays each
-// rank; communicators, tagged point-to-point messaging (with wildcards and
-// nonblocking operations) and tree-based collectives follow MPI semantics.
-//
-// Two things distinguish it from a toy:
-//
-//   - Virtual time. Every rank carries a virtual clock (float64 seconds).
-//     Real computation runs on real data, but its duration is charged
-//     through a machine.Model (see internal/machine), and messages carry
-//     model-derived arrival stamps. This reproduces the paper's 456-core
-//     cluster and 272-hardware-thread KNL experiments deterministically on
-//     a laptop.
-//
-//   - A PMPI-like tool layer. Tools (profilers, tracers) register hooks
-//     that the runtime invokes on message, collective, Pcontrol and —
-//     centrally for the paper — MPI_Section events (MPIX_Section_enter /
-//     MPIX_Section_exit, Figs. 1–2 of the paper), including the 32-byte
-//     tool-data payload preserved between enter and leave.
-//
-// Matched-pair timestamp contract: every MessageRecv hook receives a
-// MatchInfo with the matching send's post time (SendT), the receive's own
-// post time (PostT) and the modeled payload arrival — the inputs
-// Scalasca-style wait-state classification (internal/waitstate) needs
-// without re-matching sends to receives offline. MatchInfo is passed by
-// value on the allocation-free fast path; see its doc for the exact
-// semantics of each stamp.
 package mpi
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/stats"
 )
@@ -66,8 +41,19 @@ type Config struct {
 	CheckSections bool
 	// Timeout aborts the run if the ranks do not finish within this real
 	// duration (0 means no watchdog). Intended for tests: a deadlocked
-	// topology otherwise hangs the process.
+	// topology otherwise hangs the process. When it fires, the run is
+	// revoked so blocked rank goroutines unwind instead of leaking.
 	Timeout time.Duration
+	// Fault attaches a deterministic fault-injection plan (nil = no
+	// faults). The runtime consults it on section entry and the
+	// point-to-point hot paths; with a nil plan those sites reduce to one
+	// nil check and the 0 allocs/op contract is preserved.
+	Fault *fault.Plan
+	// Deadline enables the global deadlock detector: when every live rank
+	// has been blocked with no progress for this long, the run aborts
+	// with a DeadlockError listing each rank's parked operation. 0
+	// disables detection (and its per-rank bookkeeping entirely).
+	Deadline time.Duration
 }
 
 func (c *Config) withDefaults() (Config, error) {
@@ -90,6 +76,11 @@ type Report struct {
 	WallTime float64
 	// RankTimes holds each rank's final virtual clock.
 	RankTimes []float64
+	// Faults is the canonically sorted fault log: plan-injected events
+	// plus observed consequences (empty for healthy unfaulted runs).
+	Faults []fault.Event
+	// Dead lists the world ranks that failed, ascending.
+	Dead []int
 }
 
 // World owns the shared state of one run.
@@ -102,6 +93,29 @@ type World struct {
 
 	sectionErrMu sync.Mutex
 	sectionErrs  []error
+
+	// Fault tolerance state (ft.go). ftMu guards the communicator
+	// registry, the dead mask, the first-failure poison and the pending
+	// fault-tolerant collectives.
+	ftMu      sync.Mutex
+	comms     []*commShared
+	dead      []bool
+	failPi    *poisonInfo
+	ftPending map[*ftState]struct{}
+
+	// Run-level abort (deadlock detector / watchdog).
+	aborted   chan struct{}
+	abortOnce sync.Once
+	abortErr  error
+
+	// Fault injection (faultinject.go); nil when no plan is armed.
+	fi       *faultState
+	faultMu  sync.Mutex
+	faults   []fault.Event
+	faultObs []FaultObserver
+
+	// Deadlock detection (deadlock.go).
+	progress atomic.Uint64
 }
 
 // rankState is the per-rank mutable context, touched only by its goroutine.
@@ -120,6 +134,14 @@ type rankState struct {
 	encScratch []byte    // wire encoding for typed sends
 	accScratch []float64 // reduction accumulator
 	vecScratch []float64 // decoded peer contribution during reductions
+
+	// Fault injection (nil/zero unless a plan is armed; see armFaults).
+	ops     uint64   // point-to-point op counter
+	killAt  uint64   // fail-stop threshold (0 = none)
+	linkSeq []uint64 // per-destination send ordinals for link rules
+
+	// Deadlock detection (nil unless Config.Deadline > 0).
+	blk *blockedInfo
 }
 
 func (r *rankState) advance(d float64) {
@@ -159,6 +181,16 @@ const MainSection = "MPI_MAIN"
 // returns. The *Comm passed to fn is that rank's handle on MPI_COMM_WORLD,
 // already inside the implicit MPI_MAIN section. Rank errors are aggregated;
 // section-invariant violations (when enabled) are reported after the run.
+//
+// Failure semantics: a panic in fn, an injected fail-stop from Config.Fault
+// or an error return all remove the rank from the computation as a
+// RankError and propagate ULFM-style — every communicator the dead rank
+// belongs to is revoked, so peers blocked on it fail with an error
+// wrapping ErrRevoked instead of hanging (see Comm.Shrink / Comm.Agree for
+// how survivors continue). With Config.Deadline set, a run in which every
+// live rank is blocked with no possible progress aborts with a
+// DeadlockError naming each rank's parked operation. RootCause distills
+// the aggregate error back to the originating failure.
 func Run(cfg Config, fn func(*Comm) error) (*Report, error) {
 	c, err := cfg.withDefaults()
 	if err != nil {
@@ -169,6 +201,9 @@ func Run(cfg Config, fn func(*Comm) error) (*Report, error) {
 		return nil, err
 	}
 	w := &World{cfg: c, placement: placement}
+	w.dead = make([]bool, c.Ranks)
+	w.ftPending = make(map[*ftState]struct{})
+	w.aborted = make(chan struct{})
 	w.ranks = make([]*rankState, c.Ranks)
 	for i := range w.ranks {
 		w.ranks[i] = &rankState{
@@ -176,6 +211,11 @@ func Run(cfg Config, fn func(*Comm) error) (*Report, error) {
 			rng:   stats.NewRNG(mixSeed(c.Seed, uint64(i))),
 			world: w,
 		}
+	}
+	w.armFaults(c.Fault)
+	var det *detector
+	if c.Deadline > 0 {
+		det = newDetector(w, c.Deadline)
 	}
 	shared := w.newCommShared(identityGroup(c.Ranks))
 
@@ -186,6 +226,9 @@ func Run(cfg Config, fn func(*Comm) error) (*Report, error) {
 	}
 	for _, tool := range c.Tools {
 		tool.Init(info)
+		if fo, ok := tool.(FaultObserver); ok {
+			w.faultObs = append(w.faultObs, fo)
+		}
 	}
 
 	errs := make([]error, c.Ranks)
@@ -202,15 +245,28 @@ func Run(cfg Config, fn func(*Comm) error) (*Report, error) {
 			comm := &Comm{shared: shared, rank: rank, rs: rs}
 			defer func() {
 				if p := recover(); p != nil {
-					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
+					re := &RankError{Rank: rank}
+					if kp, ok := p.(*killPanic); ok {
+						re.Section, re.Err, re.killed = kp.section, kp.err, true
+					} else {
+						re.Section = comm.sectionLabel()
+						re.Err = fmt.Errorf("panic: %v", p)
+					}
+					errs[rank] = re
+					w.rankDied(rank, re, rs.now())
 				}
+				rs.markFinished()
 				finals[rank] = rs.now()
 			}()
 			comm.SectionEnter(MainSection)
 			err := fn(comm)
 			comm.SectionExit(MainSection)
 			if err != nil {
-				errs[rank] = fmt.Errorf("mpi: rank %d: %w", rank, err)
+				// An erroring rank has left the computation: propagate
+				// its departure so peers blocked on it unwind too.
+				re := &RankError{Rank: rank, Section: comm.sectionLabel(), Err: err}
+				errs[rank] = re
+				w.rankDied(rank, re, rs.now())
 			}
 		}(i)
 	}
@@ -218,11 +274,24 @@ func Run(cfg Config, fn func(*Comm) error) (*Report, error) {
 		wg.Wait()
 		close(done)
 	}()
+	if det != nil {
+		go det.run()
+		defer det.stop()
+	}
 	if c.Timeout > 0 {
 		select {
 		case <-done:
 		case <-time.After(c.Timeout):
-			return nil, fmt.Errorf("mpi: run exceeded %v watchdog (deadlock?)", c.Timeout)
+			// Revoke the run so blocked rank goroutines unwind instead
+			// of leaking, then give them a grace period. Ranks stuck in
+			// real (non-runtime) work cannot be saved; preserve the old
+			// leak-and-return behavior for them.
+			w.abort(fmt.Errorf("mpi: run exceeded %v watchdog (deadlock?)", c.Timeout))
+			select {
+			case <-done:
+			case <-time.After(2 * time.Second):
+				return nil, w.abortReason()
+			}
 		}
 	} else {
 		<-done
@@ -235,6 +304,8 @@ func Run(cfg Config, fn func(*Comm) error) (*Report, error) {
 			rep.WallTime = finals[i]
 		}
 	}
+	rep.Faults = w.faultLog()
+	rep.Dead = w.deadRanks()
 	for _, tool := range c.Tools {
 		tool.Finalize(rep)
 	}
@@ -244,6 +315,9 @@ func Run(cfg Config, fn func(*Comm) error) (*Report, error) {
 		if e != nil {
 			all = append(all, e)
 		}
+	}
+	if aerr := w.abortReason(); aerr != nil {
+		all = append(all, aerr)
 	}
 	w.sectionErrMu.Lock()
 	all = append(all, w.sectionErrs...)

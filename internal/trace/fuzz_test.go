@@ -2,12 +2,58 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
 )
+
+// TestReadCSVTruncatedPrefix pins the crashed-run recovery contract: a
+// stream cut mid-row parses to exactly the rows before the cut plus a
+// *CorruptError naming the damaged record.
+func TestReadCSVTruncatedPrefix(t *testing.T) {
+	buf := NewBuffer(0)
+	for i := 0; i < 3; i++ {
+		buf.Add(Event{T: float64(i), Rank: i, Kind: KindMarker, Label: "m"})
+	}
+	var full bytes.Buffer
+	if err := buf.WriteCSV(&full); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(full.String(), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("want >=4 lines, got %d", len(lines))
+	}
+	// Cut the last data row in half.
+	trunc := strings.Join(lines[:3], "") + lines[3][:len(lines[3])/2]
+	events, err := ReadCSV(strings.NewReader(trunc))
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *CorruptError", err)
+	}
+	if ce.Row != 4 {
+		t.Errorf("CorruptError.Row = %d, want 4", ce.Row)
+	}
+	if len(events) != 2 {
+		t.Fatalf("prefix has %d events, want 2", len(events))
+	}
+	for i, e := range events {
+		if e.Rank != i || e.Kind != KindMarker {
+			t.Errorf("prefix event %d = %+v", i, e)
+		}
+	}
+	// A corrupt middle row also yields the prefix before it.
+	mid := lines[0] + lines[1] + "garbage,row\n" + lines[3]
+	events, err = ReadCSV(strings.NewReader(mid))
+	if !errors.As(err, &ce) || ce.Row != 3 {
+		t.Fatalf("mid-corruption: err = %v, want CorruptError at record 3", err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("mid-corruption prefix has %d events, want 1", len(events))
+	}
+}
 
 // FuzzReadCSV hammers the CSV decoder with arbitrary byte streams —
 // malformed rows, broken quoting, binary garbage, huge fields. The decoder
@@ -35,9 +81,31 @@ func FuzzReadCSV(f *testing.F) {
 	f.Add([]byte("t,rank,kind,comm,label,peer,bytes\n1e309,0,send,0,A,0,0\n"))      // float overflow
 	f.Add([]byte("t,rank,kind,comm,label,peer,bytes\n1,0,marker,0," +
 		strings.Repeat("x", 1<<16) + ",0,0\n")) // huge field
+	// Truncation seeds: a valid stream cut mid-row at several depths — the
+	// shape a crashed writer leaves behind.
+	for _, cut := range []int{1, len(valid.Bytes()) / 2, len(valid.Bytes()) - 3} {
+		f.Add(valid.Bytes()[:cut])
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		events, err := ReadCSV(bytes.NewReader(data))
 		if err != nil {
+			// Corruption must still yield a usable, re-encodable prefix;
+			// any other error must come with no events at all.
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				if len(events) != 0 {
+					t.Fatalf("non-corrupt error %v returned %d events", err, len(events))
+				}
+				return
+			}
+			var out bytes.Buffer
+			if werr := WriteEventsCSV(&out, events); werr != nil {
+				t.Fatalf("prefix re-encode failed: %v", werr)
+			}
+			again, rerr := ReadCSV(&out)
+			if rerr != nil || len(again) != len(events) {
+				t.Fatalf("prefix round trip: %d events, err %v (want %d, nil)", len(again), rerr, len(events))
+			}
 			return
 		}
 		// Accepted input: the parsed events must survive a write/read cycle.

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"repro/internal/fault"
 	"repro/internal/mpi"
 )
 
@@ -16,13 +17,16 @@ type Collector struct {
 	Messages bool
 	// Collectives controls whether collective begin/end are recorded.
 	Collectives bool
+	// Faults controls whether fault events are recorded (default on —
+	// failures are rare and load-bearing for post-mortems).
+	Faults bool
 }
 
 // NewCollector returns a Collector recording into a buffer capped at limit
 // events (0 = unbounded), with section recording enabled and message /
 // collective recording disabled (the high-volume kinds are opt-in).
 func NewCollector(limit int) *Collector {
-	return &Collector{buf: NewBuffer(limit), Sections: true}
+	return &Collector{buf: NewBuffer(limit), Sections: true, Faults: true}
 }
 
 // Buffer exposes the underlying event buffer.
@@ -93,4 +97,26 @@ func (c *Collector) Pcontrol(cm *mpi.Comm, level int, t float64) {
 	c.buf.Add(Event{T: t, Rank: cm.WorldRank(), Kind: KindPcontrol, Comm: cm.ID(), Bytes: level})
 }
 
+// FaultEvent implements mpi.FaultObserver: injected faults and their
+// observed consequences land in the trace next to the sections and messages
+// they disrupted. The 11-column CSV schema is unchanged — fault fields ride
+// in existing columns (see the KindFault / KindDeadPeer docs).
+func (c *Collector) FaultEvent(ev fault.Event) {
+	if !c.Faults {
+		return
+	}
+	if ev.Kind == fault.DeadPeer {
+		c.buf.Add(Event{
+			T: ev.T, Rank: ev.Rank, Kind: KindDeadPeer, Comm: ev.Comm,
+			Label: ev.Section, Peer: ev.Src, PostT: ev.PostT,
+		})
+		return
+	}
+	c.buf.Add(Event{
+		T: ev.T, Rank: ev.Rank, Kind: KindFault, Comm: ev.Comm,
+		Label: ev.Kind.String(), Peer: ev.Dst, Bytes: ev.Bytes, ArrT: ev.Delay,
+	})
+}
+
 var _ mpi.Tool = (*Collector)(nil)
+var _ mpi.FaultObserver = (*Collector)(nil)

@@ -29,6 +29,15 @@ const (
 	KindPcontrol
 	KindMarker
 	KindCollectiveEnd
+	// KindFault is an injected fault (fault.Kill/Drop/Delay/Trunc); the
+	// fault kind string rides in Label, the link target in Peer, and an
+	// injected delay (seconds) in ArrT.
+	KindFault
+	// KindDeadPeer is the observed consequence of a peer death: the
+	// blocking operation's section rides in Label, the dead peer in Peer,
+	// and the moment the operation started blocking in PostT (so T-PostT
+	// is the time lost waiting on the dead rank).
+	KindDeadPeer
 )
 
 var kindNames = map[Kind]string{
@@ -40,6 +49,8 @@ var kindNames = map[Kind]string{
 	KindPcontrol:      "pcontrol",
 	KindMarker:        "marker",
 	KindCollectiveEnd: "collective-end",
+	KindFault:         "fault",
+	KindDeadPeer:      "dead-peer",
 }
 
 func (k Kind) String() string {
@@ -221,59 +232,92 @@ func WriteEventsCSV(w io.Writer, events []Event) error {
 	return cw.Error()
 }
 
-// ReadCSV parses a stream produced by WriteCSV.
+// CorruptError reports a CSV stream that was readable only up to a point —
+// a truncated final line from a crashed run, or a corrupt row in the
+// middle. Row is the 1-based record number (the header is record 1) of the
+// first unreadable record; Err is the underlying parse failure. ReadCSV
+// pairs it with the events parsed before the damage, so consumers can
+// analyze the intact prefix after warning.
+type CorruptError struct {
+	Row int
+	Err error
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("trace: corrupt CSV at record %d: %v (prefix before it is intact)", e.Row, e.Err)
+}
+
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+// ReadCSV parses a stream produced by WriteCSV. It decodes row by row: a
+// missing or foreign header fails outright (nil events), while a truncated
+// or corrupt data row stops the parse and returns every event decoded
+// before it together with a *CorruptError — the trace of a crashed or
+// killed run remains analyzable up to the damage.
 func ReadCSV(r io.Reader) ([]Event, error) {
 	cr := csv.NewReader(r)
-	rows, err := cr.ReadAll()
+	cr.FieldsPerRecord = len(csvHeader)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("trace: empty or unreadable CSV header: %w", err)
 	}
-	if len(rows) == 0 {
-		return nil, fmt.Errorf("trace: empty CSV")
+	if strings.Join(header, ",") != strings.Join(csvHeader, ",") {
+		return nil, fmt.Errorf("trace: unexpected header %v", header)
 	}
-	if strings.Join(rows[0], ",") != strings.Join(csvHeader, ",") {
-		return nil, fmt.Errorf("trace: unexpected header %v", rows[0])
-	}
-	out := make([]Event, 0, len(rows)-1)
-	for i, row := range rows[1:] {
-		if len(row) != len(csvHeader) {
-			return nil, fmt.Errorf("trace: row %d has %d fields", i+2, len(row))
+	out := make([]Event, 0, 64)
+	for rec := 2; ; rec++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
 		}
-		var e Event
-		if e.T, err = strconv.ParseFloat(row[0], 64); err != nil {
-			return nil, fmt.Errorf("trace: row %d time: %w", i+2, err)
+		if err != nil {
+			return out, &CorruptError{Row: rec, Err: err}
 		}
-		if e.Rank, err = strconv.Atoi(row[1]); err != nil {
-			return nil, fmt.Errorf("trace: row %d rank: %w", i+2, err)
-		}
-		if e.Kind, err = ParseKind(row[2]); err != nil {
-			return nil, fmt.Errorf("trace: row %d: %w", i+2, err)
-		}
-		if e.Comm, err = strconv.ParseInt(row[3], 10, 64); err != nil {
-			return nil, fmt.Errorf("trace: row %d comm: %w", i+2, err)
-		}
-		e.Label = row[4]
-		if e.Peer, err = strconv.Atoi(row[5]); err != nil {
-			return nil, fmt.Errorf("trace: row %d peer: %w", i+2, err)
-		}
-		if e.Bytes, err = strconv.Atoi(row[6]); err != nil {
-			return nil, fmt.Errorf("trace: row %d bytes: %w", i+2, err)
-		}
-		if e.Tag, err = strconv.Atoi(row[7]); err != nil {
-			return nil, fmt.Errorf("trace: row %d tag: %w", i+2, err)
-		}
-		if e.SendT, err = strconv.ParseFloat(row[8], 64); err != nil {
-			return nil, fmt.Errorf("trace: row %d sendt: %w", i+2, err)
-		}
-		if e.PostT, err = strconv.ParseFloat(row[9], 64); err != nil {
-			return nil, fmt.Errorf("trace: row %d postt: %w", i+2, err)
-		}
-		if e.ArrT, err = strconv.ParseFloat(row[10], 64); err != nil {
-			return nil, fmt.Errorf("trace: row %d arrt: %w", i+2, err)
+		e, err := parseRow(row)
+		if err != nil {
+			return out, &CorruptError{Row: rec, Err: err}
 		}
 		out = append(out, e)
 	}
-	return out, nil
+}
+
+// parseRow decodes one full-width CSV record into an Event.
+func parseRow(row []string) (Event, error) {
+	var e Event
+	var err error
+	if e.T, err = strconv.ParseFloat(row[0], 64); err != nil {
+		return e, fmt.Errorf("time: %w", err)
+	}
+	if e.Rank, err = strconv.Atoi(row[1]); err != nil {
+		return e, fmt.Errorf("rank: %w", err)
+	}
+	if e.Kind, err = ParseKind(row[2]); err != nil {
+		return e, err
+	}
+	if e.Comm, err = strconv.ParseInt(row[3], 10, 64); err != nil {
+		return e, fmt.Errorf("comm: %w", err)
+	}
+	e.Label = row[4]
+	if e.Peer, err = strconv.Atoi(row[5]); err != nil {
+		return e, fmt.Errorf("peer: %w", err)
+	}
+	if e.Bytes, err = strconv.Atoi(row[6]); err != nil {
+		return e, fmt.Errorf("bytes: %w", err)
+	}
+	if e.Tag, err = strconv.Atoi(row[7]); err != nil {
+		return e, fmt.Errorf("tag: %w", err)
+	}
+	if e.SendT, err = strconv.ParseFloat(row[8], 64); err != nil {
+		return e, fmt.Errorf("sendt: %w", err)
+	}
+	if e.PostT, err = strconv.ParseFloat(row[9], 64); err != nil {
+		return e, fmt.Errorf("postt: %w", err)
+	}
+	if e.ArrT, err = strconv.ParseFloat(row[10], 64); err != nil {
+		return e, fmt.Errorf("arrt: %w", err)
+	}
+	return e, nil
 }
 
 // SectionSummary aggregates a trace's section events offline: per label,

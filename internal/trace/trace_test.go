@@ -9,6 +9,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/mpi"
 )
@@ -363,5 +364,40 @@ func TestTimelineNestedInnermostWins(t *testing.T) {
 	row := strings.SplitN(out, "\n", 2)[0]
 	if !strings.Contains(row, "A") || !strings.Contains(row, "B") {
 		t.Errorf("nested rendering wrong: %q", row)
+	}
+}
+
+// TestCollectorFaultMapping pins how fault events land in the unchanged
+// 11-column schema: kind string / section in Label, link target / dead peer
+// in Peer, injected delay in ArrT, blocking start in PostT.
+func TestCollectorFaultMapping(t *testing.T) {
+	c := NewCollector(0)
+	c.FaultEvent(fault.Event{T: 1.5, Kind: fault.Delay, Rank: 0, Src: 0, Dst: 3, Comm: 7, Bytes: 64, Delay: 0.25})
+	c.FaultEvent(fault.Event{T: 2.5, Kind: fault.DeadPeer, Rank: 1, Src: 2, Dst: 1, Comm: 7, Section: "HALO", PostT: 2.0})
+	got := c.Buffer().Events()
+	want := []Event{
+		{T: 1.5, Rank: 0, Kind: KindFault, Comm: 7, Label: "delay", Peer: 3, Bytes: 64, ArrT: 0.25},
+		{T: 2.5, Rank: 1, Kind: KindDeadPeer, Comm: 7, Label: "HALO", Peer: 2, PostT: 2.0},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("mapped events = %+v, want %+v", got, want)
+	}
+	// The mapping must survive the CSV codec (header unchanged).
+	var buf bytes.Buffer
+	if err := WriteEventsCSV(&buf, got); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "t,rank,kind,comm,label,peer,bytes,tag,sendt,postt,arrt\n") {
+		t.Fatalf("header changed: %q", buf.String())
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil || !reflect.DeepEqual(back, want) {
+		t.Fatalf("CSV round trip: %+v, err %v", back, err)
+	}
+	off := NewCollector(0)
+	off.Faults = false
+	off.FaultEvent(fault.Event{Kind: fault.Kill})
+	if off.Buffer().Len() != 0 {
+		t.Error("Faults=false still recorded")
 	}
 }

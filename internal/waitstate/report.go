@@ -13,6 +13,10 @@ func (a *Analysis) Render() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "wait-state analysis: %d ranks, wall %.6gs, %d messages classified\n",
 		a.Ranks, a.Wall, a.Msgs)
+	if a.Faults > 0 || a.DeadWaits > 0 {
+		fmt.Fprintf(&sb, "DEGRADED RUN: %d injected faults, %d waits aborted by dead/revoked peers — bounds describe the faulty execution\n",
+			a.Faults, a.DeadWaits)
+	}
 	if a.Warning != "" {
 		sb.WriteString(a.Warning + "\n")
 	}
@@ -24,15 +28,15 @@ func (a *Analysis) Render() string {
 		fmt.Fprintf(&sb, ") — dominant cause: %s\n", b.DominantCause)
 	}
 	sb.WriteString("\nsection diagnosis (times summed over ranks):\n")
-	fmt.Fprintf(&sb, "%-14s %12s %12s %12s %12s %12s %12s %8s %6s  %s\n",
-		"section", "total", "wait_in", "late_send", "transfer", "coll_wait", "wait_out", "crit%", "bound", "cause")
+	fmt.Fprintf(&sb, "%-14s %12s %12s %12s %12s %12s %12s %12s %8s %6s  %s\n",
+		"section", "total", "wait_in", "late_send", "transfer", "coll_wait", "dead_wait", "wait_out", "crit%", "bound", "cause")
 	for _, d := range a.Sections {
 		bound := "-"
 		if d.Bound > 0 {
 			bound = fmt.Sprintf("%.3g", d.Bound)
 		}
-		fmt.Fprintf(&sb, "%-14s %12.6g %12.6g %12.6g %12.6g %12.6g %12.6g %7.1f%% %6s  %s\n",
-			d.Section, d.Total, d.WaitIn, d.LateSender, d.Transfer, d.CollWait, d.WaitOut,
+		fmt.Fprintf(&sb, "%-14s %12.6g %12.6g %12.6g %12.6g %12.6g %12.6g %12.6g %7.1f%% %6s  %s\n",
+			d.Section, d.Total, d.WaitIn, d.LateSender, d.Transfer, d.CollWait, d.DeadWait, d.WaitOut,
 			100*d.CritShare, bound, d.DominantCause)
 	}
 	fmt.Fprintf(&sb, "\ncritical path: %d segments, length %.6gs (%.4g%% of wall)\n",

@@ -52,6 +52,10 @@ const (
 	CauseLateSender     = "late-sender"
 	CauseTransfer       = "transfer"
 	CauseCollectiveWait = "collective-wait"
+	// CauseDeadPeer marks a section whose waits were dominated by blocking
+	// on ranks that had died (or whose communicator was revoked) — time
+	// that no amount of overlap can recover, only fault tolerance.
+	CauseDeadPeer = "dead-peer"
 )
 
 // SectionDiagnosis is the per-section record the tentpole promises:
@@ -65,11 +69,16 @@ type SectionDiagnosis struct {
 	Total      float64 `json:"total_seconds"`
 	AvgPerProc float64 `json:"avg_per_proc_seconds"`
 	// WaitIn is blocked receive time spent inside the section, split into
-	// the late-sender, transfer and collective components.
+	// the late-sender, transfer, collective and dead-peer components.
 	WaitIn     float64 `json:"wait_in_seconds"`
 	LateSender float64 `json:"late_sender_seconds"`
 	Transfer   float64 `json:"transfer_seconds"`
 	CollWait   float64 `json:"collective_wait_seconds"`
+	// DeadWait is time spent blocked on a dead or revoked peer (the trace's
+	// dead-peer events: woken at the failure's propagation, T-PostT lost);
+	// DeadPeerN counts those aborted waits.
+	DeadWait  float64 `json:"dead_peer_wait_seconds,omitempty"`
+	DeadPeerN int     `json:"dead_peer_total,omitempty"`
 	// WaitOut is the late-sender wait this section CAUSED at other ranks'
 	// receives (attributed to the sender's enclosing section at send time).
 	WaitOut float64 `json:"wait_out_seconds"`
@@ -135,6 +144,12 @@ type Analysis struct {
 	// section events (MPI_MAIN opens at t=0 on every rank).
 	CritPath []PathSegment `json:"critical_path"`
 	CritLen  float64       `json:"crit_len_seconds"`
+	// Faults counts injected-fault events in the stream (kill/drop/delay/
+	// trunc); DeadWaits counts the dead-peer waits classified. A nonzero
+	// value flags the run as degraded — its bounds describe a faulty
+	// execution, not the healthy baseline.
+	Faults    int `json:"faults,omitempty"`
+	DeadWaits int `json:"dead_peer_waits,omitempty"`
 	// Warning carries analysis caveats (e.g. a truncated event stream).
 	Warning string `json:"warning,omitempty"`
 }
@@ -151,6 +166,7 @@ type rankTimeline struct {
 	sections []changePoint // innermost section label over time
 	colls    []changePoint // innermost open collective name over time
 	recvs    []trace.Event // recv events, time-sorted
+	deads    []trace.Event // dead-peer wait events, time-sorted
 	firstT   float64
 	lastT    float64
 	seen     bool
@@ -228,7 +244,7 @@ func Analyze(events []trace.Event, opts Options) (*Analysis, error) {
 		}
 		return cs
 	}
-	var unmatched int
+	var unmatched, faults int
 	for _, e := range evs {
 		rt := tl(e.Rank)
 		if !rt.seen {
@@ -274,6 +290,10 @@ func Analyze(events []trace.Event, opts Options) (*Analysis, error) {
 			}
 		case trace.KindRecv:
 			rt.recvs = append(rt.recvs, e)
+		case trace.KindDeadPeer:
+			rt.deads = append(rt.deads, e)
+		case trace.KindFault:
+			faults++
 		}
 	}
 	p := len(ranks)
@@ -330,6 +350,24 @@ func Analyze(events []trace.Event, opts Options) (*Analysis, error) {
 				}
 			}
 		}
+		// Dead-peer waits: time the rank spent parked on an operation a
+		// failure aborted. The emitting runtime stamps the section directly
+		// (Label), so attribution survives even a section-free trace.
+		for _, e := range rt.deads {
+			wait := e.T - e.PostT
+			if wait < 0 {
+				wait = 0
+			}
+			rankWait[r] += wait
+			lbl := e.Label
+			if lbl == "" {
+				lbl = labelAt(rt.sections, e.PostT)
+			}
+			d := sec(lbl)
+			d.WaitIn += wait
+			d.DeadWait += wait
+			d.DeadPeerN++
+		}
 	}
 
 	// --- Critical path: backward walk from the last-finishing rank.
@@ -342,7 +380,10 @@ func Analyze(events []trace.Event, opts Options) (*Analysis, error) {
 	// --- Assemble: diagnosis records, rank breakdown, collectives.
 	a := &Analysis{
 		Ranks: p, Wall: wall, SeqTime: opts.SeqTime, Msgs: msgs,
-		CritPath: crit, CritLen: critLen,
+		CritPath: crit, CritLen: critLen, Faults: faults,
+	}
+	for _, rt := range ranks {
+		a.DeadWaits += len(rt.deads)
 	}
 	if unmatched > 0 {
 		a.Warning = fmt.Sprintf("warning: %d unmatched section/collective boundary events; the stream is truncated and aggregates are incomplete", unmatched)
@@ -418,7 +459,10 @@ func dominantCause(d *SectionDiagnosis, commFrac float64) string {
 		cause, best = CauseTransfer, d.Transfer
 	}
 	if d.CollWait > best {
-		cause = CauseCollectiveWait
+		cause, best = CauseCollectiveWait, d.CollWait
+	}
+	if d.DeadWait > best {
+		cause = CauseDeadPeer
 	}
 	return cause
 }

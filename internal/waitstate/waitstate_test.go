@@ -3,6 +3,7 @@ package waitstate
 import (
 	"bytes"
 	"math"
+	"strings"
 	"testing"
 	"time"
 
@@ -303,5 +304,57 @@ func TestRoundTripThroughCSV(t *testing.T) {
 	}
 	if a1.Render() != a2.Render() {
 		t.Error("analysis differs after CSV round trip")
+	}
+}
+
+// TestDeadPeerWaitClass: a dead-peer event classifies as its own wait
+// component, attributed to the section stamped on the event, dominates the
+// cause when largest, and flags the whole analysis as degraded.
+func TestDeadPeerWaitClass(t *testing.T) {
+	events := []trace.Event{
+		{T: 0, Rank: 0, Kind: trace.KindSectionEnter, Label: "MPI_MAIN"},
+		{T: 0, Rank: 1, Kind: trace.KindSectionEnter, Label: "MPI_MAIN"},
+		{T: 1, Rank: 1, Kind: trace.KindSectionEnter, Label: "HALO"},
+		// Rank 1 blocks at t=1 in HALO; the peer dies at t=4 (3s lost).
+		{T: 4, Rank: 1, Kind: trace.KindDeadPeer, Label: "HALO", Peer: 0, PostT: 1},
+		{T: 4, Rank: 1, Kind: trace.KindSectionLeave, Label: "HALO"},
+		// The injected kill itself.
+		{T: 1, Rank: 0, Kind: trace.KindFault, Label: "kill", Peer: -1},
+		{T: 1, Rank: 0, Kind: trace.KindSectionLeave, Label: "MPI_MAIN"},
+		{T: 4.5, Rank: 1, Kind: trace.KindSectionLeave, Label: "MPI_MAIN"},
+	}
+	a, err := Analyze(events, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Faults != 1 || a.DeadWaits != 1 {
+		t.Fatalf("Faults=%d DeadWaits=%d, want 1 and 1", a.Faults, a.DeadWaits)
+	}
+	var halo *SectionDiagnosis
+	for i := range a.Sections {
+		if a.Sections[i].Section == "HALO" {
+			halo = &a.Sections[i]
+		}
+	}
+	if halo == nil {
+		t.Fatalf("no HALO diagnosis in %+v", a.Sections)
+	}
+	if halo.DeadWait != 3 || halo.DeadPeerN != 1 || halo.WaitIn != 3 {
+		t.Errorf("HALO dead wait = %v (n=%d, wait_in=%v), want 3s/1/3s", halo.DeadWait, halo.DeadPeerN, halo.WaitIn)
+	}
+	if halo.DominantCause != CauseDeadPeer {
+		t.Errorf("HALO cause = %q, want %q", halo.DominantCause, CauseDeadPeer)
+	}
+	out := a.Render()
+	if !strings.Contains(out, "DEGRADED RUN") || !strings.Contains(out, "dead-peer") {
+		t.Errorf("report does not surface the degradation:\n%s", out)
+	}
+	// A healthy analysis must not carry the degraded banner.
+	healthy, err := Analyze(events[:3], Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(healthy.Render(), "DEGRADED") {
+		t.Error("healthy run rendered as degraded")
 	}
 }
