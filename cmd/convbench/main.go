@@ -5,9 +5,12 @@
 // Usage:
 //
 //	convbench [-fig 5a|5b|5c|5d|6|all] [-quick] [-reps N] [-steps N]
-//	          [-seed N] [-out results] [-csv out.csv] [-j N]
+//	          [-seed N] [-out results] [-csv out.csv] [-j N] [-verify]
 //	          [-fault-spec SPEC] [-fault-seed N] [-deadline D]
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// With -verify the runtime section/collective verifier rides along on every
+// run and the command exits nonzero if any contract violation is detected.
 //
 // With -fault-spec the sweep runs in degraded mode: the plan is armed in
 // every point's runtime, points whose runs fail carry their root cause in
@@ -24,6 +27,7 @@ import (
 	"repro/internal/diag"
 	"repro/internal/experiments"
 	"repro/internal/fault"
+	"repro/internal/verify"
 )
 
 // resolveOut places a relative artifact path inside dir (created on
@@ -53,6 +57,7 @@ func main() {
 	decomp := flag.Bool("decomp", false, "additionally run the 1-D vs 2-D decomposition ablation (§3)")
 	fit := flag.Bool("fit", false, "additionally fit T(p)=A+B/p+C·p per section and predict inflexions")
 	jobs := flag.Int("j", 0, "concurrent sweep workers (0 = GOMAXPROCS; output is identical for every value)")
+	verifyRuns := flag.Bool("verify", false, "attach the runtime section/collective verifier to every run and exit nonzero on violations")
 	faultSpec := flag.String("fault-spec", "", `fault plan, e.g. "kill:rank=8,after=50;drop:src=0,dst=1,prob=0.5" (see internal/fault)`)
 	faultSeed := flag.Uint64("fault-seed", 1, "seed for the fault plan's probabilistic rules")
 	deadline := flag.Duration("deadline", 0, "per-run deadlock detector deadline (default 30s when -fault-spec is set)")
@@ -89,6 +94,7 @@ func main() {
 	opts.Jobs = *jobs
 	opts.Fault = plan
 	opts.Deadline = *deadline
+	opts.Verify = *verifyRuns
 
 	fmt.Printf("machine: %s  |  image 5616x3744 RGB, %d steps, %d reps, scales %v\n\n",
 		opts.Model.Name, opts.Steps, opts.Reps, opts.Ps)
@@ -99,6 +105,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	violations := append([]verify.Violation(nil), res.Verify...)
 	for _, pt := range res.Points {
 		if pt.Err != "" {
 			fmt.Printf("DEGRADED POINT p=%d: %s\n", pt.P, pt.Err)
@@ -148,10 +155,12 @@ func main() {
 		wopts.Jobs = *jobs
 		wopts.Fault = plan
 		wopts.Deadline = *deadline
+		wopts.Verify = *verifyRuns
 		wres, err := experiments.RunWeakConvolution(wopts)
 		if err != nil {
 			log.Fatal(err)
 		}
+		violations = append(violations, wres.Verify...)
 		table, err := wres.Table()
 		if err != nil {
 			log.Fatal(err)
@@ -167,10 +176,12 @@ func main() {
 		dopts.Jobs = *jobs
 		dopts.Fault = plan
 		dopts.Deadline = *deadline
+		dopts.Verify = *verifyRuns
 		dres, err := experiments.RunDecompComparison(dopts)
 		if err != nil {
 			log.Fatal(err)
 		}
+		violations = append(violations, dres.Verify...)
 		fmt.Println(dres.Table())
 	}
 
@@ -194,5 +205,15 @@ func main() {
 
 	if err := stopProfiles(); err != nil {
 		log.Fatal(err)
+	}
+
+	if *verifyRuns {
+		if len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, "verify: "+v.String())
+			}
+			log.Fatalf("verify: %d violation(s) across the sweep's runs", len(violations))
+		}
+		fmt.Println("verify: every run satisfied the section and collective contracts")
 	}
 }

@@ -5,8 +5,11 @@
 // Usage:
 //
 //	luleshbench [-fig 7|8|9|10|all] [-quick] [-steps N] [-seed N]
-//	            [-out results] [-csv out.csv] [-j N]
+//	            [-out results] [-csv out.csv] [-j N] [-verify]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// With -verify the runtime section/collective verifier rides along on every
+// run and the command exits nonzero if any contract violation is detected.
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mpi"
 	"repro/internal/prof"
+	"repro/internal/verify"
 )
 
 func main() {
@@ -38,6 +42,7 @@ func main() {
 	plot := flag.Bool("plot", false, "also draw ASCII charts for the sweeps")
 	inspect := flag.Bool("inspect", false, "run one p=8 configuration and print the section tree, load-balance report and communication matrix")
 	jobs := flag.Int("j", 0, "concurrent sweep workers (0 = GOMAXPROCS; output is identical for every value)")
+	verifyRuns := flag.Bool("verify", false, "attach the runtime section/collective verifier to every run and exit nonzero on violations")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
@@ -69,8 +74,10 @@ func main() {
 			o.Seed = *seed
 		}
 		o.Jobs = *jobs
+		o.Verify = *verifyRuns
 		return o
 	}
+	var violations []verify.Violation
 
 	needBW := *fig == "8" || *fig == "all"
 	needKNL := *fig == "9" || *fig == "10" || *fig == "all" || *csvPath != ""
@@ -85,6 +92,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		violations = append(violations, res.Verify...)
 		fmt.Println(res.ScalingTable(
 			"Fig 8 — Lulesh MPI Sections on a dual Broadwell machine (avg time per process, s)"))
 		if *plot {
@@ -102,6 +110,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		violations = append(violations, res.Verify...)
 		if *fig == "9" || *fig == "all" {
 			fmt.Println(res.ScalingTable(
 				"Fig 9 — Lulesh MPI Sections on an Intel KNL (avg time per process, s)"))
@@ -154,6 +163,16 @@ func main() {
 
 	if err := stopProfiles(); err != nil {
 		log.Fatal(err)
+	}
+
+	if *verifyRuns {
+		if len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, "verify: "+v.String())
+			}
+			log.Fatalf("verify: %d violation(s) across the sweep's runs", len(violations))
+		}
+		fmt.Println("verify: every run satisfied the section and collective contracts")
 	}
 }
 

@@ -17,6 +17,12 @@
 //
 //	secanalyze -waitstate trace.csv [-seq 5589.84]
 //
+// or audit a recorded trace against the section and collective contracts
+// the runtime verifier checks live (internal/verify), exiting nonzero when
+// the trace violates them:
+//
+//	secanalyze -verify trace.csv
+//
 // With -out <dir> every rendered report is additionally written to a file
 // in that directory (created if missing) instead of only stdout.
 package main
@@ -36,6 +42,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/prof"
 	"repro/internal/trace"
+	"repro/internal/verify"
 	"repro/internal/waitstate"
 )
 
@@ -47,6 +54,7 @@ func main() {
 	perRankPath := flag.String("perrank", "", "per-rank profile CSV (from prof.Profile.WritePerRankCSV): load-balance analysis")
 	tracePath := flag.String("trace", "", "trace CSV (from trace.Buffer.WriteCSV)")
 	waitPath := flag.String("waitstate", "", "trace CSV with message events: wait-state and critical-path analysis (optional -seq adds Eq. 6 bounds)")
+	verifyPath := flag.String("verify", "", "trace CSV: replay the runtime verifier's section/collective checks offline; exits nonzero on violations")
 	width := flag.Int("width", 100, "timeline width in columns")
 	focus := flag.String("focus", "", "comma-separated section labels for the timeline")
 	outDir := flag.String("out", "", "directory to also write the report into (created if missing)")
@@ -69,6 +77,9 @@ func main() {
 	case *waitPath != "":
 		run = func(w io.Writer) error { return analyzeWaitstate(w, *waitPath, *seq) }
 		name = "waitstate.txt"
+	case *verifyPath != "":
+		run = func(w io.Writer) error { return verifyTrace(w, *verifyPath) }
+		name = "verify.txt"
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -229,6 +240,28 @@ func analyzeWaitstate(w io.Writer, path string, seq float64) error {
 	}
 	_, err = io.WriteString(w, a.Render())
 	return err
+}
+
+// verifyTrace replays a recorded trace through the offline twin of the
+// runtime verifier. The report lists every violation; a non-empty list is
+// also an error so the command exits nonzero — the CI-able form of the
+// benches' -verify flag.
+func verifyTrace(w io.Writer, path string) error {
+	events, err := readTrace(path)
+	if err != nil {
+		return err
+	}
+	vs := verify.CheckTrace(events)
+	if len(vs) == 0 {
+		_, err := fmt.Fprintf(w, "verify: %d events satisfy the section and collective contracts\n", len(events))
+		return err
+	}
+	for _, v := range vs {
+		if _, err := fmt.Fprintln(w, v.String()); err != nil {
+			return err
+		}
+	}
+	return fmt.Errorf("verify: %d violation(s) in %s", len(vs), path)
 }
 
 func renderTimeline(w io.Writer, path string, width int, focus string) error {

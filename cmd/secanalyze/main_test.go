@@ -45,6 +45,42 @@ func TestRenderTimelineIntactTrace(t *testing.T) {
 	}
 }
 
+// TestVerifyTrace drives the -verify mode: a balanced trace reports clean
+// (nil error → exit 0), and a trace with a missing exit reports the
+// violation and errors so main exits nonzero.
+func TestVerifyTrace(t *testing.T) {
+	path, _ := writeTraceFile(t)
+	var out bytes.Buffer
+	if err := verifyTrace(&out, path); err != nil {
+		t.Fatalf("verifyTrace on a balanced trace: %v", err)
+	}
+	if !strings.Contains(out.String(), "satisfy") {
+		t.Errorf("clean report missing the all-clear line:\n%s", out.String())
+	}
+
+	buf := trace.NewBuffer(0)
+	buf.Add(trace.Event{T: 0.1, Rank: 0, Kind: trace.KindSectionEnter, Label: "CONVOLVE"})
+	buf.Add(trace.Event{T: 0.1, Rank: 1, Kind: trace.KindSectionEnter, Label: "CONVOLVE"})
+	buf.Add(trace.Event{T: 0.9, Rank: 0, Kind: trace.KindSectionLeave, Label: "CONVOLVE"})
+	// Rank 1 never leaves.
+	var csv bytes.Buffer
+	if err := buf.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.csv")
+	if err := os.WriteFile(bad, csv.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	err := verifyTrace(&out, bad)
+	if err == nil || !strings.Contains(err.Error(), "violation(s)") {
+		t.Fatalf("verifyTrace on an unbalanced trace: err = %v", err)
+	}
+	if !strings.Contains(out.String(), "section-unclosed") {
+		t.Errorf("report does not name the unclosed section:\n%s", out.String())
+	}
+}
+
 // TestReadTraceToleratesCorruptTail pins the degraded-analysis contract: a
 // trace truncated mid-record — the shape a fault-killed run leaves behind —
 // is analyzed up to the damage instead of failing the report.

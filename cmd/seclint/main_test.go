@@ -1,0 +1,36 @@
+package main
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestRepoIsClean runs the full pass suite over this repository — the
+// acceptance bar the lint CI job enforces: `seclint ./...` exits 0.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checking the whole repo is slow in -short mode")
+	}
+	_, thisFile, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate the repo root")
+	}
+	root := filepath.Dir(filepath.Dir(filepath.Dir(thisFile)))
+	pkgs, err := analysis.Load(analysis.LoadConfig{Dir: root}, "./...")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("load returned no packages")
+	}
+	findings, err := analysis.Run(pkgs, analysis.All())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

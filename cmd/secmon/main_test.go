@@ -39,7 +39,7 @@ func TestEndpointsBeforeAnyRun(t *testing.T) {
 	if code != http.StatusOK || !strings.Contains(body, "secmon_up 1") {
 		t.Fatalf("metrics without a run: code %d body %q", code, body)
 	}
-	for _, path := range []string{"/sections", "/trace.json", "/spans.json", "/waitstate.json", "/critpath.json"} {
+	for _, path := range []string{"/sections", "/trace.json", "/spans.json", "/waitstate.json", "/critpath.json", "/verify.json"} {
 		if code, _ := get(t, h, path); code != http.StatusNotFound {
 			t.Fatalf("%s without a run: code %d, want 404", path, code)
 		}
@@ -179,6 +179,61 @@ func TestRunFaultKnobs(t *testing.T) {
 	code, body = get(t, h, "/faults.json")
 	if code != http.StatusOK || !strings.Contains(body, `"kill"`) {
 		t.Fatalf("faults after kill: code %d body %q", code, body)
+	}
+}
+
+// TestVerifyKnob drives the verify=1 launch parameter: the verifier
+// attaches to the run, /verify.json serves its report, and /metrics gains
+// the section_verify_violations_total family.
+func TestVerifyKnob(t *testing.T) {
+	h := newServer().handler()
+
+	// Without the knob the endpoint answers but reports itself disabled.
+	code, body := get(t, h, "/run?exp=conv&p=2&steps=4&scale=32&wait=1&seq=0")
+	if code != http.StatusOK {
+		t.Fatalf("plain run: code %d body %q", code, body)
+	}
+	code, body = get(t, h, "/verify.json")
+	if code != http.StatusOK {
+		t.Fatalf("verify without knob: code %d", code)
+	}
+	var rep struct {
+		Running    bool              `json:"running"`
+		Enabled    bool              `json:"enabled"`
+		OK         bool              `json:"ok"`
+		Counts     map[string]uint64 `json:"counts"`
+		Violations []struct {
+			Class string `json:"class"`
+		} `json:"violations"`
+	}
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("verify not JSON: %v\n%s", err, body)
+	}
+	if rep.Enabled {
+		t.Fatalf("verifier reported enabled on a plain run: %s", body)
+	}
+	if code, body := get(t, h, "/metrics"); code != http.StatusOK ||
+		strings.Contains(body, "section_verify_violations_total") {
+		t.Fatalf("plain run leaked the verify family: code %d", code)
+	}
+
+	code, body = get(t, h, "/run?exp=conv&p=2&steps=4&scale=32&wait=1&seq=0&verify=1")
+	if code != http.StatusOK || !strings.Contains(body, `"verify_ok":true`) {
+		t.Fatalf("verified run: code %d body %q", code, body)
+	}
+	code, body = get(t, h, "/verify.json")
+	if code != http.StatusOK {
+		t.Fatalf("verify: code %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("verify not JSON: %v\n%s", err, body)
+	}
+	if !rep.Enabled || !rep.OK || rep.Running || len(rep.Violations) != 0 {
+		t.Fatalf("clean verified run reported: %s", body)
+	}
+	code, body = get(t, h, "/metrics")
+	if code != http.StatusOK || !strings.Contains(body, `section_verify_violations_total{class="any"} 0`) {
+		t.Fatalf("metrics lack the zero verify counter: code %d", code)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/prof"
 	"repro/internal/trace"
+	"repro/internal/verify"
 )
 
 // runState is one launched (possibly still executing) experiment run.
@@ -24,6 +25,7 @@ type runState struct {
 	rec       *export.Recorder
 	profiler  *prof.Profiler
 	collector *trace.Collector
+	verifier  *verify.Tool // non-nil when launched with verify=1
 	seq       float64
 	running   bool
 	err       error
@@ -53,6 +55,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/waitstate.json", s.handleWaitstate)
 	mux.HandleFunc("/critpath.json", s.handleCritpath)
 	mux.HandleFunc("/faults.json", s.handleFaults)
+	mux.HandleFunc("/verify.json", s.handleVerify)
 	mux.HandleFunc("/run", s.handleRun)
 	// Runtime profiling of the monitor process itself: with a sweep running
 	// behind /run, `go tool pprof http://.../debug/pprof/profile` lands in
@@ -86,8 +89,9 @@ func (s *server) handleIndex(w http.ResponseWriter, req *http.Request) {
 <li><a href="/waitstate.json">/waitstate.json</a> — wait-state diagnosis: why the binding section caps the speedup</li>
 <li><a href="/critpath.json">/critpath.json</a> — critical path through the happens-before graph</li>
 <li><a href="/faults.json">/faults.json</a> — injected faults and failure consequences of the current run</li>
+<li><a href="/verify.json">/verify.json</a> — runtime verifier report (section nesting, enter counts, collective order)</li>
 <li><a href="/run?exp=conv&amp;p=64">/run?exp=conv&amp;p=64</a> — launch an experiment with the exporter attached
-    (params: exp=conv|lulesh, p, steps, scale, seed, threads, wait=1, seq=0,
+    (params: exp=conv|lulesh, p, steps, scale, seed, threads, wait=1, seq=0, verify=1,
     fault=kill:rank=2,after=100, fault-seed=N, deadline=30s; repeat fault= for multi-rule plans)</li>
 </ul>`)
 }
@@ -102,6 +106,53 @@ func (s *server) handleMetrics(w http.ResponseWriter, req *http.Request) {
 	if err := st.rec.WritePrometheus(w); err != nil {
 		// Headers are gone; all we can do is log.
 		logf("metrics write: %v", err)
+		return
+	}
+	if st.verifier != nil {
+		if err := export.WriteVerifyPrometheus(w, st.verifier.Counts()); err != nil {
+			logf("metrics write: %v", err)
+		}
+	}
+}
+
+// verifyResponse is the /verify.json document.
+type verifyResponse struct {
+	TraceID string `json:"trace_id"`
+	Running bool   `json:"running"`
+	// Enabled reports whether the run was launched with verify=1; the
+	// remaining fields are meaningful only when it was.
+	Enabled    bool               `json:"enabled"`
+	OK         bool               `json:"ok"`
+	Counts     map[string]uint64  `json:"counts"`
+	Violations []verify.Violation `json:"violations"`
+}
+
+// handleVerify serves the runtime verifier's report — live while the ranks
+// are still executing, final once the run ends.
+func (s *server) handleVerify(w http.ResponseWriter, req *http.Request) {
+	st := s.snapshot()
+	if st == nil {
+		http.Error(w, "no run yet: GET /run?exp=conv&p=4&verify=1 first", http.StatusNotFound)
+		return
+	}
+	s.mu.Lock()
+	resp := verifyResponse{Running: st.running, Enabled: st.verifier != nil, OK: true,
+		Counts: map[string]uint64{}, Violations: []verify.Violation{}}
+	s.mu.Unlock()
+	resp.TraceID = st.rec.TraceID().String()
+	if st.verifier != nil {
+		resp.OK = st.verifier.OK()
+		resp.Counts = st.verifier.Counts()
+		resp.Violations = st.verifier.Violations()
+		if resp.Violations == nil {
+			resp.Violations = []verify.Violation{}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(resp); err != nil {
+		logf("verify write: %v", err)
 	}
 }
 
@@ -307,6 +358,11 @@ func (s *server) handleRun(w http.ResponseWriter, req *http.Request) {
 	profiler := prof.New()
 	collector := newAnalysisCollector()
 	opts.Tools = []mpi.Tool{profiler, rec, collector}
+	var verifier *verify.Tool
+	if q.Get("verify") == "1" {
+		verifier = verify.New()
+		opts.Tools = append(opts.Tools, verifier)
+	}
 
 	s.mu.Lock()
 	if s.cur != nil && s.cur.running {
@@ -314,7 +370,7 @@ func (s *server) handleRun(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, "a run is already in progress", http.StatusConflict)
 		return
 	}
-	st := &runState{opts: opts, rec: rec, profiler: profiler, collector: collector, running: true, started: time.Now()}
+	st := &runState{opts: opts, rec: rec, profiler: profiler, collector: collector, verifier: verifier, running: true, started: time.Now()}
 	s.cur = st
 	s.mu.Unlock()
 
@@ -369,6 +425,10 @@ func (s *server) handleRun(w http.ResponseWriter, req *http.Request) {
 	}
 	if !st.running {
 		resp["wall_seconds"] = st.wall
+		if verifier != nil {
+			resp["verify_ok"] = verifier.OK()
+			resp["verify_violations"] = len(verifier.Violations())
+		}
 		if st.err != nil {
 			// The raw error tree leads with whichever secondary victim
 			// happened to be collected first; distill the primary cause (an

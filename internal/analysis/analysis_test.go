@@ -1,0 +1,44 @@
+package analysis
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+func TestSectionpair(t *testing.T)     { RunFixture(t, Sectionpair, "sectionpair") }
+func TestSectionlabel(t *testing.T)    { RunFixture(t, Sectionlabel, "sectionlabel") }
+func TestUseAfterRelease(t *testing.T) { RunFixture(t, UseAfterRelease, "useafterrelease") }
+func TestCollectiveOrder(t *testing.T) { RunFixture(t, CollectiveOrder, "collectiveorder") }
+func TestRevokedErr(t *testing.T)      { RunFixture(t, RevokedErr, "revokederr") }
+
+// TestLoadModulePackage exercises the module-path resolution branch of the
+// loader (as opposed to the fixture SrcRoot branch the suites above use):
+// the real mpi runtime loads, type-checks cleanly, and imports resolve.
+func TestLoadModulePackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checking the runtime is slow in -short mode")
+	}
+	_, thisFile, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate the repo root")
+	}
+	root := filepath.Dir(filepath.Dir(filepath.Dir(thisFile)))
+	pkgs, err := Load(LoadConfig{Dir: root}, "./internal/mpi")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if want := "repro/internal/mpi"; p.Path != want {
+		t.Errorf("package path = %q, want %q", p.Path, want)
+	}
+	if len(p.TypeErrors) != 0 {
+		t.Errorf("type errors in the runtime: %v", p.TypeErrors)
+	}
+	if p.Types == nil || p.Types.Name() != "mpi" {
+		t.Errorf("type-checked package missing or misnamed: %v", p.Types)
+	}
+}

@@ -1,0 +1,96 @@
+// Package analysis implements seclint's static correctness suite for code
+// built on the repro mpi runtime: five go/analysis-style passes plus the
+// stdlib-only loader that drives them (the build environment vendors no
+// third-party modules, so the package carries its own driver instead of
+// depending on golang.org/x/tools; the Analyzer/Pass/Diagnostic surface is
+// kept source-compatible with the upstream framework).
+//
+// The passes enforce the contracts the paper's speedup methodology rests
+// on — sections that nest and match across ranks, buffers that are not
+// touched after release, collectives every rank reaches in the same order —
+// at compile time. Its runtime twin is internal/verify, which checks the
+// same contracts on live executions.
+//
+// # sectionpair
+//
+// Every SectionEnter must be closed by a SectionExit with the same label on
+// every path out of the function, and exits must close the innermost open
+// section (perfect nesting). A deferred exit counts. Flagged:
+//
+//	c.SectionEnter("halo")
+//	if err != nil {
+//		return err // "halo" never exited on this path
+//	}
+//	c.SectionExit("halo")
+//
+// Clean:
+//
+//	c.SectionEnter("halo")
+//	defer c.SectionExit("halo")
+//	if err != nil {
+//		return err
+//	}
+//
+// # sectionlabel
+//
+// Labels must be compile-time constant strings (a literal or a named
+// constant), non-empty, free of the trace codec's reserved characters, and
+// not the runtime's reserved MPI_MAIN root label. Flagged:
+//
+//	c.SectionEnter(fmt.Sprintf("step-%d", i)) // dynamic label
+//
+// Clean:
+//
+//	const secStep = "step"
+//	c.SectionEnter(secStep)
+//
+// # useafterrelease
+//
+// A buffer passed to mpi.Release belongs to the runtime again; reading or
+// writing it afterwards races with an unrelated future message. Flagged:
+//
+//	mpi.Release(buf)
+//	sum += buf[0] // use after release
+//
+// Clean:
+//
+//	sum += buf[0]
+//	mpi.Release(buf)
+//	buf = nil
+//
+// # collectiveorder
+//
+// Collectives (Barrier, Bcast, Reduce, Agree, SectionEnter, ...) reached
+// only under a rank-dependent condition are entered by some ranks and not
+// others — the classic divergence deadlock. Flagged:
+//
+//	if c.Rank() == 0 {
+//		c.Barrier() // ranks != 0 never arrive
+//	}
+//
+// Clean:
+//
+//	c.Barrier()
+//	if c.Rank() == 0 {
+//		log.Print("all ranks past the barrier")
+//	}
+//
+// # revokederr
+//
+// Error results of mpi operations must be handled or propagated: since the
+// runtime gained revoke semantics, any operation can return mpi.ErrRevoked,
+// and a discarded error turns a recoverable revocation into silent data
+// corruption. Flagged:
+//
+//	c.Send(dst, tag, buf) // error discarded
+//
+// Clean:
+//
+//	if err := c.Send(dst, tag, buf); err != nil {
+//		return err
+//	}
+//
+// All passes match mpi entry points by package name ("mpi"), so the suite
+// checks the in-tree runtime, user code importing it, and the test fixtures
+// under testdata alike.
+package analysis

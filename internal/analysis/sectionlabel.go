@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Sectionlabel checks the label argument of every SectionEnter/SectionExit
+// (and the Section convenience wrapper, when present): labels must be
+// compile-time constant strings, non-empty, free of the characters the
+// trace CSV codec reserves, and must not collide with the runtime's
+// reserved MPI_MAIN root section.
+var Sectionlabel = &Analyzer{
+	Name: "sectionlabel",
+	Doc: "check that section labels are constant, non-empty, and not reserved\n\n" +
+		"Section labels feed the canonical-sequence checker and the trace\n" +
+		"codec; a dynamic, empty, or reserved label breaks cross-rank\n" +
+		"matching in ways that only surface as runtime panics.",
+	Run: runSectionlabel,
+}
+
+// mainSectionLabel mirrors mpi.MainSection; the analyzer cannot import the
+// runtime (it must also check fixture packages), so the contract constant
+// is restated here.
+const mainSectionLabel = "MPI_MAIN"
+
+func runSectionlabel(pass *Pass) error {
+	inMPI := pass.Pkg != nil && pass.Pkg.Name() == mpiPkgName
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := mpiCall(pass, call)
+			if !ok {
+				return true
+			}
+			switch name {
+			case "SectionEnter", "SectionExit", "Section":
+			default:
+				return true
+			}
+			if len(call.Args) < 1 {
+				return true
+			}
+			arg := call.Args[0]
+			label, ok := constantLabel(pass, arg)
+			if !ok {
+				// Only flag expressions that are actually strings; the
+				// first argument of an unrelated same-named method on a
+				// non-string parameter should not trip the pass. The mpi
+				// runtime itself is exempt: its Section wrapper forwards
+				// a caller-supplied label by design.
+				if tv, found := pass.TypesInfo.Types[arg]; found && isString(tv.Type) && !inMPI {
+					pass.Reportf(arg.Pos(), "%s label is not a constant string: cross-rank section matching requires identical literal labels", name)
+				}
+				return true
+			}
+			if label == "" {
+				pass.Reportf(arg.Pos(), "%s label must not be empty", name)
+				return true
+			}
+			if label == mainSectionLabel && !inMPI {
+				pass.Reportf(arg.Pos(), "%s label %q is reserved for the runtime's root section", name, label)
+				return true
+			}
+			if strings.ContainsAny(label, ",\n") {
+				pass.Reportf(arg.Pos(), "%s label %q contains characters reserved by the trace CSV codec", name, label)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,418 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// Sectionpair checks that every SectionEnter is matched by a SectionExit
+// with the same label on every path out of the enclosing function, and
+// that sections nest perfectly (exits close the innermost open section).
+// The walk is path-sensitive over the statement structure — if/else,
+// for/range, switch/select — and understands the `defer c.SectionExit(l)`
+// idiom as closing at function return.
+var Sectionpair = &Analyzer{
+	Name: "sectionpair",
+	Doc: "check that SectionEnter/SectionExit calls are balanced and perfectly nested\n\n" +
+		"Every SectionEnter must be closed by a SectionExit with the same label\n" +
+		"on every path out of the function (a deferred exit counts), exits must\n" +
+		"close the innermost open section, and branches must leave the section\n" +
+		"stack in the same state on every arm.",
+	Run: runSectionpair,
+}
+
+// spFrame is one open section on the simulated stack.
+type spFrame struct {
+	label string
+	pos   token.Pos
+}
+
+// spState is the abstract state threaded through the statement walk.
+type spState struct {
+	stack  []spFrame
+	defers []spFrame // deferred SectionExit calls, in defer order
+	// known goes false when the walk sees something it cannot model (a
+	// non-constant label, sections inside a deferred closure); from then
+	// on the function is given the benefit of the doubt.
+	known bool
+	// terminated marks the path as ended (return/goto/panic-like).
+	terminated bool
+}
+
+func (s *spState) clone() *spState {
+	c := *s
+	c.stack = append([]spFrame(nil), s.stack...)
+	c.defers = append([]spFrame(nil), s.defers...)
+	return &c
+}
+
+// sameStack reports whether two states have identical open-section stacks.
+func sameStack(a, b *spState) bool {
+	if len(a.stack) != len(b.stack) {
+		return false
+	}
+	for i := range a.stack {
+		if a.stack[i].label != b.stack[i].label {
+			return false
+		}
+	}
+	return true
+}
+
+type spChecker struct {
+	pass     *Pass
+	reported map[token.Pos]map[string]bool
+}
+
+func (c *spChecker) reportf(pos token.Pos, format string, args ...any) {
+	d := Diagnostic{Pos: pos}
+	d.Message = fmt.Sprintf(format, args...)
+	if c.reported[pos] == nil {
+		c.reported[pos] = map[string]bool{}
+	}
+	if c.reported[pos][d.Message] {
+		return
+	}
+	c.reported[pos][d.Message] = true
+	c.pass.Report(d)
+}
+
+func runSectionpair(pass *Pass) error {
+	c := &spChecker{pass: pass, reported: map[token.Pos]map[string]bool{}}
+	funcBodies(pass.Files, func(body *ast.BlockStmt) {
+		st := &spState{known: true}
+		c.block(body, st)
+		if st.known && !st.terminated {
+			c.checkExit(st, body.Rbrace)
+		}
+	})
+	return nil
+}
+
+// block walks the statements of a block, mutating st in place.
+func (c *spChecker) block(b *ast.BlockStmt, st *spState) {
+	for _, s := range b.List {
+		if st.terminated || !st.known {
+			return
+		}
+		c.stmt(s, st)
+	}
+}
+
+func (c *spChecker) stmt(s ast.Stmt, st *spState) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		c.block(s, st)
+	case *ast.DeferStmt:
+		c.deferStmt(s, st)
+	case *ast.IfStmt:
+		c.ifStmt(s, st)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, st)
+		}
+		c.scanExpr(s.Cond, st)
+		c.loopBody(s.Body, st)
+	case *ast.RangeStmt:
+		c.scanExpr(s.X, st)
+		c.loopBody(s.Body, st)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, st)
+		}
+		c.scanExpr(s.Tag, st)
+		c.clauses(s.Body, st, switchHasDefault(s.Body))
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, st)
+		}
+		c.clauses(s.Body, st, switchHasDefault(s.Body))
+	case *ast.SelectStmt:
+		c.clauses(s.Body, st, true)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			c.scanExpr(r, st)
+		}
+		if st.known {
+			c.checkExit(st.clone(), s.Pos())
+		}
+		st.terminated = true
+	case *ast.BranchStmt:
+		// break/continue/goto end this path conservatively: the walk does
+		// not track targets, and flagging the surrounding construct's stack
+		// divergence is enough to keep the check useful.
+		st.terminated = true
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt, st)
+	default:
+		// Everything else (assignments, expression statements, go, send,
+		// declarations) is scanned for section calls in evaluation order.
+		c.scanStmt(s, st)
+	}
+}
+
+// scanStmt scans a non-control-flow statement for section calls.
+func (c *spChecker) scanStmt(s ast.Stmt, st *spState) {
+	inspectShallow(s, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		c.call(call, st)
+		return true
+	})
+}
+
+func (c *spChecker) scanExpr(e ast.Expr, st *spState) {
+	if e == nil {
+		return
+	}
+	inspectShallow(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		c.call(call, st)
+		return true
+	})
+}
+
+// call updates st for one call expression.
+func (c *spChecker) call(call *ast.CallExpr, st *spState) {
+	name, ok := mpiCall(c.pass, call)
+	if !ok {
+		return
+	}
+	switch name {
+	case "SectionEnter":
+		if len(call.Args) < 1 {
+			return
+		}
+		label, ok := constantLabel(c.pass, call.Args[0])
+		if !ok {
+			// Dynamic label: stop modelling this function rather than
+			// guessing.
+			st.known = false
+			return
+		}
+		st.stack = append(st.stack, spFrame{label: label, pos: call.Pos()})
+	case "SectionExit":
+		if len(call.Args) < 1 {
+			return
+		}
+		label, ok := constantLabel(c.pass, call.Args[0])
+		if !ok {
+			st.known = false
+			return
+		}
+		if len(st.stack) == 0 {
+			c.reportf(call.Pos(), "SectionExit(%q) without a matching SectionEnter on this path", label)
+			return
+		}
+		top := st.stack[len(st.stack)-1]
+		if top.label != label {
+			c.reportf(call.Pos(), "SectionExit(%q) does not match the innermost open section %q", label, top.label)
+		}
+		// Pop regardless, so one mismatch does not cascade.
+		st.stack = st.stack[:len(st.stack)-1]
+	}
+}
+
+// deferStmt handles `defer c.SectionExit(label)` (modelled as closing at
+// return) and deferred closures (not modelled — state goes unknown if they
+// touch sections).
+func (c *spChecker) deferStmt(s *ast.DeferStmt, st *spState) {
+	if name, ok := mpiCall(c.pass, s.Call); ok {
+		switch name {
+		case "SectionExit":
+			if len(s.Call.Args) < 1 {
+				return
+			}
+			label, ok := constantLabel(c.pass, s.Call.Args[0])
+			if !ok {
+				st.known = false
+				return
+			}
+			st.defers = append(st.defers, spFrame{label: label, pos: s.Pos()})
+			return
+		case "SectionEnter":
+			c.reportf(s.Pos(), "deferred SectionEnter is always a nesting error")
+			return
+		}
+	}
+	if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+		// A deferred closure that manipulates sections is beyond this
+		// walk's model; a closure that doesn't is harmless.
+		touches := false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if name, ok := mpiCall(c.pass, call); ok &&
+					(name == "SectionEnter" || name == "SectionExit") {
+					touches = true
+					return false
+				}
+			}
+			return true
+		})
+		if touches {
+			st.known = false
+		}
+	}
+}
+
+// ifStmt walks both arms and merges.
+func (c *spChecker) ifStmt(s *ast.IfStmt, st *spState) {
+	if s.Init != nil {
+		c.stmt(s.Init, st)
+	}
+	c.scanExpr(s.Cond, st)
+	if !st.known {
+		return
+	}
+	thenSt := st.clone()
+	c.block(s.Body, thenSt)
+	elseSt := st.clone()
+	if s.Else != nil {
+		c.stmt(s.Else, elseSt)
+	}
+	c.merge(st, thenSt, elseSt, s.Pos())
+}
+
+// merge folds the outcomes of two alternative arms back into st.
+func (c *spChecker) merge(st, a, b *spState, pos token.Pos) {
+	if !a.known || !b.known {
+		st.known = false
+		return
+	}
+	switch {
+	case a.terminated && b.terminated:
+		*st = *a
+	case a.terminated:
+		*st = *b
+	case b.terminated:
+		*st = *a
+	default:
+		if !sameStack(a, b) {
+			c.reportf(pos, "branches leave different sections open (%s vs %s)",
+				stackString(a.stack), stackString(b.stack))
+			st.known = false
+			return
+		}
+		*st = *a
+	}
+}
+
+// loopBody checks that one iteration leaves the section stack unchanged,
+// then continues with the pre-loop state (a loop may run zero times).
+func (c *spChecker) loopBody(body *ast.BlockStmt, st *spState) {
+	if !st.known {
+		return
+	}
+	it := st.clone()
+	c.block(body, it)
+	if !it.known {
+		st.known = false
+		return
+	}
+	if !it.terminated && !sameStack(it, st) {
+		c.reportf(body.Pos(), "loop body changes the open-section stack (%s -> %s): sections must be balanced within one iteration",
+			stackString(st.stack), stackString(it.stack))
+		st.known = false
+	}
+}
+
+// clauses walks each case body of a switch/select as an alternative arm.
+func (c *spChecker) clauses(body *ast.BlockStmt, st *spState, hasDefault bool) {
+	if !st.known {
+		return
+	}
+	var arms []*spState
+	for _, cl := range body.List {
+		arm := st.clone()
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				c.scanExpr(e, arm)
+			}
+			for _, s := range cl.Body {
+				if arm.terminated || !arm.known {
+					break
+				}
+				c.stmt(s, arm)
+			}
+		case *ast.CommClause:
+			if cl.Comm != nil {
+				c.stmt(cl.Comm, arm)
+			}
+			for _, s := range cl.Body {
+				if arm.terminated || !arm.known {
+					break
+				}
+				c.stmt(s, arm)
+			}
+		}
+		arms = append(arms, arm)
+	}
+	if !hasDefault {
+		// Without a default the switch may fall straight through.
+		arms = append(arms, st.clone())
+	}
+	// Fold all arms pairwise.
+	acc := arms[0]
+	for _, arm := range arms[1:] {
+		next := acc.clone()
+		c.merge(next, acc, arm, body.Pos())
+		acc = next
+		if !acc.known {
+			break
+		}
+	}
+	*st = *acc
+}
+
+func switchHasDefault(body *ast.BlockStmt) bool {
+	for _, cl := range body.List {
+		if cc, ok := cl.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// checkExit validates the state at a function exit point: deferred exits
+// unwind the stack LIFO, and anything still open is reported at its
+// SectionEnter.
+func (c *spChecker) checkExit(st *spState, exitPos token.Pos) {
+	stack := append([]spFrame(nil), st.stack...)
+	// Defers run last-registered-first.
+	for i := len(st.defers) - 1; i >= 0; i-- {
+		d := st.defers[i]
+		if len(stack) == 0 {
+			c.reportf(d.pos, "deferred SectionExit(%q) without a matching SectionEnter on this path", d.label)
+			continue
+		}
+		top := stack[len(stack)-1]
+		if top.label != d.label {
+			c.reportf(d.pos, "deferred SectionExit(%q) does not match the innermost open section %q", d.label, top.label)
+		}
+		stack = stack[:len(stack)-1]
+	}
+	for _, f := range stack {
+		c.reportf(f.pos, "section %q entered here is not exited on every path", f.label)
+	}
+}
+
+func stackString(stack []spFrame) string {
+	if len(stack) == 0 {
+		return "[]"
+	}
+	s := "["
+	for i, f := range stack {
+		if i > 0 {
+			s += " "
+		}
+		s += f.label
+	}
+	return s + "]"
+}

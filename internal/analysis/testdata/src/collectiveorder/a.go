@@ -1,0 +1,75 @@
+// Fixture for the collectiveorder pass: collectives under rank-dependent
+// control flow versus safely hoisted ones.
+package collectiveorder
+
+import "mpi"
+
+// collective directly under a Rank() comparison.
+func rankGuarded(c *mpi.Comm) error {
+	if c.Rank() == 0 {
+		if err := c.Barrier(); err != nil { // want `collective Barrier reached under a rank-dependent branch`
+			return err
+		}
+	}
+	return nil
+}
+
+// the rank reaches the condition through a local variable.
+func derivedVar(c *mpi.Comm, b []byte) {
+	r := c.Rank()
+	if r == 0 {
+		_, _ = c.Bcast(0, b) // want `collective Bcast reached under a rank-dependent branch`
+	}
+}
+
+// sections are collective over the communicator too.
+func sectionGuarded(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		c.SectionEnter("io") // want `collective SectionEnter reached under a rank-dependent branch`
+		c.SectionExit("io")  // want `collective SectionExit reached under a rank-dependent branch`
+	}
+}
+
+// a loop whose trip count depends on the rank diverges the same way.
+func rankLoop(c *mpi.Comm) {
+	for i := 0; i < c.Rank(); i++ {
+		_ = c.Barrier() // want `collective Barrier reached under a rank-dependent branch`
+	}
+}
+
+// a rank-dependent switch arm.
+func rankSwitch(c *mpi.Comm, v float64) {
+	switch c.Rank() {
+	case 0:
+		_, _ = c.Reduce(0, v) // want `collective Reduce reached under a rank-dependent branch`
+	}
+}
+
+// collective before the branch, rank-dependent work after: clean.
+func hoisted(c *mpi.Comm) error {
+	if err := c.Barrier(); err != nil {
+		return err
+	}
+	if c.Rank() == 0 {
+		logRoot()
+	}
+	return nil
+}
+
+// point-to-point under a rank branch is the normal pattern: clean.
+func pointToPoint(c *mpi.Comm, b []byte) error {
+	if c.Rank() == 0 {
+		return c.Send(1, 0, b)
+	}
+	return nil
+}
+
+// a branch on non-rank state: clean.
+func dataGuarded(c *mpi.Comm, ready bool) error {
+	if ready {
+		return c.Barrier()
+	}
+	return nil
+}
+
+func logRoot() {}

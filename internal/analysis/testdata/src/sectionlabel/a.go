@@ -1,0 +1,32 @@
+// Fixture for the sectionlabel pass: constant, empty, dynamic, reserved,
+// and codec-hostile labels.
+package sectionlabel
+
+import (
+	"fmt"
+
+	"mpi"
+)
+
+const secGood = "good"
+
+func labels(c *mpi.Comm, i int) {
+	c.SectionEnter(secGood) // named constant: clean
+	c.SectionExit(secGood)
+	c.SectionEnter("literal") // literal: clean
+	c.SectionExit("literal")
+	c.SectionEnter("")                        // want `SectionEnter label must not be empty`
+	c.SectionExit("")                         // want `SectionExit label must not be empty`
+	c.SectionEnter(fmt.Sprintf("step-%d", i)) // want `SectionEnter label is not a constant string`
+	c.SectionExit("MPI_MAIN")                 // want `SectionExit label "MPI_MAIN" is reserved for the runtime's root section`
+	c.SectionEnter("a,b")                     // want `SectionEnter label "a,b" contains characters reserved by the trace CSV codec`
+}
+
+func wrapper(c *mpi.Comm, dyn string) error {
+	if err := c.Section(dyn, work); err != nil { // want `Section label is not a constant string`
+		return err
+	}
+	return c.Section(secGood, work) // clean
+}
+
+func work() error { return nil }

@@ -1,0 +1,127 @@
+// Fixture for the sectionpair pass: balanced, deferred, and broken
+// enter/exit shapes, including the loop-nesting and branch-divergence
+// cases from the paper's section contract.
+package sectionpair
+
+import "mpi"
+
+const secHalo = "halo"
+
+// balanced straight-line pair: clean.
+func balanced(c *mpi.Comm) {
+	c.SectionEnter(secHalo)
+	c.SectionExit(secHalo)
+}
+
+// deferred exit covers every return path: clean.
+func deferred(c *mpi.Comm, fail bool) error {
+	c.SectionEnter(secHalo)
+	defer c.SectionExit(secHalo)
+	if fail {
+		return mpi.ErrRevoked
+	}
+	return nil
+}
+
+// early return escapes the open section.
+func earlyReturn(c *mpi.Comm, fail bool) error {
+	c.SectionEnter(secHalo) // want `section "halo" entered here is not exited on every path`
+	if fail {
+		return mpi.ErrRevoked
+	}
+	c.SectionExit(secHalo)
+	return nil
+}
+
+// crossed exits break perfect nesting.
+func crossed(c *mpi.Comm) {
+	c.SectionEnter("a")
+	c.SectionEnter("b")
+	c.SectionExit("a") // want `SectionExit\("a"\) does not match the innermost open section "b"`
+	c.SectionExit("b") // want `SectionExit\("b"\) does not match the innermost open section "a"`
+}
+
+// exit with nothing open.
+func unmatchedExit(c *mpi.Comm) {
+	c.SectionExit(secHalo) // want `SectionExit\("halo"\) without a matching SectionEnter on this path`
+}
+
+// only one arm opens a section.
+func divergentIf(c *mpi.Comm, cond bool) {
+	if cond { // want `branches leave different sections open`
+		c.SectionEnter(secHalo)
+	}
+	c.SectionExit(secHalo)
+}
+
+// both arms open the same section before a common exit: clean.
+func bothArms(c *mpi.Comm, cond bool) {
+	if cond {
+		c.SectionEnter(secHalo)
+	} else {
+		c.SectionEnter(secHalo)
+	}
+	c.SectionExit(secHalo)
+}
+
+// a loop iteration must leave the stack as it found it.
+func loopUnbalanced(c *mpi.Comm, n int) {
+	for i := 0; i < n; i++ { // want `loop body changes the open-section stack`
+		c.SectionEnter(secHalo)
+	}
+}
+
+// balanced within the iteration: clean.
+func loopBalanced(c *mpi.Comm, n int) {
+	for i := 0; i < n; i++ {
+		c.SectionEnter(secHalo)
+		c.SectionExit(secHalo)
+	}
+}
+
+// proper nesting across two levels: clean.
+func nested(c *mpi.Comm) {
+	c.SectionEnter("outer")
+	c.SectionEnter("inner")
+	c.SectionExit("inner")
+	c.SectionExit("outer")
+}
+
+// a deferred enter can never pair correctly.
+func deferEnter(c *mpi.Comm) {
+	defer c.SectionEnter(secHalo) // want `deferred SectionEnter is always a nesting error`
+}
+
+// the deferred exit closes a different section than the one left open.
+func deferMismatch(c *mpi.Comm) {
+	c.SectionEnter("a")
+	defer c.SectionExit("b") // want `deferred SectionExit\("b"\) does not match the innermost open section "a"`
+}
+
+// every switch arm balances: clean.
+func switchBalanced(c *mpi.Comm, k int) {
+	switch k {
+	case 0:
+		c.SectionEnter(secHalo)
+		c.SectionExit(secHalo)
+	default:
+	}
+}
+
+// one switch arm leaves a section open.
+func switchDivergent(c *mpi.Comm, k int) {
+	switch k { // want `branches leave different sections open`
+	case 0:
+		c.SectionEnter(secHalo)
+	default:
+	}
+}
+
+// the Section wrapper nests by construction: clean.
+func wrapper(c *mpi.Comm) error {
+	return c.Section(secHalo, func() error {
+		c.SectionEnter("inner")
+		c.SectionExit("inner")
+		return nil
+	})
+}

@@ -1,0 +1,125 @@
+// Fixture for the useafterrelease pass: the mpi.Release ownership
+// contract over straight-line code, branches, loops, and range loops.
+package useafterrelease
+
+import "mpi"
+
+// read after release.
+func useAfter(c *mpi.Comm) (int, error) {
+	b, err := c.Recv(0, 1)
+	if err != nil {
+		return 0, err
+	}
+	n := len(b)
+	mpi.Release(b)
+	return n + int(b[0]), nil // want `use of b after mpi.Release`
+}
+
+// write after release.
+func writeAfter(c *mpi.Comm) error {
+	b, err := c.Recv(0, 1)
+	if err != nil {
+		return err
+	}
+	mpi.Release(b)
+	b[0] = 1 // want `use of b after mpi.Release`
+	return nil
+}
+
+// releasing twice pools the buffer twice.
+func double(c *mpi.Comm) error {
+	b, err := c.Recv(0, 1)
+	if err != nil {
+		return err
+	}
+	mpi.Release(b)
+	mpi.Release(b) // want `double mpi.Release of b`
+	return nil
+}
+
+// releasing a reslice releases the backing buffer.
+func reslice(c *mpi.Comm) (byte, error) {
+	b, err := c.Recv(0, 1)
+	if err != nil {
+		return 0, err
+	}
+	mpi.Release(b[:1])
+	return b[0], nil // want `use of b after mpi.Release`
+}
+
+// released on one arm counts as released after the join.
+func branch(c *mpi.Comm, cond bool) (int, error) {
+	b, err := c.Recv(0, 1)
+	if err != nil {
+		return 0, err
+	}
+	if cond {
+		mpi.Release(b)
+	}
+	return len(b), nil // want `use of b after mpi.Release`
+}
+
+// a use at the top of the next iteration sees the release at the bottom of
+// the previous one.
+func loopCarry(c *mpi.Comm, n int) error {
+	b, err := c.Recv(0, 1)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		_ = b[0] // want `use of b after mpi.Release`
+		mpi.Release(b)
+	}
+	return nil
+}
+
+// reassignment makes the variable a fresh buffer: clean.
+func reassign(c *mpi.Comm) (byte, error) {
+	b, err := c.Recv(0, 1)
+	if err != nil {
+		return 0, err
+	}
+	mpi.Release(b)
+	b, err = c.Recv(0, 2)
+	if err != nil {
+		return 0, err
+	}
+	x := b[0]
+	mpi.Release(b)
+	return x, nil
+}
+
+// use before release: clean.
+func useBefore(c *mpi.Comm) (int, error) {
+	b, err := c.Recv(0, 1)
+	if err != nil {
+		return 0, err
+	}
+	n := len(b)
+	mpi.Release(b)
+	return n, nil
+}
+
+// deferred release runs at return, after every use: clean.
+func deferRelease(c *mpi.Comm) (int, error) {
+	b, err := c.Recv(0, 1)
+	if err != nil {
+		return 0, err
+	}
+	defer mpi.Release(b)
+	return len(b), nil
+}
+
+// the range variable is rebound every iteration: clean.
+func gatherParts(c *mpi.Comm) (int, error) {
+	parts, err := c.Gather(0, nil)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, raw := range parts {
+		total += len(raw)
+		mpi.Release(raw)
+	}
+	return total, nil
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/prof"
 	"repro/internal/sched"
 	"repro/internal/trace"
+	"repro/internal/verify"
 )
 
 // ConvOptions configures the convolution scaling study of §5.1.
@@ -39,6 +40,9 @@ type ConvOptions struct {
 	// Diagnose attaches a trace collector to each point's rep-0 run and
 	// reports the binding section's wait-state diagnosis in the CSV.
 	Diagnose bool
+	// Verify attaches the runtime section/collective verifier to every run;
+	// violations accumulate in ConvResult.Verify (the -verify bench flag).
+	Verify bool
 	// Fault arms a deterministic fault plan in every point's runtime; points
 	// whose runs fail degrade to an `error` CSV cell instead of aborting the
 	// sweep.
@@ -102,6 +106,9 @@ type ConvResult struct {
 	SeqTime float64
 	Points  []ConvPoint
 	Study   *core.Study
+	// Verify holds every runtime-verifier violation across the sweep's runs,
+	// canonically sorted (empty without Opts.Verify, and for a clean sweep).
+	Verify []verify.Violation
 }
 
 // RunConvolution executes the sweep and assembles the partial-bounding
@@ -137,6 +144,7 @@ func RunConvolution(o ConvOptions) (*ConvResult, error) {
 		totals map[string]float64
 		shares map[string]float64
 		diag   *PointDiagnosis
+		verify []verify.Violation
 		errMsg string
 	}
 	reps, err := sched.Map(sched.Workers(o.Jobs), len(o.Ps)*o.Reps, func(i int) (repResult, error) {
@@ -151,6 +159,7 @@ func RunConvolution(o ConvOptions) (*ConvResult, error) {
 			Timeout: 10 * time.Minute,
 		}
 		applyFault(&cfg, o.Fault, o.Deadline)
+		ver := attachVerifier(&cfg, o.Verify)
 		// The rep-0 run doubles as the diagnosis specimen: tools observe the
 		// virtual clocks without perturbing them, so attaching the collector
 		// leaves the measured times bit-identical.
@@ -162,7 +171,7 @@ func RunConvolution(o ConvOptions) (*ConvResult, error) {
 		if _, err := convolution.Run(cfg, params); err != nil {
 			// Degraded mode: the point records its root cause and the sweep
 			// carries on — returning the error would abort every other point.
-			return repResult{errMsg: runErrCell(err)}, nil
+			return repResult{errMsg: runErrCell(err), verify: verifierViolations(ver)}, nil
 		}
 		profile, err := profiler.Result()
 		if err != nil {
@@ -183,11 +192,18 @@ func RunConvolution(o ConvOptions) (*ConvResult, error) {
 		if collector != nil {
 			out.diag = diagnoseEvents(collector.Buffer().Events(), seq)
 		}
+		out.verify = verifierViolations(ver)
 		return out, nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	// Collect verifier findings in sequential (p, rep) order, then impose
+	// the canonical sort — identical bytes for every Jobs value.
+	for _, r := range reps {
+		res.Verify = append(res.Verify, r.verify...)
+	}
+	verify.SortViolations(res.Verify)
 
 	for pi, p := range o.Ps {
 		pt := ConvPoint{

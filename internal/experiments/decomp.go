@@ -12,6 +12,7 @@ import (
 	"repro/internal/prof"
 	"repro/internal/sched"
 	"repro/internal/trace"
+	"repro/internal/verify"
 )
 
 // Decomposition ablation: the paper's §3 ties communication overhead to
@@ -44,6 +45,10 @@ type DecompPoint struct {
 // DecompResult is the sweep.
 type DecompResult struct {
 	Points []DecompPoint
+	// Verify holds every runtime-verifier violation across both variants'
+	// runs, canonically sorted (empty without Opts.Verify, and for a clean
+	// comparison).
+	Verify []verify.Violation
 }
 
 // DecompOptions configures the comparison.
@@ -58,6 +63,9 @@ type DecompOptions struct {
 	// Diagnose attaches a trace collector per run and reports the binding
 	// section's wait-state diagnosis in the CSV.
 	Diagnose bool
+	// Verify attaches the runtime section/collective verifier to every run;
+	// violations accumulate in DecompResult.Verify (the -verify bench flag).
+	Verify bool
 	// Fault arms a deterministic fault plan; failed variants degrade to an
 	// `error` CSV cell instead of aborting the comparison.
 	Fault *fault.Plan
@@ -111,6 +119,7 @@ func RunDecompComparison(o DecompOptions) (*DecompResult, error) {
 	type variantResult struct {
 		halo, wall float64
 		diag       *PointDiagnosis
+		verify     []verify.Violation
 		errMsg     string
 	}
 	runs, err := sched.Map(sched.Workers(o.Jobs), 2*len(o.Ps), func(i int) (variantResult, error) {
@@ -125,6 +134,7 @@ func RunDecompComparison(o DecompOptions) (*DecompResult, error) {
 			Tools: []mpi.Tool{profiler}, Timeout: 10 * time.Minute,
 		}
 		applyFault(&cfg, o.Fault, o.Deadline)
+		ver := attachVerifier(&cfg, o.Verify)
 		var collector *trace.Collector
 		if o.Diagnose {
 			collector = newDiagCollector()
@@ -133,7 +143,7 @@ func RunDecompComparison(o DecompOptions) (*DecompResult, error) {
 		if _, err := runner(cfg, params); err != nil {
 			// Degraded mode: record the root cause, let the sweep carry on;
 			// the CSV row's variant column names the failed decomposition.
-			return variantResult{errMsg: runErrCell(err)}, nil
+			return variantResult{errMsg: runErrCell(err), verify: verifierViolations(ver)}, nil
 		}
 		profile, err := profiler.Result()
 		if err != nil {
@@ -146,12 +156,17 @@ func RunDecompComparison(o DecompOptions) (*DecompResult, error) {
 		if collector != nil {
 			out.diag = diagnoseEvents(collector.Buffer().Events(), 0)
 		}
+		out.verify = verifierViolations(ver)
 		return out, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	res := &DecompResult{}
+	for _, r := range runs {
+		res.Verify = append(res.Verify, r.verify...)
+	}
+	verify.SortViolations(res.Verify)
 	for i, p := range o.Ps {
 		px, py := grids[i][0], grids[i][1]
 		res.Points = append(res.Points, DecompPoint{

@@ -14,6 +14,7 @@ import (
 	"repro/internal/prof"
 	"repro/internal/sched"
 	"repro/internal/trace"
+	"repro/internal/verify"
 )
 
 // HybridOptions configures the LULESH MPI+OpenMP study of §5.2.
@@ -37,6 +38,9 @@ type HybridOptions struct {
 	// Diagnose attaches a trace collector per grid cell and reports the
 	// binding section's wait-state diagnosis in the CSV.
 	Diagnose bool
+	// Verify attaches the runtime section/collective verifier to every cell;
+	// violations accumulate in HybridResult.Verify (the -verify bench flag).
+	Verify bool
 	// Fault arms a deterministic fault plan; failed cells degrade to an
 	// `error` CSV cell instead of aborting the sweep.
 	Fault *fault.Plan
@@ -116,6 +120,9 @@ type HybridPoint struct {
 	Totals map[string]float64
 	// Diag is the wait-state diagnosis (nil with Diagnose off).
 	Diag *PointDiagnosis
+	// VerifyViolations is this cell's runtime-verifier report (nil with
+	// Verify off).
+	VerifyViolations []verify.Violation
 	// Err is the run's root cause ("" when healthy); failed cells keep zero
 	// metrics while the sweep completes.
 	Err string
@@ -125,6 +132,9 @@ type HybridPoint struct {
 type HybridResult struct {
 	Opts   HybridOptions
 	Points []HybridPoint
+	// Verify holds every runtime-verifier violation across the sweep's cells,
+	// canonically sorted (empty without Opts.Verify, and for a clean sweep).
+	Verify []verify.Violation
 }
 
 // RunHybrid executes the sweep.
@@ -163,6 +173,7 @@ func RunHybrid(o HybridOptions) (*HybridResult, error) {
 			Timeout:        10 * time.Minute,
 		}
 		applyFault(&cfg, o.Fault, o.Deadline)
+		ver := attachVerifier(&cfg, o.Verify)
 		var collector *trace.Collector
 		if o.Diagnose {
 			collector = newDiagCollector()
@@ -173,6 +184,7 @@ func RunHybrid(o HybridOptions) (*HybridResult, error) {
 			return HybridPoint{
 				Ranks: cell.ranks, Threads: cell.threads,
 				Totals: map[string]float64{}, Err: runErrCell(err),
+				VerifyViolations: verifierViolations(ver),
 			}, nil
 		}
 		profile, err := profiler.Result()
@@ -198,6 +210,7 @@ func RunHybrid(o HybridOptions) (*HybridResult, error) {
 		if collector != nil {
 			pt.Diag = diagnoseEvents(collector.Buffer().Events(), 0)
 		}
+		pt.VerifyViolations = verifierViolations(ver)
 		return pt, nil
 	})
 	if err != nil {
@@ -210,6 +223,12 @@ func RunHybrid(o HybridOptions) (*HybridResult, error) {
 		}
 		return res.Points[i].Threads < res.Points[j].Threads
 	})
+	// Collect verifier findings in sorted cell order, then impose the
+	// canonical sort — identical bytes for every Jobs value.
+	for i := range res.Points {
+		res.Verify = append(res.Verify, res.Points[i].VerifyViolations...)
+	}
+	verify.SortViolations(res.Verify)
 	return res, nil
 }
 

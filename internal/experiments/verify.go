@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"repro/internal/mpi"
+	"repro/internal/verify"
+)
+
+// attachVerifier arms the runtime section/collective verifier on one run's
+// config when on is set; the returned tool is nil otherwise. Every sweep
+// driver threads its Options.Verify knob through here so the benchmark
+// binaries' -verify flag means the same thing everywhere.
+func attachVerifier(cfg *mpi.Config, on bool) *verify.Tool {
+	if !on {
+		return nil
+	}
+	v := verify.New()
+	cfg.Tools = append(cfg.Tools, v)
+	return v
+}
+
+// verifierViolations extracts a tool's report (nil tool → nil), so callers
+// can collect unconditionally.
+func verifierViolations(v *verify.Tool) []verify.Violation {
+	if v == nil {
+		return nil
+	}
+	return v.Violations()
+}

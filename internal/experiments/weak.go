@@ -13,6 +13,7 @@ import (
 	"repro/internal/prof"
 	"repro/internal/sched"
 	"repro/internal/trace"
+	"repro/internal/verify"
 )
 
 // The paper's §2 contrasts strong scaling (Amdahl) with the scaled-speedup
@@ -40,6 +41,9 @@ type WeakOptions struct {
 	// Diagnose attaches a trace collector per point and reports the binding
 	// section's wait-state diagnosis in the CSV.
 	Diagnose bool
+	// Verify attaches the runtime section/collective verifier to every run;
+	// violations accumulate in WeakResult.Verify (the -verify bench flag).
+	Verify bool
 	// Fault arms a deterministic fault plan; failed points degrade to an
 	// `error` CSV cell instead of aborting the sweep.
 	Fault *fault.Plan
@@ -88,6 +92,9 @@ type WeakPoint struct {
 	HaloAvg float64
 	// Diag is the wait-state diagnosis (nil with Diagnose off).
 	Diag *PointDiagnosis
+	// VerifyViolations is this point's runtime-verifier report (nil with
+	// Verify off).
+	VerifyViolations []verify.Violation
 	// Err is the run's root cause ("" when healthy); failed points keep zero
 	// metrics while the sweep completes.
 	Err string
@@ -97,6 +104,9 @@ type WeakPoint struct {
 type WeakResult struct {
 	Opts   WeakOptions
 	Points []WeakPoint
+	// Verify holds every runtime-verifier violation across the sweep's runs,
+	// canonically sorted (empty without Opts.Verify, and for a clean sweep).
+	Verify []verify.Violation
 }
 
 // RunWeakConvolution executes the sweep.
@@ -130,6 +140,7 @@ func RunWeakConvolution(o WeakOptions) (*WeakResult, error) {
 			Timeout: 10 * time.Minute,
 		}
 		applyFault(&cfg, o.Fault, o.Deadline)
+		ver := attachVerifier(&cfg, o.Verify)
 		var collector *trace.Collector
 		if o.Diagnose {
 			collector = newDiagCollector()
@@ -137,7 +148,7 @@ func RunWeakConvolution(o WeakOptions) (*WeakResult, error) {
 		}
 		if _, err := convolution.Run(cfg, params); err != nil {
 			// Degraded mode: record the root cause, let the sweep carry on.
-			return WeakPoint{P: p, Err: runErrCell(err)}, nil
+			return WeakPoint{P: p, Err: runErrCell(err), VerifyViolations: verifierViolations(ver)}, nil
 		}
 		profile, err := profiler.Result()
 		if err != nil {
@@ -152,11 +163,16 @@ func RunWeakConvolution(o WeakOptions) (*WeakResult, error) {
 			// diagnosis omits the Eq. 6 bound (seq = 0).
 			pt.Diag = diagnoseEvents(collector.Buffer().Events(), 0)
 		}
+		pt.VerifyViolations = verifierViolations(ver)
 		return pt, nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	for i := range points {
+		res.Verify = append(res.Verify, points[i].VerifyViolations...)
+	}
+	verify.SortViolations(res.Verify)
 	base := points[0].Wall // Ps[0] == 1, validated above
 	for i := range points {
 		// Efficiency needs both the baseline and this point to have survived;

@@ -1,0 +1,43 @@
+package export
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteVerifyPrometheus(t *testing.T) {
+	var b strings.Builder
+	if err := WriteVerifyPrometheus(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	clean := b.String()
+	if !strings.Contains(clean, "# TYPE section_verify_violations_total counter") ||
+		!strings.Contains(clean, `section_verify_violations_total{class="any"} 0`) {
+		t.Errorf("clean exposition missing the explicit zero:\n%s", clean)
+	}
+
+	b.Reset()
+	counts := map[string]uint64{
+		"section-mismatch":    2,
+		"section-unclosed":    1,
+		"collective-order\"x": 1, // exercises label escaping
+	}
+	if err := WriteVerifyPrometheus(&b, counts); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	for _, needle := range []string{
+		`section_verify_violations_total{class="any"} 4`,
+		`section_verify_violations_total{class="section-mismatch"} 2`,
+		`section_verify_violations_total{class="section-unclosed"} 1`,
+		`section_verify_violations_total{class="collective-order\"x"} 1`,
+	} {
+		if !strings.Contains(got, needle) {
+			t.Errorf("exposition missing %q:\n%s", needle, got)
+		}
+	}
+	// Classes render in sorted order for stable diffs.
+	if strings.Index(got, "section-mismatch") > strings.Index(got, "section-unclosed") {
+		t.Errorf("classes not sorted:\n%s", got)
+	}
+}

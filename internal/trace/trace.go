@@ -38,6 +38,10 @@ const (
 	// and the moment the operation started blocking in PostT (so T-PostT
 	// is the time lost waiting on the dead rank).
 	KindDeadPeer
+	// KindVerify is a runtime-verifier violation (internal/verify): the
+	// violation class and detail ride in Label ("class: detail"), and the
+	// offending rank in Rank.
+	KindVerify
 )
 
 var kindNames = map[Kind]string{
@@ -51,6 +55,7 @@ var kindNames = map[Kind]string{
 	KindCollectiveEnd: "collective-end",
 	KindFault:         "fault",
 	KindDeadPeer:      "dead-peer",
+	KindVerify:        "verify",
 }
 
 func (k Kind) String() string {
@@ -157,17 +162,44 @@ func (b *Buffer) Events() []Event {
 
 // SortEvents sorts events in the canonical replay order every consumer in
 // this repository uses: time, then rank, then kind (section leaves before
-// same-timestamp enters so interval replays stay well nested). Offline
-// analyses (internal/waitstate) normalize their input with it.
+// same-timestamp enters so interval replays stay well nested). For boundary
+// events the sort stays stable beyond that — two nested section enters can
+// share a timestamp and their recording order (outer before inner) IS the
+// nesting information, so no payload field may reorder them. KindVerify
+// events carry no such ordering and several can share (t, rank, kind) when
+// one operation trips multiple checks, so for those the payload columns
+// (comm, label, peer, bytes, tag) break the tie: verifier violations land
+// in the same order regardless of -j worker count or buffer arrival
+// interleaving. Offline analyses (internal/waitstate) normalize their
+// input with it.
 func SortEvents(events []Event) {
 	sort.SliceStable(events, func(i, j int) bool {
-		if events[i].T != events[j].T {
-			return events[i].T < events[j].T
+		a, b := &events[i], &events[j]
+		if a.T != b.T {
+			return a.T < b.T
 		}
-		if events[i].Rank != events[j].Rank {
-			return events[i].Rank < events[j].Rank
+		if a.Rank != b.Rank {
+			return a.Rank < b.Rank
 		}
-		return kindOrder(events[i].Kind) < kindOrder(events[j].Kind)
+		if ka, kb := kindOrder(a.Kind), kindOrder(b.Kind); ka != kb {
+			return ka < kb
+		}
+		if a.Kind != KindVerify {
+			return false // stable: keep recording order
+		}
+		if a.Comm != b.Comm {
+			return a.Comm < b.Comm
+		}
+		if a.Label != b.Label {
+			return a.Label < b.Label
+		}
+		if a.Peer != b.Peer {
+			return a.Peer < b.Peer
+		}
+		if a.Bytes != b.Bytes {
+			return a.Bytes < b.Bytes
+		}
+		return a.Tag < b.Tag
 	})
 }
 

@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"encoding/json"
+	"math/rand"
 	"reflect"
 	"strings"
 	"testing"
@@ -44,6 +45,51 @@ func TestBufferOrderingAndCopy(t *testing.T) {
 	ev[0].T = 99 // must not corrupt the buffer
 	if b.Events()[0].T == 99 {
 		t.Error("Events returned aliased storage")
+	}
+}
+
+// TestSortEventsTotalOrder: verifier events from a -j run share T, Rank,
+// and Kind, so the sort must fall back to the payload fields to stay
+// deterministic regardless of arrival order.
+func TestSortEventsTotalOrder(t *testing.T) {
+	base := []Event{
+		{T: 1, Rank: 0, Kind: KindVerify, Comm: 1, Label: "section-mismatch: a"},
+		{T: 1, Rank: 0, Kind: KindVerify, Comm: 1, Label: "section-mismatch: b"},
+		{T: 1, Rank: 0, Kind: KindVerify, Comm: 2, Label: "section-mismatch: a"},
+		{T: 1, Rank: 0, Kind: KindVerify, Comm: 1, Label: "collective-order-divergence: x"},
+		{T: 1, Rank: 0, Kind: KindVerify, Comm: 1, Label: "section-mismatch: a", Peer: 1},
+		{T: 1, Rank: 0, Kind: KindVerify, Comm: 1, Label: "section-mismatch: a", Peer: 1, Tag: 1},
+		{T: 1, Rank: 0, Kind: KindVerify, Comm: 1, Label: "section-mismatch: a", Peer: 1, Bytes: 8},
+		{T: 1, Rank: 0, Kind: KindVerify, Comm: 3, Label: "section-unclosed: y"},
+	}
+	want := append([]Event(nil), base...)
+	SortEvents(want)
+	for seed := int64(0); seed < 20; seed++ {
+		got := append([]Event(nil), base...)
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(got), func(i, j int) { got[i], got[j] = got[j], got[i] })
+		SortEvents(got)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: sort order not deterministic:\n got %+v\nwant %+v", seed, got, want)
+		}
+	}
+}
+
+// TestSortEventsKeepsNestingOrder pins the boundary-event contract the
+// verifier tie-break must not disturb: nested section enters recorded at
+// the same timestamp keep their arrival order (outer before inner), even
+// when a payload sort would swap them alphabetically.
+func TestSortEventsKeepsNestingOrder(t *testing.T) {
+	events := []Event{
+		{T: 0, Rank: 0, Kind: KindSectionEnter, Label: "MPI_MAIN"},
+		{T: 0, Rank: 0, Kind: KindSectionEnter, Label: "LOAD"}, // sorts before MPI_MAIN by label
+		{T: 1, Rank: 0, Kind: KindSectionLeave, Label: "LOAD"},
+		{T: 1, Rank: 0, Kind: KindSectionLeave, Label: "MPI_MAIN"},
+	}
+	want := append([]Event(nil), events...)
+	SortEvents(events)
+	if !reflect.DeepEqual(events, want) {
+		t.Fatalf("sort reordered same-timestamp nested boundaries:\n got %+v\nwant %+v", events, want)
 	}
 }
 
