@@ -1,4 +1,5 @@
 // Command benchsweep times the EXPERIMENTS.md regeneration targets E1–E9
+// plus the POP-enabled sweep-CSV target E11
 // and writes BENCH_sweep.json — the repository's perf trajectory. Each
 // entry records the wall-clock time, heap allocation count/bytes and the
 // process peak RSS after regenerating one figure exactly the way the bench
@@ -18,6 +19,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"runtime"
@@ -184,6 +186,13 @@ func main() {
 			}
 			_ = a.Render()
 			return nil
+		}},
+		{"E11", "POP-enabled convolution sweep CSV (diag_* + pop_* columns)", func() error {
+			res, err := experiments.RunConvolution(convOpts)
+			if err != nil {
+				return err
+			}
+			return res.WriteCSV(io.Discard)
 		}},
 	}
 

@@ -17,6 +17,13 @@
 //
 //	secanalyze -waitstate trace.csv [-seq 5589.84]
 //
+// or compute the POP efficiency tree (load balance, transfer and
+// serialisation efficiencies, plus the hybrid MPI+OpenMP split when the
+// trace carries thread-team regions) joined with the Eq. 6 binding
+// verdict, optionally time-resolved and exported as CSV:
+//
+//	secanalyze -pop trace.csv [-seq 5589.84] [-intervals 8] [-csv eff.csv]
+//
 // or audit a recorded trace against the section and collective contracts
 // the runtime verifier checks live (internal/verify), exiting nonzero when
 // the trace violates them:
@@ -40,6 +47,7 @@ import (
 
 	"repro/internal/balance"
 	"repro/internal/core"
+	"repro/internal/pop"
 	"repro/internal/prof"
 	"repro/internal/trace"
 	"repro/internal/verify"
@@ -54,6 +62,9 @@ func main() {
 	perRankPath := flag.String("perrank", "", "per-rank profile CSV (from prof.Profile.WritePerRankCSV): load-balance analysis")
 	tracePath := flag.String("trace", "", "trace CSV (from trace.Buffer.WriteCSV)")
 	waitPath := flag.String("waitstate", "", "trace CSV with message events: wait-state and critical-path analysis (optional -seq adds Eq. 6 bounds)")
+	popPath := flag.String("pop", "", "trace CSV with message events: POP efficiency tree joined with the Eq. 6 binding (optional -seq, -intervals, -csv)")
+	intervals := flag.Int("intervals", 8, "time-resolved interval count for -pop (0 disables)")
+	popCSV := flag.String("csv", "", "with -pop: also write the per-section efficiency CSV to this file")
 	verifyPath := flag.String("verify", "", "trace CSV: replay the runtime verifier's section/collective checks offline; exits nonzero on violations")
 	width := flag.Int("width", 100, "timeline width in columns")
 	focus := flag.String("focus", "", "comma-separated section labels for the timeline")
@@ -77,6 +88,9 @@ func main() {
 	case *waitPath != "":
 		run = func(w io.Writer) error { return analyzeWaitstate(w, *waitPath, *seq) }
 		name = "waitstate.txt"
+	case *popPath != "":
+		run = func(w io.Writer) error { return analyzePop(w, *popPath, *seq, *intervals, *popCSV) }
+		name = "pop.txt"
 	case *verifyPath != "":
 		run = func(w io.Writer) error { return verifyTrace(w, *verifyPath) }
 		name = "verify.txt"
@@ -240,6 +254,41 @@ func analyzeWaitstate(w io.Writer, path string, seq float64) error {
 	}
 	_, err = io.WriteString(w, a.Render())
 	return err
+}
+
+// analyzePop replays a recorded trace through the POP efficiency engine
+// and prints the factor tree with the binding diagnosis; csvPath != ""
+// additionally writes the per-section efficiency CSV. Malformed traces
+// (unreadable header, empty stream) surface as errors — the command exits
+// nonzero — while a corrupt tail degrades to the intact prefix like
+// -waitstate.
+func analyzePop(w io.Writer, path string, seq float64, intervals int, csvPath string) error {
+	events, err := readTrace(path)
+	if err != nil {
+		return err
+	}
+	t, err := pop.Analyze(events, pop.Options{SeqTime: seq, Intervals: intervals})
+	if err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, t.Render()); err != nil {
+		return err
+	}
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		if err := t.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("efficiency CSV written to %s\n", csvPath)
+	}
+	return nil
 }
 
 // verifyTrace replays a recorded trace through the offline twin of the

@@ -108,3 +108,48 @@ func TestReadTraceToleratesCorruptTail(t *testing.T) {
 		t.Errorf("truncated timeline lost intact sections:\n%s", out.String())
 	}
 }
+
+// TestAnalyzePop drives the -pop mode end to end: the report carries the
+// binding diagnosis, -csv writes the per-section efficiency table, a
+// malformed file errors (main exits nonzero), and a corrupt tail degrades
+// to the intact prefix like -waitstate.
+func TestAnalyzePop(t *testing.T) {
+	path, csv := writeTraceFile(t)
+	csvOut := filepath.Join(t.TempDir(), "eff.csv")
+	var out bytes.Buffer
+	if err := analyzePop(&out, path, 10, 4, csvOut); err != nil {
+		t.Fatalf("analyzePop: %v", err)
+	}
+	for _, want := range []string{"POP efficiency tree: p=2", "binds at p=2:", "efficiency"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report lacks %q:\n%s", want, out.String())
+		}
+	}
+	eff, err := os.ReadFile(csvOut)
+	if err != nil {
+		t.Fatalf("efficiency CSV not written: %v", err)
+	}
+	if !strings.HasPrefix(string(eff), "section,p,") || !strings.Contains(string(eff), "CONVOLVE") {
+		t.Errorf("efficiency CSV malformed:\n%s", eff)
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.csv")
+	if err := os.WriteFile(bad, []byte("not,a,trace\n1,2,3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := analyzePop(&out, bad, 0, 0, ""); err == nil {
+		t.Fatal("analyzePop on a malformed trace succeeded, want error")
+	}
+
+	cut := bytes.LastIndexByte(bytes.TrimRight(csv, "\n"), '\n')
+	if err := os.WriteFile(path, csv[:cut+1+3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := analyzePop(&out, path, 0, 0, ""); err != nil {
+		t.Fatalf("analyzePop on a corrupt tail: %v", err)
+	}
+	if !strings.Contains(out.String(), "POP efficiency tree") {
+		t.Errorf("corrupt-tail report missing the tree:\n%s", out.String())
+	}
+}

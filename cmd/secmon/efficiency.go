@@ -1,0 +1,58 @@
+package main
+
+import (
+	"net/http"
+
+	"repro/internal/pop"
+)
+
+// /efficiency.json serves the POP multiplicative efficiency tree of the
+// current run (internal/pop): per-section and run-level Load Balance /
+// Transfer / Serialisation factors, the hybrid MPI+OpenMP split when the
+// run recorded thread-team regions, a short time-resolved series, and the
+// one-line diagnosis joining the Eq. 6 binding section with its dominant
+// factor. Like the wait-state endpoints it replays the recorded stream on
+// demand and works mid-run on the partial trace. Faulted runs report
+// degraded=true with every factor object null.
+
+// efficiencyIntervals is the fixed time-resolved grid the endpoint serves;
+// finer grids belong to the offline tool (secanalyze -pop -intervals N).
+const efficiencyIntervals = 8
+
+// efficiencyResponse is the /efficiency.json document.
+type efficiencyResponse struct {
+	Experiment string `json:"experiment"`
+	Running    bool   `json:"running"`
+	*pop.Tree
+}
+
+// popTree snapshots the current run's events and builds the efficiency
+// tree. The returned state is non-nil iff a run exists.
+func (s *server) popTree() (*runState, *pop.Tree, error) {
+	st := s.snapshot()
+	if st == nil || st.collector == nil {
+		return st, nil, nil
+	}
+	s.mu.Lock()
+	seq := st.seq
+	s.mu.Unlock()
+	t, err := pop.Analyze(st.collector.Buffer().Events(),
+		pop.Options{SeqTime: seq, Intervals: efficiencyIntervals})
+	return st, t, err
+}
+
+func (s *server) handleEfficiency(w http.ResponseWriter, req *http.Request) {
+	st, t, err := s.popTree()
+	if st == nil {
+		http.Error(w, "no run yet: GET /run?exp=conv&p=64 first", http.StatusNotFound)
+		return
+	}
+	if err != nil {
+		http.Error(w, "no events recorded yet: "+err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	s.mu.Lock()
+	resp := efficiencyResponse{Experiment: st.opts.Experiment, Running: st.running, Tree: t}
+	s.mu.Unlock()
+	writeJSON(w, resp)
+}

@@ -39,7 +39,7 @@ func TestEndpointsBeforeAnyRun(t *testing.T) {
 	if code != http.StatusOK || !strings.Contains(body, "secmon_up 1") {
 		t.Fatalf("metrics without a run: code %d body %q", code, body)
 	}
-	for _, path := range []string{"/sections", "/trace.json", "/spans.json", "/waitstate.json", "/critpath.json", "/verify.json"} {
+	for _, path := range []string{"/sections", "/trace.json", "/spans.json", "/waitstate.json", "/critpath.json", "/verify.json", "/efficiency.json"} {
 		if code, _ := get(t, h, path); code != http.StatusNotFound {
 			t.Fatalf("%s without a run: code %d, want 404", path, code)
 		}

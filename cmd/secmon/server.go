@@ -54,6 +54,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/spans.json", s.handleSpans)
 	mux.HandleFunc("/waitstate.json", s.handleWaitstate)
 	mux.HandleFunc("/critpath.json", s.handleCritpath)
+	mux.HandleFunc("/efficiency.json", s.handleEfficiency)
 	mux.HandleFunc("/faults.json", s.handleFaults)
 	mux.HandleFunc("/verify.json", s.handleVerify)
 	mux.HandleFunc("/run", s.handleRun)
@@ -88,6 +89,7 @@ func (s *server) handleIndex(w http.ResponseWriter, req *http.Request) {
 <li><a href="/spans.json">/spans.json</a> — OTLP-style span export</li>
 <li><a href="/waitstate.json">/waitstate.json</a> — wait-state diagnosis: why the binding section caps the speedup</li>
 <li><a href="/critpath.json">/critpath.json</a> — critical path through the happens-before graph</li>
+<li><a href="/efficiency.json">/efficiency.json</a> — POP efficiency tree: load-balance/transfer/serialisation factors joined with the Eq. 6 binding</li>
 <li><a href="/faults.json">/faults.json</a> — injected faults and failure consequences of the current run</li>
 <li><a href="/verify.json">/verify.json</a> — runtime verifier report (section nesting, enter counts, collective order)</li>
 <li><a href="/run?exp=conv&amp;p=64">/run?exp=conv&amp;p=64</a> — launch an experiment with the exporter attached
@@ -110,6 +112,14 @@ func (s *server) handleMetrics(w http.ResponseWriter, req *http.Request) {
 	}
 	if st.verifier != nil {
 		if err := export.WriteVerifyPrometheus(w, st.verifier.Counts()); err != nil {
+			logf("metrics write: %v", err)
+		}
+	}
+	// POP efficiency gauges: replay the recorded stream on demand, like the
+	// wait-state endpoints. An empty stream (scrape before the first event)
+	// simply omits the families.
+	if _, t, err := s.popTree(); err == nil && t != nil {
+		if err := export.WriteEfficiencyPrometheus(w, t); err != nil {
 			logf("metrics write: %v", err)
 		}
 	}

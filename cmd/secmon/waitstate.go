@@ -24,6 +24,9 @@ func newAnalysisCollector() *trace.Collector {
 	c := trace.NewCollector(collectorLimit)
 	c.Messages = true
 	c.Collectives = true
+	// Thread-team compute regions feed /efficiency.json's hybrid split;
+	// pure-MPI experiments record none, so the flag costs them nothing.
+	c.Omp = true
 	return c
 }
 

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/pop"
 	"repro/internal/trace"
 	"repro/internal/waitstate"
 )
@@ -13,7 +14,10 @@ import (
 // replays the event stream through internal/waitstate and reports the
 // binding section's diagnosis next to the measured numbers — so the CSVs
 // carry {diag_section, diag_cause, diag_wait_in, diag_wait_out,
-// diag_crit_share} per point.
+// diag_crit_share} per point, plus the pop_* block: the binding section's
+// POP efficiency factors (internal/pop) naming the root cause of the
+// bound. Faulted points leave the pop_* cells blank (degraded runs
+// withhold efficiencies).
 
 // diagEventLimit caps the per-run trace buffer. A paper-scale convolution
 // sweep point records a few million events; past the cap the collector
@@ -34,6 +38,9 @@ type PointDiagnosis struct {
 	WaitOut float64
 	// CritShare is the section's share of the critical path.
 	CritShare float64
+	// Eff is the binding section's POP efficiency record; its Factors are
+	// nil on a degraded (faulted) run, which renders as blank pop_* cells.
+	Eff *pop.SectionEfficiency
 }
 
 // newDiagCollector returns a trace collector recording everything the
@@ -43,6 +50,9 @@ func newDiagCollector() *trace.Collector {
 	c := trace.NewCollector(diagEventLimit)
 	c.Messages = true
 	c.Collectives = true
+	// Thread-team compute regions feed the POP hybrid split; pure-MPI
+	// sweeps record none, so the flag costs them nothing.
+	c.Omp = true
 	return c
 }
 
@@ -62,31 +72,61 @@ func diagnoseEvents(events []trace.Event, seq float64) *PointDiagnosis {
 	if b == nil {
 		return nil
 	}
-	return &PointDiagnosis{
+	d := &PointDiagnosis{
 		Section:   b.Section,
 		Cause:     b.DominantCause,
 		WaitIn:    b.WaitIn,
 		WaitOut:   b.WaitOut,
 		CritShare: b.CritShare,
 	}
+	tree := pop.FromAnalysis(a, pop.Options{})
+	d.Eff = tree.Section(b.Section)
+	return d
 }
 
-// diagHeader is the diagnosis column block shared by every sweep CSV.
+// diagHeader is the diagnosis column block shared by every sweep CSV: the
+// wait-state verdict plus the binding section's POP efficiency factors.
+// The trailing `error` column every sweep appends stays last.
 func diagHeader() []string {
-	return []string{"diag_section", "diag_cause", "diag_wait_in", "diag_wait_out", "diag_crit_share"}
+	return []string{
+		"diag_section", "diag_cause", "diag_wait_in", "diag_wait_out", "diag_crit_share",
+		"pop_parallel_eff", "pop_load_balance", "pop_comm_eff", "pop_transfer_eff",
+		"pop_serialisation_eff", "pop_thread_eff", "pop_omp_region_eff",
+		"pop_serial_region_eff", "pop_dominant_factor",
+	}
 }
+
+// popCellCount is the width of the pop_* sub-block in diagHeader.
+const popCellCount = 9
 
 // csvCells renders the diagnosis columns; a nil receiver (diagnosis off or
-// unavailable) yields empty cells so the column layout stays fixed.
+// unavailable) yields empty cells so the column layout stays fixed, and a
+// degraded point (nil Factors) blanks only the pop_* sub-block.
 func (d *PointDiagnosis) csvCells() []string {
+	cells := make([]string, 0, len(diagHeader()))
 	if d == nil {
-		return []string{"", "", "", "", ""}
+		return append(cells, make([]string, len(diagHeader()))...)
 	}
-	return []string{
+	cells = append(cells,
 		d.Section,
 		d.Cause,
 		fmt.Sprintf("%g", d.WaitIn),
 		fmt.Sprintf("%g", d.WaitOut),
 		fmt.Sprintf("%g", d.CritShare),
+	)
+	if d.Eff == nil || d.Eff.Factors == nil {
+		return append(cells, make([]string, popCellCount)...)
 	}
+	f := d.Eff.Factors
+	return append(cells,
+		fmt.Sprintf("%g", f.Parallel),
+		fmt.Sprintf("%g", f.LoadBalance),
+		fmt.Sprintf("%g", f.Comm),
+		fmt.Sprintf("%g", f.Transfer),
+		fmt.Sprintf("%g", f.Serialisation),
+		fmt.Sprintf("%g", f.Thread),
+		fmt.Sprintf("%g", f.OmpRegion),
+		fmt.Sprintf("%g", f.SerialRegion),
+		d.Eff.Dominant,
+	)
 }

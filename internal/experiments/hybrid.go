@@ -58,6 +58,7 @@ func PaperBroadwellOptions() HybridOptions {
 		Steps:    10,
 		MaxScale: 4,
 		Seed:     2017,
+		Diagnose: true,
 	}
 }
 
@@ -71,6 +72,7 @@ func PaperKNLOptions() HybridOptions {
 		Steps:    10,
 		MaxScale: 4,
 		Seed:     2017,
+		Diagnose: true,
 	}
 }
 

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// popColumn returns the index of name in header, or -1.
+func popColumn(header []string, name string) int {
+	for i, h := range header {
+		if h == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestConvSweepCarriesPopColumns: with Diagnose on, every healthy sweep
+// point's row must carry the binding section's POP factor block — values
+// that parse, live in [0,1] and satisfy parallel = load_balance × comm —
+// and the `error` column must stay last.
+func TestConvSweepCarriesPopColumns(t *testing.T) {
+	o := QuickConvOptions()
+	res, err := RunConvolution(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := rows[0]
+	if header[len(header)-1] != "error" {
+		t.Fatalf("last column is %q, want error", header[len(header)-1])
+	}
+	iPar := popColumn(header, "pop_parallel_eff")
+	iLB := popColumn(header, "pop_load_balance")
+	iComm := popColumn(header, "pop_comm_eff")
+	iDom := popColumn(header, "pop_dominant_factor")
+	if iPar < 0 || iLB < 0 || iComm < 0 || iDom < 0 {
+		t.Fatalf("pop_* columns missing from header: %v", header)
+	}
+	if len(rows) < 2 {
+		t.Fatal("sweep CSV has no data rows")
+	}
+	for _, row := range rows[1:] {
+		par, err := strconv.ParseFloat(row[iPar], 64)
+		if err != nil {
+			t.Fatalf("pop_parallel_eff %q does not parse: %v", row[iPar], err)
+		}
+		lb, err1 := strconv.ParseFloat(row[iLB], 64)
+		comm, err2 := strconv.ParseFloat(row[iComm], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("pop factor cells do not parse: %v", row)
+		}
+		if par < 0 || par > 1 || lb < 0 || lb > 1 || comm < 0 || comm > 1 {
+			t.Errorf("pop factors outside [0,1]: parallel %v lb %v comm %v", par, lb, comm)
+		}
+		if d := par - lb*comm; d > 1e-9 || d < -1e-9 {
+			t.Errorf("parallel %v != load_balance %v x comm %v", par, lb, comm)
+		}
+		if row[iDom] == "" {
+			t.Errorf("pop_dominant_factor empty on a healthy point: %v", row)
+		}
+	}
+}
+
+// TestFaultedPointBlanksPopCells: a point whose rep-0 run recorded faults
+// keeps its diag_* verdict but blanks the pop_* sub-block — degraded runs
+// withhold efficiencies rather than reporting garbage.
+func TestFaultedPointBlanksPopCells(t *testing.T) {
+	o := QuickConvOptions()
+	plan, err := fault.ParseSpec("delay:src=*,dst=*,prob=1,secs=1e-6", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Fault = plan
+	res, err := RunConvolution(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := rows[0]
+	iSec := popColumn(header, "diag_section")
+	iPar := popColumn(header, "pop_parallel_eff")
+	iDom := popColumn(header, "pop_dominant_factor")
+	var blanked int
+	for _, row := range rows[1:] {
+		if row[iSec] == "" {
+			continue // diagnosis unavailable for this point
+		}
+		if row[iPar] == "" && row[iDom] == "" {
+			blanked++
+		}
+	}
+	if blanked == 0 {
+		t.Fatalf("prob=1 delay plan produced no degraded pop_* rows:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,79 @@
+package export
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pop"
+)
+
+// effTree builds a small two-section tree with known factors.
+func effTree() *pop.Tree {
+	halo := pop.Factors{Parallel: 0.41, LoadBalance: 0.95, Comm: 0.43, Transfer: 0.45,
+		Serialisation: 0.96, Thread: 1, OmpRegion: 1, SerialRegion: 1, Total: 0.41}
+	conv := pop.Factors{Parallel: 0.9, LoadBalance: 0.9, Comm: 1, Transfer: 1,
+		Serialisation: 1, Thread: 0.65, OmpRegion: 0.8, SerialRegion: 0.8125, Total: 0.585}
+	t := &pop.Tree{
+		Ranks: 4, Threads: 2, Wall: 3.5,
+		Sections: []pop.SectionEfficiency{
+			{Section: `HALO"x`, P: 4, Factors: &halo, Dominant: "transfer"},
+			{Section: "CONVOLVE", P: 4, Factors: &conv, Dominant: "omp-region"},
+		},
+	}
+	t.Binding = &t.Sections[0]
+	return t
+}
+
+func TestWriteEfficiencyPrometheus(t *testing.T) {
+	var b strings.Builder
+	if err := WriteEfficiencyPrometheus(&b, effTree()); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	for _, needle := range []string{
+		"# TYPE section_efficiency_degraded gauge",
+		"section_efficiency_degraded 0",
+		"# TYPE section_efficiency_parallel gauge",
+		`section_efficiency_parallel{section="HALO\"x"} 0.41`, // label escaping
+		`section_efficiency_parallel{section="CONVOLVE"} 0.9`,
+		`section_efficiency_load_balance{section="CONVOLVE"} 0.9`,
+		`section_efficiency_transfer{section="HALO\"x"} 0.45`,
+		`section_efficiency_serialisation{section="HALO\"x"} 0.96`,
+		`section_efficiency_thread{section="CONVOLVE"} 0.65`,
+		`section_efficiency_omp_region{section="CONVOLVE"} 0.8`,
+		`section_efficiency_serial_region{section="CONVOLVE"} 0.8125`,
+		"# TYPE section_efficiency_binding gauge",
+		`section_efficiency_binding{section="HALO\"x",factor="transfer"} 0.45`,
+	} {
+		if !strings.Contains(got, needle) {
+			t.Errorf("exposition missing %q:\n%s", needle, got)
+		}
+	}
+}
+
+// TestWriteEfficiencyPrometheusDegraded: a faulted run keeps the family
+// headers and the degraded flag but withholds every per-section sample.
+func TestWriteEfficiencyPrometheusDegraded(t *testing.T) {
+	tree := effTree()
+	tree.Degraded = true
+	for i := range tree.Sections {
+		tree.Sections[i].Factors = nil
+	}
+	tree.Binding.Factors = nil
+	var b strings.Builder
+	if err := WriteEfficiencyPrometheus(&b, tree); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	if !strings.Contains(got, "section_efficiency_degraded 1") {
+		t.Errorf("degraded flag missing:\n%s", got)
+	}
+	if !strings.Contains(got, "# TYPE section_efficiency_parallel gauge") {
+		t.Errorf("family headers must survive degradation:\n%s", got)
+	}
+	for _, stray := range []string{"section=\"HALO", "section=\"CONVOLVE", "section_efficiency_binding{"} {
+		if strings.Contains(got, stray) {
+			t.Errorf("degraded exposition leaks samples (%q):\n%s", stray, got)
+		}
+	}
+}

@@ -130,6 +130,19 @@ func (c *Comm) ComputeParallel(w WorkUnit, team int) {
 	d := world.placement.ComputeTime(c.WorldRank(), w, team)
 	d += model.ForkJoinOverhead(team, world.placement.NodeThreads(c.WorldRank()))
 	d += model.NoiseSample(d, c.rs.rng)
+	if team > 1 && len(world.computeObs) > 0 {
+		start := c.rs.now()
+		c.rs.advance(d)
+		// The single-thread duration of the same work is what thread-level
+		// efficiency analyses compare against; it is computed only here so
+		// the team==1 fast path (every pure-MPI Compute call) pays nothing.
+		single := world.placement.ComputeTime(c.WorldRank(), w, 1)
+		end := c.rs.now()
+		for _, o := range world.computeObs {
+			o.ComputeRegion(c, team, start, end, single)
+		}
+		return
+	}
 	c.rs.advance(d)
 }
 

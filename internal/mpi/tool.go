@@ -65,6 +65,21 @@ type Tool interface {
 	CollectiveEnd(c *Comm, name string, t float64)
 }
 
+// ComputeObserver is the optional tool extension for modeled thread-team
+// compute regions (an attached tool implements it next to Tool, the same
+// discovery pattern as FaultObserver). The runtime invokes it from
+// Comm.ComputeParallel only for team sizes above one: single-threaded
+// Compute calls are the bulk of every workload and carry no thread-level
+// information, so the pure-MPI fast path stays hook-free. The callback
+// receives the region's [start, end] span on the rank's virtual clock, the
+// team size, and single — the modeled duration the same work would have
+// taken one thread — which together are exactly the inputs of the POP
+// MPI+OpenMP inefficiency split (internal/pop). Implementations must be
+// safe for concurrent use; regions arrive from every rank.
+type ComputeObserver interface {
+	ComputeRegion(c *Comm, team int, start, end, single float64)
+}
+
 // BaseTool is a no-op Tool; embed it and override the hooks you need,
 // the way PMPI symbols default to their no-op library versions.
 type BaseTool struct{}

@@ -113,6 +113,10 @@ type World struct {
 	faultMu  sync.Mutex
 	faults   []fault.Event
 	faultObs []FaultObserver
+	// computeObs are the attached tools that also implement ComputeObserver,
+	// collected once at Init so ComputeParallel's hook check is a cheap
+	// len() == 0 in the common (unobserved) case.
+	computeObs []ComputeObserver
 
 	// Deadlock detection (deadlock.go).
 	progress atomic.Uint64
@@ -228,6 +232,9 @@ func Run(cfg Config, fn func(*Comm) error) (*Report, error) {
 		tool.Init(info)
 		if fo, ok := tool.(FaultObserver); ok {
 			w.faultObs = append(w.faultObs, fo)
+		}
+		if co, ok := tool.(ComputeObserver); ok {
+			w.computeObs = append(w.computeObs, co)
 		}
 	}
 

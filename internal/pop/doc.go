@@ -1,0 +1,71 @@
+// Package pop computes the POP (Performance Optimisation and Productivity
+// Centre of Excellence) multiplicative efficiency tree from the replayable
+// trace stream, turning the Eq. 6 verdict "section X binds the speedup"
+// into a named root cause. It consumes the per-(section, rank) matrix the
+// wait-state engine already produces (waitstate.Analysis.RankSections) and
+// reports, per MPI section and for the whole run, the factor tree
+//
+//	ParallelEff = LoadBalance × CommEff
+//	CommEff     = TransferEff × SerialisationEff
+//	ThreadEff   = OmpRegionEff × SerialRegionEff   (hybrid MPI+OpenMP runs)
+//	TotalEff    = ParallelEff × ThreadEff
+//
+// with every factor in [0, 1] and each level's identity holding to within
+// floating-point rounding (the property tests pin 1e-9).
+//
+// # Factor definitions
+//
+// For one scope (a section, the whole run, or a time interval) let T_r be
+// rank r's total time in the scope, W_r its classified blocked-receive
+// (wait) time inside it, X_r the transfer-wait component of W_r, and
+// u_r = max(T_r − W_r, 0) the rank's useful (non-waiting) time. With
+// Tmax = max_r T_r over the p ranks:
+//
+//	LoadBalance      = mean_r(u_r) / max_r(u_r)
+//	CommEff          = max_r(u_r) / Tmax
+//	TransferEff      = Tideal / Tmax,   Tideal = max_r max(T_r − X_r, u_r)
+//	SerialisationEff = max_r(u_r) / Tideal
+//
+// Tideal is the scope's runtime on an ideal (zero-latency, infinite-
+// bandwidth) network, where only the dependency structure — late senders,
+// collective waits, dead-peer waits — still forces ranks to block: the
+// classical Scalasca/Dimemas-style split of communication inefficiency
+// into data movement (transfer) and dependency chains (serialisation).
+// Ranks that never enter the scope contribute u_r = 0 and show up as load
+// imbalance, matching POP semantics. A scope with Tmax = 0 scores a
+// neutral all-ones tree.
+//
+// # Hybrid MPI+OpenMP split
+//
+// Thread-team compute regions (trace.KindOmpRegion events, recorded by the
+// runtime's ComputeObserver hook) carry the region's elapsed time e_i, the
+// team size n_i, and the single-thread duration s_i of the same work. Per
+// rank, with P_r = Σ e_i clamped to u_r, busy_r = Σ n_i·e_i, work_r = Σ s_i,
+// serial_r = u_r − P_r, and N_r the largest team observed:
+//
+//	OmpRegionEff    = Σ_r(work_r + serial_r) / Σ_r(busy_r + serial_r)
+//	SerialRegionEff = Σ_r(busy_r + serial_r) / Σ_r(N_r · u_r)
+//
+// OmpRegionEff measures how much of the thread time spent inside parallel
+// regions was useful single-thread-equivalent work (fork/join overhead and
+// imperfect loop speedup erode it); SerialRegionEff measures the capacity
+// lost to threads idling while the master executes serial code. Their
+// product, ThreadEff = Σ(work + serial) / Σ(N·u), is the useful fraction
+// of the rank's total thread capacity. A pure-MPI scope (no region events)
+// has N_r = 1 and P_r = 0, so the thread level is identically 1.
+//
+// # Join with the Eq. 6 bound
+//
+// Tree.Binding is the efficiency record of waitstate.Binding()'s section —
+// the Eq. 6 bound holder — and Tree.Diagnosis is its one-line verdict
+// naming the lowest (dominant) leaf factor, e.g.
+//
+//	HALO binds at p=64: transfer efficiency 0.41 (Eq. 6 bound 9.3×)
+//
+// # Degraded runs
+//
+// A trace carrying injected faults or dead-peer waits describes a faulty
+// execution, not the healthy baseline: the tree keeps its timing inputs
+// but withholds every factor (Factors pointers are nil, JSON null), the
+// same convention the sweep CSVs use for their blank degraded cells.
+package pop

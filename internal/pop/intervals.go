@@ -1,0 +1,129 @@
+package pop
+
+import "repro/internal/trace"
+
+// timeResolved slices the run's wall time into n equal intervals and
+// evaluates the run-level factor tree over each — Haldar-style
+// time-resolved metrics computed directly from the raw event stream. Per
+// interval and rank, the active time is the overlap with the rank's
+// [first event, last event] span; classified wait spans (receive post →
+// completion, split at post + late-sender time into the serialisation and
+// transfer sides) subtract from the useful time; thread-team regions
+// prorate their aggregates by overlap. Accumulation is order-independent,
+// so the input need not be sorted. Degraded runs keep the interval grid
+// but withhold the factors.
+func timeResolved(events []trace.Event, p int, wall float64, n int, degraded bool) []Interval {
+	if n <= 0 || wall <= 0 || p <= 0 {
+		return nil
+	}
+	width := wall / float64(n)
+	type span struct{ first, last float64 }
+	ranks := map[int]*span{}
+	for _, e := range events {
+		s := ranks[e.Rank]
+		if s == nil {
+			ranks[e.Rank] = &span{e.T, e.T}
+			continue
+		}
+		if e.T < s.first {
+			s.first = e.T
+		}
+		if e.T > s.last {
+			s.last = e.T
+		}
+	}
+	idx := map[int]int{}
+	for r := range ranks {
+		idx[r] = len(idx)
+	}
+	rows := make([][]rankTotals, n)
+	for i := range rows {
+		rows[i] = make([]rankTotals, len(idx))
+	}
+	// add distributes [from, to] across the interval grid for one rank.
+	add := func(ri int, from, to float64, f func(rt *rankTotals, d float64)) {
+		if to <= from {
+			return
+		}
+		i0, i1 := int(from/width), int(to/width)
+		if i0 < 0 {
+			i0 = 0
+		}
+		if i1 >= n {
+			i1 = n - 1
+		}
+		for i := i0; i <= i1; i++ {
+			lo, hi := float64(i)*width, float64(i+1)*width
+			if from > lo {
+				lo = from
+			}
+			if to < hi {
+				hi = to
+			}
+			if hi > lo {
+				f(&rows[i][ri], hi-lo)
+			}
+		}
+	}
+	for r, s := range ranks {
+		add(idx[r], s.first, s.last, func(rt *rankTotals, d float64) {
+			rt.T += d
+			rt.useful += d
+		})
+	}
+	for _, e := range events {
+		ri, ok := idx[e.Rank]
+		if !ok {
+			continue
+		}
+		switch e.Kind {
+		case trace.KindRecv:
+			if e.T <= e.PostT {
+				continue
+			}
+			add(ri, e.PostT, e.T, func(rt *rankTotals, d float64) { rt.useful -= d })
+			if e.Tag < 0 {
+				continue // collective wait: all serialisation-side
+			}
+			late := e.SendT - e.PostT
+			if late < 0 {
+				late = 0
+			}
+			if late > e.T-e.PostT {
+				late = e.T - e.PostT
+			}
+			add(ri, e.PostT+late, e.T, func(rt *rankTotals, d float64) { rt.transfer += d })
+		case trace.KindDeadPeer:
+			if e.T > e.PostT {
+				add(ri, e.PostT, e.T, func(rt *rankTotals, d float64) { rt.useful -= d })
+			}
+		case trace.KindOmpRegion:
+			elapsed := e.T - e.PostT
+			if elapsed <= 0 {
+				continue
+			}
+			team, single := float64(e.Bytes), e.ArrT
+			add(ri, e.PostT, e.T, func(rt *rankTotals, d float64) {
+				rt.ompElapsed += d
+				rt.ompBusy += team * d
+				rt.ompSingle += single * d / elapsed
+				if e.Bytes > rt.maxTeam {
+					rt.maxTeam = e.Bytes
+				}
+			})
+		}
+	}
+	out := make([]Interval, n)
+	for i := range out {
+		iv := Interval{From: float64(i) * width, To: float64(i+1) * width}
+		if i == n-1 {
+			iv.To = wall
+		}
+		if !degraded {
+			f, _, _, _, _ := computeFactors(rows[i], p)
+			iv.Factors = &f
+		}
+		out[i] = iv
+	}
+	return out
+}

@@ -1,0 +1,347 @@
+package pop
+
+import (
+	"math"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// Ground-truth traces: two-rank streams built by hand so every POP factor
+// is analytically known, exercising each leaf of the tree in isolation.
+// All use one section "W" per rank; waitstate attributes waits to the
+// section open at the receive's post time.
+
+const eps = 1e-9
+
+func approx(a, b float64) bool { return math.Abs(a-b) <= eps }
+
+// section wraps inner events in a W span on one rank.
+func section(rank int, t0, t1 float64, inner ...trace.Event) []trace.Event {
+	evs := []trace.Event{{T: t0, Rank: rank, Kind: trace.KindSectionEnter, Comm: 1, Label: "W"}}
+	evs = append(evs, inner...)
+	return append(evs, trace.Event{T: t1, Rank: rank, Kind: trace.KindSectionLeave, Comm: 1, Label: "W"})
+}
+
+// imbalanceTrace: rank 0 computes for 10 s, rank 1 for 5 s, no messages.
+// u = {10, 5}: LoadBalance = 7.5/10 = 0.75, Comm = 1, Parallel = 0.75.
+func imbalanceTrace() []trace.Event {
+	return append(section(0, 0, 10), section(1, 0, 5)...)
+}
+
+// transferTrace: both ranks compute 5 s, then block 5 s on a receive whose
+// sender posted on time (SendT = PostT) — pure transfer wait. u = {5, 5},
+// Tmax = 10, Tideal = 5: LB = 1, Transfer = 0.5, Serialisation = 1.
+func transferTrace() []trace.Event {
+	var evs []trace.Event
+	for r := 0; r < 2; r++ {
+		peer := 1 - r
+		evs = append(evs, section(r, 0, 10,
+			trace.Event{T: 5, Rank: r, Kind: trace.KindSend, Comm: 1, Peer: peer, Tag: 1, Bytes: 8},
+			trace.Event{T: 10, Rank: r, Kind: trace.KindRecv, Comm: 1, Peer: peer, Tag: 1, Bytes: 8,
+				SendT: 5, PostT: 5, ArrT: 10},
+		)...)
+	}
+	return evs
+}
+
+// serialTrace: a dependency chain. Rank 0 computes [0,4], sends, then waits
+// [4,8] for rank 1's reply (sent at 8 — pure late-sender). Rank 1 computes
+// [0,1], waits [1,4] for rank 0's message (sent at 4 — late-sender),
+// computes [4,8], sends. u = {4, 5}: LB = 4.5/5 = 0.9, Comm = 5/8 = 0.625,
+// Transfer = 1 (no transfer wait), Serialisation = 0.625.
+func serialTrace() []trace.Event {
+	evs := section(0, 0, 8,
+		trace.Event{T: 4, Rank: 0, Kind: trace.KindSend, Comm: 1, Peer: 1, Tag: 1, Bytes: 8},
+		trace.Event{T: 8, Rank: 0, Kind: trace.KindRecv, Comm: 1, Peer: 1, Tag: 2, Bytes: 8,
+			SendT: 8, PostT: 4, ArrT: 8},
+	)
+	return append(evs, section(1, 0, 8,
+		trace.Event{T: 4, Rank: 1, Kind: trace.KindRecv, Comm: 1, Peer: 0, Tag: 1, Bytes: 8,
+			SendT: 4, PostT: 1, ArrT: 4},
+		trace.Event{T: 8, Rank: 1, Kind: trace.KindSend, Comm: 1, Peer: 0, Tag: 2, Bytes: 8},
+	)...)
+}
+
+// hybridTrace: one rank, 10 s section, one 4-thread region spanning [0,8]
+// whose single-thread time is 24 s. Serial part S = 2, busy = 4×8+2 = 34,
+// useful = 24+2 = 26, capacity = 4×10 = 40: OmpRegion = 26/34,
+// SerialRegion = 34/40 = 0.85, Thread = 26/40 = 0.65.
+func hybridTrace() []trace.Event {
+	return section(0, 0, 10,
+		trace.Event{T: 8, Rank: 0, Kind: trace.KindOmpRegion, Comm: 1, Bytes: 4, PostT: 0, ArrT: 24},
+	)
+}
+
+// checkIdentities asserts the multiplicative structure and [0,1] range of
+// one scope's factors — the satellite property: ParallelEff = LoadBalance ×
+// CommEff within 1e-9, and every factor a true efficiency.
+func checkIdentities(t *testing.T, scope string, f *Factors) {
+	t.Helper()
+	if f == nil {
+		return
+	}
+	for name, v := range map[string]float64{
+		"parallel": f.Parallel, "load_balance": f.LoadBalance, "communication": f.Comm,
+		"transfer": f.Transfer, "serialisation": f.Serialisation, "thread": f.Thread,
+		"omp_region": f.OmpRegion, "serial_region": f.SerialRegion, "total": f.Total,
+	} {
+		if math.IsNaN(v) || v < 0 || v > 1 {
+			t.Errorf("%s: %s = %v, want within [0,1]", scope, name, v)
+		}
+	}
+	if !approx(f.Parallel, f.LoadBalance*f.Comm) {
+		t.Errorf("%s: parallel %v != load_balance %v x comm %v", scope, f.Parallel, f.LoadBalance, f.Comm)
+	}
+	if !approx(f.Comm, f.Transfer*f.Serialisation) {
+		t.Errorf("%s: comm %v != transfer %v x serialisation %v", scope, f.Comm, f.Transfer, f.Serialisation)
+	}
+	if !approx(f.Thread, f.OmpRegion*f.SerialRegion) {
+		t.Errorf("%s: thread %v != omp_region %v x serial_region %v", scope, f.Thread, f.OmpRegion, f.SerialRegion)
+	}
+	if !approx(f.Total, f.Parallel*f.Thread) {
+		t.Errorf("%s: total %v != parallel %v x thread %v", scope, f.Total, f.Parallel, f.Thread)
+	}
+}
+
+// checkTree runs the identity checks over every scope of a tree.
+func checkTree(t *testing.T, tree *Tree) {
+	t.Helper()
+	if tree.Global != nil {
+		checkIdentities(t, "(run)", tree.Global.Factors)
+	}
+	for i := range tree.Sections {
+		checkIdentities(t, tree.Sections[i].Section, tree.Sections[i].Factors)
+	}
+	for _, iv := range tree.Intervals {
+		checkIdentities(t, "interval", iv.Factors)
+	}
+}
+
+func analyzeT(t *testing.T, evs []trace.Event, opts Options) *Tree {
+	t.Helper()
+	tree, err := Analyze(evs, opts)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	checkTree(t, tree)
+	return tree
+}
+
+func TestLoadImbalanceGroundTruth(t *testing.T) {
+	tree := analyzeT(t, imbalanceTrace(), Options{})
+	f := tree.Section("W").Factors
+	if f == nil {
+		t.Fatal("section W: nil factors on a clean run")
+	}
+	if !approx(f.LoadBalance, 0.75) || !approx(f.Comm, 1) || !approx(f.Parallel, 0.75) {
+		t.Errorf("imbalance: LB %v Comm %v Parallel %v, want 0.75 / 1 / 0.75", f.LoadBalance, f.Comm, f.Parallel)
+	}
+	if tree.Section("W").Dominant != "load-balance" {
+		t.Errorf("dominant = %q, want load-balance", tree.Section("W").Dominant)
+	}
+	if want := "W binds at p=2: load-balance efficiency 0.75"; tree.Diagnosis != want {
+		t.Errorf("diagnosis = %q, want %q", tree.Diagnosis, want)
+	}
+}
+
+func TestTransferGroundTruth(t *testing.T) {
+	tree := analyzeT(t, transferTrace(), Options{})
+	se := tree.Section("W")
+	f := se.Factors
+	if !approx(f.LoadBalance, 1) || !approx(f.Transfer, 0.5) || !approx(f.Serialisation, 1) ||
+		!approx(f.Comm, 0.5) || !approx(f.Parallel, 0.5) {
+		t.Errorf("transfer: got %+v, want LB 1, Transfer 0.5, Ser 1, Comm 0.5, Parallel 0.5", *f)
+	}
+	if se.Dominant != "transfer" {
+		t.Errorf("dominant = %q, want transfer", se.Dominant)
+	}
+	if !approx(se.TMax, 10) || !approx(se.TIdeal, 5) || !approx(se.UsefulMax, 5) {
+		t.Errorf("timings: Tmax %v Tideal %v Umax %v, want 10 / 5 / 5", se.TMax, se.TIdeal, se.UsefulMax)
+	}
+}
+
+func TestSerialisationGroundTruth(t *testing.T) {
+	tree := analyzeT(t, serialTrace(), Options{})
+	se := tree.Section("W")
+	f := se.Factors
+	if !approx(f.LoadBalance, 0.9) || !approx(f.Transfer, 1) || !approx(f.Serialisation, 0.625) ||
+		!approx(f.Comm, 0.625) || !approx(f.Parallel, 0.5625) {
+		t.Errorf("serialisation: got %+v, want LB 0.9, Transfer 1, Ser 0.625, Comm 0.625, Parallel 0.5625", *f)
+	}
+	if se.Dominant != "serialisation" {
+		t.Errorf("dominant = %q, want serialisation", se.Dominant)
+	}
+	if !strings.Contains(tree.Diagnosis, "W binds at p=2: serialisation efficiency 0.62") {
+		t.Errorf("diagnosis = %q", tree.Diagnosis)
+	}
+}
+
+func TestHybridGroundTruth(t *testing.T) {
+	tree := analyzeT(t, hybridTrace(), Options{})
+	if tree.Threads != 4 {
+		t.Errorf("Threads = %d, want 4", tree.Threads)
+	}
+	f := tree.Section("W").Factors
+	if !approx(f.OmpRegion, 26.0/34.0) || !approx(f.SerialRegion, 0.85) || !approx(f.Thread, 0.65) {
+		t.Errorf("hybrid: OmpRegion %v SerialRegion %v Thread %v, want %v / 0.85 / 0.65",
+			f.OmpRegion, f.SerialRegion, f.Thread, 26.0/34.0)
+	}
+	if !approx(f.Parallel, 1) || !approx(f.Total, 0.65) {
+		t.Errorf("hybrid: Parallel %v Total %v, want 1 / 0.65", f.Parallel, f.Total)
+	}
+	if d := tree.Section("W").Dominant; d != "serial-region" && d != "omp-region" {
+		t.Errorf("dominant = %q, want a thread leaf", d)
+	}
+}
+
+func TestSeqTimeAddsBound(t *testing.T) {
+	tree := analyzeT(t, transferTrace(), Options{SeqTime: 40})
+	se := tree.Section("W")
+	// Eq. 6: B = T_seq / avg-per-proc = 40 / 10 = 4.
+	if !approx(se.Bound, 4) {
+		t.Errorf("bound = %v, want 4", se.Bound)
+	}
+	if !strings.Contains(tree.Diagnosis, "Eq. 6 bound") {
+		t.Errorf("diagnosis %q lacks the Eq. 6 join", tree.Diagnosis)
+	}
+}
+
+// TestIntervalsGroundTruth splits the transfer trace in two: the first half
+// is pure compute (parallel 1), the second pure transfer wait (parallel 0).
+func TestIntervalsGroundTruth(t *testing.T) {
+	tree := analyzeT(t, transferTrace(), Options{Intervals: 2})
+	if len(tree.Intervals) != 2 {
+		t.Fatalf("got %d intervals, want 2", len(tree.Intervals))
+	}
+	i0, i1 := tree.Intervals[0], tree.Intervals[1]
+	if !approx(i0.From, 0) || !approx(i0.To, 5) || !approx(i1.From, 5) || !approx(i1.To, 10) {
+		t.Errorf("interval bounds: [%v,%v] [%v,%v], want [0,5] [5,10]", i0.From, i0.To, i1.From, i1.To)
+	}
+	if f := i0.Factors; !approx(f.Parallel, 1) {
+		t.Errorf("interval 0 parallel = %v, want 1", f.Parallel)
+	}
+	if f := i1.Factors; !approx(f.Parallel, 0) || !approx(f.Transfer, 0) {
+		t.Errorf("interval 1 parallel %v transfer %v, want 0 / 0", f.Parallel, f.Transfer)
+	}
+}
+
+// TestDegradedRunWithholdsFactors: a fault event must null every factor
+// object and switch the diagnosis to the degraded verdict.
+func TestDegradedRunWithholdsFactors(t *testing.T) {
+	evs := append(transferTrace(),
+		trace.Event{T: 1, Rank: 0, Kind: trace.KindFault, Comm: 1, Label: "delay"})
+	tree := analyzeT(t, evs, Options{Intervals: 2})
+	if !tree.Degraded || tree.Faults != 1 {
+		t.Fatalf("Degraded %v Faults %d, want true / 1", tree.Degraded, tree.Faults)
+	}
+	if tree.Global.Factors != nil {
+		t.Error("global factors present on a degraded run")
+	}
+	for _, se := range tree.Sections {
+		if se.Factors != nil {
+			t.Errorf("section %s: factors present on a degraded run", se.Section)
+		}
+	}
+	for _, iv := range tree.Intervals {
+		if iv.Factors != nil {
+			t.Error("interval factors present on a degraded run")
+		}
+	}
+	if !strings.Contains(tree.Diagnosis, "degraded run") || !strings.Contains(tree.Diagnosis, "efficiencies withheld") {
+		t.Errorf("diagnosis = %q, want the degraded verdict", tree.Diagnosis)
+	}
+}
+
+func TestEmptyStreamIsAnError(t *testing.T) {
+	if _, err := Analyze(nil, Options{}); err == nil {
+		t.Fatal("Analyze(nil) succeeded, want error")
+	}
+}
+
+// TestSmokeTraceProperties replays the committed recorded trace — a real
+// 4-rank convolution run — and checks the identities on every scope plus
+// the binding join.
+func TestSmokeTraceProperties(t *testing.T) {
+	f, err := os.Open("../waitstate/testdata/smoke_trace.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	evs, err := trace.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := analyzeT(t, evs, Options{SeqTime: 10, Intervals: 8})
+	if tree.Binding == nil || tree.Binding.Factors == nil {
+		t.Fatal("recorded run: no binding section record")
+	}
+	if !strings.Contains(tree.Diagnosis, "binds at p=4:") {
+		t.Errorf("diagnosis = %q, want the binding join", tree.Diagnosis)
+	}
+	if len(tree.Intervals) != 8 {
+		t.Errorf("got %d intervals, want 8", len(tree.Intervals))
+	}
+	if tree.Global.Factors.Parallel <= 0 || tree.Global.Factors.Parallel >= 1 {
+		t.Errorf("run-level parallel efficiency %v, want within (0,1) on a real run", tree.Global.Factors.Parallel)
+	}
+}
+
+func TestRenderAndCSV(t *testing.T) {
+	tree := analyzeT(t, serialTrace(), Options{SeqTime: 32, Intervals: 2})
+	out := tree.Render()
+	for _, want := range []string{
+		"POP efficiency tree: p=2",
+		"diagnosis: W binds at p=2: serialisation efficiency 0.62",
+		"run: parallel",
+		"time-resolved",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render() lacks %q:\n%s", want, out)
+		}
+	}
+	var sb strings.Builder
+	if err := tree.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	csv := sb.String()
+	if !strings.HasPrefix(csv, "section,p,t_max,") {
+		t.Errorf("CSV header wrong:\n%s", csv)
+	}
+	for _, want := range []string{"(run),2,", "W,2,", "serialisation"} {
+		if !strings.Contains(csv, want) {
+			t.Errorf("CSV lacks %q:\n%s", want, csv)
+		}
+	}
+}
+
+// TestDegradedCSVBlanksFactors: the CSV keeps its shape on degraded runs
+// but leaves every factor cell empty.
+func TestDegradedCSVBlanksFactors(t *testing.T) {
+	evs := append(imbalanceTrace(),
+		trace.Event{T: 1, Rank: 0, Kind: trace.KindFault, Comm: 1, Label: "kill"})
+	tree := analyzeT(t, evs, Options{})
+	var sb strings.Builder
+	if err := tree.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("degraded CSV too short:\n%s", sb.String())
+	}
+	for _, line := range lines[1:] {
+		if !strings.Contains(line, ",,") {
+			t.Errorf("degraded CSV row has factor values: %q", line)
+		}
+	}
+}
+
+func TestDominantPicksLowestLeaf(t *testing.T) {
+	f := &Factors{Parallel: 0.4, LoadBalance: 0.8, Comm: 0.5, Transfer: 0.9,
+		Serialisation: 0.55, Thread: 1, OmpRegion: 1, SerialRegion: 1, Total: 0.4}
+	if name, v := f.Dominant(); name != "serialisation" || !approx(v, 0.55) {
+		t.Errorf("Dominant() = %q %v, want serialisation 0.55", name, v)
+	}
+}

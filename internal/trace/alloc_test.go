@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"runtime/debug"
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/mpi"
+)
+
+// The sweep fast path must stay allocation-free with the full POP
+// collector attached — sections, messages, collectives AND thread-team
+// compute regions all recording. The buffer is deliberately small so it
+// saturates during warmup: the steady state then exercises every hook
+// (including the ComputeRegion path ComputeParallel takes only when an
+// observer is registered) against a full buffer, which must count drops
+// without allocating. GC is disabled for the window, matching the mpi
+// package's alloc tests.
+
+// popStep is one synchronized round trip plus a 2-thread compute region on
+// each rank — the hybrid sweep's inner-loop shape.
+func popStep(c *mpi.Comm, payload []byte) error {
+	peer := 1 - c.Rank()
+	work := mpi.WorkUnit{Flops: 1000, Bytes: 256}
+	if c.Rank() == 0 {
+		if err := c.Send(peer, 0, payload); err != nil {
+			return err
+		}
+		buf, _, err := c.Recv(peer, 0)
+		if err != nil {
+			return err
+		}
+		mpi.Release(buf)
+		c.ComputeParallel(work, 2)
+		return nil
+	}
+	buf, _, err := c.Recv(peer, 0)
+	if err != nil {
+		return err
+	}
+	mpi.Release(buf)
+	if err := c.Send(peer, 0, payload); err != nil {
+		return err
+	}
+	c.ComputeParallel(work, 2)
+	return nil
+}
+
+func TestSteadyStateAllocsWithPOPCollector(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector allocates shadow memory; alloc counts are meaningless")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	const warmup, runs = 64, 100
+	payload := make([]byte, 1024)
+	col := NewCollector(64) // tiny cap: full after warmup, steady state = drop path
+	col.Messages = true
+	col.Collectives = true
+	col.Omp = true
+	cfg := mpi.Config{Ranks: 2, Model: machine.Ideal(2, 1), Seed: 1,
+		Tools: []mpi.Tool{col}, Timeout: time.Minute}
+	var avg float64
+	_, err := mpi.Run(cfg, func(c *mpi.Comm) error {
+		for i := 0; i < warmup; i++ {
+			if err := popStep(c, payload); err != nil {
+				return err
+			}
+		}
+		if c.Rank() != 0 {
+			// Mirror rank 0's AllocsPerRun schedule: one warmup call plus
+			// `runs` measured calls.
+			for i := 0; i < runs+1; i++ {
+				if err := popStep(c, payload); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		var stepErr error
+		avg = testing.AllocsPerRun(runs, func() {
+			if stepErr == nil {
+				stepErr = popStep(c, payload)
+			}
+		})
+		return stepErr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg != 0 {
+		t.Errorf("steady state with POP collector: %v allocs/op, want 0", avg)
+	}
+	if col.Dropped() == 0 {
+		t.Fatal("buffer never saturated; the test did not exercise the drop path")
+	}
+	var omps int
+	for _, e := range col.Buffer().Events() {
+		if e.Kind == KindOmpRegion {
+			omps++
+		}
+	}
+	if omps == 0 {
+		t.Fatal("collector recorded no thread-team compute regions")
+	}
+}

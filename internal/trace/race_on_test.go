@@ -1,0 +1,7 @@
+//go:build race
+
+package trace
+
+// raceEnabled mirrors the mpi package's convention: allocation-count tests
+// are meaningless under the race detector's shadow allocations.
+const raceEnabled = true

@@ -20,6 +20,10 @@ type Collector struct {
 	// Faults controls whether fault events are recorded (default on —
 	// failures are rare and load-bearing for post-mortems).
 	Faults bool
+	// Omp controls whether thread-team compute regions are recorded
+	// (KindOmpRegion; opt-in like Messages — pure-MPI runs emit none and
+	// hybrid runs can emit one per parallel loop).
+	Omp bool
 }
 
 // NewCollector returns a Collector recording into a buffer capped at limit
@@ -118,5 +122,21 @@ func (c *Collector) FaultEvent(ev fault.Event) {
 	})
 }
 
+// ComputeRegion implements mpi.ComputeObserver: thread-team compute
+// regions land in the trace so the offline POP analysis can split hybrid
+// inefficiency into its OpenMP-region and serial-region parts. Field reuse
+// per the KindOmpRegion docs: team in Bytes, start in PostT, single-thread
+// duration in ArrT.
+func (c *Collector) ComputeRegion(cm *mpi.Comm, team int, start, end, single float64) {
+	if !c.Omp {
+		return
+	}
+	c.buf.Add(Event{
+		T: end, Rank: cm.WorldRank(), Kind: KindOmpRegion, Comm: cm.ID(),
+		Bytes: team, PostT: start, ArrT: single,
+	})
+}
+
 var _ mpi.Tool = (*Collector)(nil)
 var _ mpi.FaultObserver = (*Collector)(nil)
+var _ mpi.ComputeObserver = (*Collector)(nil)

@@ -42,6 +42,14 @@ const (
 	// violation class and detail ride in Label ("class: detail"), and the
 	// offending rank in Rank.
 	KindVerify
+	// KindOmpRegion is one modeled thread-team compute region (an OpenMP
+	// parallel loop or region executed via Comm.ComputeParallel). The
+	// 11-column CSV schema is unchanged — the region's fields ride in
+	// existing columns: the team size in Bytes, the region's start in PostT
+	// (T is its end), and the single-thread duration of the same work in
+	// ArrT. These are the inputs of the POP MPI+OpenMP inefficiency split
+	// (internal/pop).
+	KindOmpRegion
 )
 
 var kindNames = map[Kind]string{
@@ -56,6 +64,7 @@ var kindNames = map[Kind]string{
 	KindFault:         "fault",
 	KindDeadPeer:      "dead-peer",
 	KindVerify:        "verify",
+	KindOmpRegion:     "omp-region",
 }
 
 func (k Kind) String() string {

@@ -1,0 +1,72 @@
+package waitstate
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// TestRankSectionsConsistency pins the contract internal/pop builds on:
+// the per-rank section rows must tile the aggregate diagnosis exactly —
+// summing Incl and the wait components over ranks reproduces each
+// SectionDiagnosis — and the slice arrives sorted by (section, rank).
+func TestRankSectionsConsistency(t *testing.T) {
+	events := recordedRun(t, 4, 2)
+	a, err := Analyze(events, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.RankSections) == 0 {
+		t.Fatal("recorded run produced no RankSections")
+	}
+	if !sort.SliceIsSorted(a.RankSections, func(i, j int) bool {
+		ri, rj := a.RankSections[i], a.RankSections[j]
+		if ri.Section != rj.Section {
+			return ri.Section < rj.Section
+		}
+		return ri.Rank < rj.Rank
+	}) {
+		t.Error("RankSections not sorted by (section, rank)")
+	}
+	type sums struct{ incl, wait, late, transfer, coll, dead float64 }
+	bySec := map[string]*sums{}
+	for _, rs := range a.RankSections {
+		if rs.Rank < 0 || rs.Rank >= a.Ranks {
+			t.Errorf("RankSection %s: rank %d outside [0,%d)", rs.Section, rs.Rank, a.Ranks)
+		}
+		s := bySec[rs.Section]
+		if s == nil {
+			s = &sums{}
+			bySec[rs.Section] = s
+		}
+		s.incl += rs.Incl
+		s.wait += rs.Wait
+		s.late += rs.LateSender
+		s.transfer += rs.Transfer
+		s.coll += rs.CollWait
+		s.dead += rs.DeadWait
+	}
+	tol := 1e-9 * a.Wall * float64(a.Ranks)
+	for _, d := range a.Sections {
+		s := bySec[d.Section]
+		if s == nil {
+			t.Errorf("section %s has no per-rank rows", d.Section)
+			continue
+		}
+		for _, c := range []struct {
+			name      string
+			got, want float64
+		}{
+			{"Incl vs Total", s.incl, d.Total},
+			{"Wait vs WaitIn", s.wait, d.WaitIn},
+			{"LateSender", s.late, d.LateSender},
+			{"Transfer", s.transfer, d.Transfer},
+			{"CollWait", s.coll, d.CollWait},
+			{"DeadWait", s.dead, d.DeadWait},
+		} {
+			if math.Abs(c.got-c.want) > tol {
+				t.Errorf("section %s: Σ_r %s = %v, aggregate %v", d.Section, c.name, c.got, c.want)
+			}
+		}
+	}
+}

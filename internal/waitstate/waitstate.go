@@ -98,6 +98,35 @@ type SectionDiagnosis struct {
 	DominantCause string `json:"dominant_cause"`
 }
 
+// RankSection is the per-(section, rank) accounting the POP efficiency
+// tree (internal/pop) consumes: each rank's inclusive time in the section,
+// the classified wait components inside it, and the thread-team compute
+// region aggregates (KindOmpRegion events attributed to their enclosing
+// section). Times are virtual seconds. The slice is ordered by section
+// label then rank, so derived reports are deterministic.
+type RankSection struct {
+	Section string
+	Rank    int
+	// Incl is the rank's summed inclusive time over the section's
+	// enter/leave instances; Wait the classified blocked receive time
+	// attributed inside, split into the same components as
+	// SectionDiagnosis.
+	Incl       float64
+	Wait       float64
+	LateSender float64
+	Transfer   float64
+	CollWait   float64
+	DeadWait   float64
+	// OmpElapsed is thread-team region time inside the section on this
+	// rank, OmpSingle the single-thread duration of the same work, and
+	// OmpBusy the allocated thread-seconds (Σ team × elapsed). MaxTeam is
+	// the largest team observed (0 when the trace has no region events).
+	OmpElapsed float64
+	OmpSingle  float64
+	OmpBusy    float64
+	MaxTeam    int
+}
+
 // RankBreakdown is the per-rank accounting the property tests pin down:
 // Wait + Compute + Residual == Wall (the run's makespan) by construction,
 // with Wait measured from the classified receives and Residual the idle
@@ -152,6 +181,10 @@ type Analysis struct {
 	DeadWaits int `json:"dead_peer_waits,omitempty"`
 	// Warning carries analysis caveats (e.g. a truncated event stream).
 	Warning string `json:"warning,omitempty"`
+	// RankSections is the per-(section, rank) matrix behind Sections —
+	// the input of the POP efficiency factors (internal/pop). Excluded
+	// from JSON to keep the waitstate documents at their summary grain.
+	RankSections []RankSection `json:"-"`
 }
 
 // changePoint tracks the innermost section (or collective) on one rank
@@ -167,6 +200,7 @@ type rankTimeline struct {
 	colls    []changePoint // innermost open collective name over time
 	recvs    []trace.Event // recv events, time-sorted
 	deads    []trace.Event // dead-peer wait events, time-sorted
+	omps     []trace.Event // thread-team compute regions, time-sorted
 	firstT   float64
 	lastT    float64
 	seen     bool
@@ -244,6 +278,20 @@ func Analyze(events []trace.Event, opts Options) (*Analysis, error) {
 		}
 		return cs
 	}
+	type rsKey struct {
+		rank  int
+		label string
+	}
+	rsecs := map[rsKey]*RankSection{}
+	rsec := func(r int, label string) *RankSection {
+		k := rsKey{r, label}
+		rs := rsecs[k]
+		if rs == nil {
+			rs = &RankSection{Section: label, Rank: r}
+			rsecs[k] = rs
+		}
+		return rs
+	}
 	var unmatched, faults int
 	for _, e := range evs {
 		rt := tl(e.Rank)
@@ -261,6 +309,7 @@ func Analyze(events []trace.Event, opts Options) (*Analysis, error) {
 			st := secStacks[e.Rank]
 			if n := len(st); n > 0 && st[n-1].label == e.Label {
 				sec(e.Label).Total += e.T - st[n-1].enterT
+				rsec(e.Rank, e.Label).Incl += e.T - st[n-1].enterT
 				secStacks[e.Rank] = st[:n-1]
 				top := ""
 				if n > 1 {
@@ -292,6 +341,8 @@ func Analyze(events []trace.Event, opts Options) (*Analysis, error) {
 			rt.recvs = append(rt.recvs, e)
 		case trace.KindDeadPeer:
 			rt.deads = append(rt.deads, e)
+		case trace.KindOmpRegion:
+			rt.omps = append(rt.omps, e)
 		case trace.KindFault:
 			faults++
 		}
@@ -315,9 +366,12 @@ func Analyze(events []trace.Event, opts Options) (*Analysis, error) {
 				wait = 0
 			}
 			rankWait[r] += wait
-			d := sec(labelAt(rt.sections, e.PostT))
+			lbl := labelAt(rt.sections, e.PostT)
+			d := sec(lbl)
+			rs := rsec(r, lbl)
 			d.Recvs++
 			d.WaitIn += wait
+			rs.Wait += wait
 			if sat := e.PostT - e.ArrT; sat > opts.Eps {
 				d.LateRecvN++
 				d.LateRecvSat += sat
@@ -326,6 +380,7 @@ func Analyze(events []trace.Event, opts Options) (*Analysis, error) {
 				// Algorithm-internal collective traffic: the blocked time is
 				// the rank waiting for the collective to make progress.
 				d.CollWait += wait
+				rs.CollWait += wait
 				if name := labelAt(rt.colls, e.PostT); name != "" {
 					coll(name).Wait += wait
 				}
@@ -340,6 +395,8 @@ func Analyze(events []trace.Event, opts Options) (*Analysis, error) {
 			}
 			d.LateSender += late
 			d.Transfer += wait - late
+			rs.LateSender += late
+			rs.Transfer += wait - late
 			// Charge the lateness back to whatever the SENDER was doing when
 			// it finally posted the send: that section's Twait_out.
 			if late > 0 {
@@ -367,6 +424,26 @@ func Analyze(events []trace.Event, opts Options) (*Analysis, error) {
 			d.WaitIn += wait
 			d.DeadWait += wait
 			d.DeadPeerN++
+			rs := rsec(r, lbl)
+			rs.Wait += wait
+			rs.DeadWait += wait
+		}
+		// Thread-team compute regions: attribute each region to the section
+		// open at its start (the region ran entirely inside it — regions do
+		// not straddle section boundaries) and aggregate the POP
+		// thread-efficiency inputs.
+		for _, e := range rt.omps {
+			rs := rsec(r, labelAt(rt.sections, e.PostT))
+			elapsed := e.T - e.PostT
+			if elapsed < 0 {
+				elapsed = 0
+			}
+			rs.OmpElapsed += elapsed
+			rs.OmpSingle += e.ArrT
+			rs.OmpBusy += float64(e.Bytes) * elapsed
+			if e.Bytes > rs.MaxTeam {
+				rs.MaxTeam = e.Bytes
+			}
 		}
 	}
 
@@ -413,6 +490,20 @@ func Analyze(events []trace.Event, opts Options) (*Analysis, error) {
 			return a.Sections[i].Total > a.Sections[j].Total
 		}
 		return a.Sections[i].Section < a.Sections[j].Section
+	})
+	a.RankSections = make([]RankSection, 0, len(rsecs))
+	for _, rs := range rsecs {
+		out := *rs
+		if out.Section == "" {
+			out.Section = "(no section)"
+		}
+		a.RankSections = append(a.RankSections, out)
+	}
+	sort.Slice(a.RankSections, func(i, j int) bool {
+		if a.RankSections[i].Section != a.RankSections[j].Section {
+			return a.RankSections[i].Section < a.RankSections[j].Section
+		}
+		return a.RankSections[i].Rank < a.RankSections[j].Rank
 	})
 	rankIDs := make([]int, 0, p)
 	for r := range ranks {
