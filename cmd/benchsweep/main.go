@@ -1,5 +1,6 @@
-// Command benchsweep times the EXPERIMENTS.md regeneration targets E1–E9
-// plus the POP-enabled sweep-CSV target E11
+// Command benchsweep times the EXPERIMENTS.md regeneration targets E1–E9,
+// the POP-enabled sweep-CSV target E11, and the extreme-scale targets
+// E12 (10k-rank 2-D convolution sweep) and E13 (4k-rank LULESH point),
 // and writes BENCH_sweep.json — the repository's perf trajectory. Each
 // entry records the wall-clock time, heap allocation count/bytes and the
 // process peak RSS after regenerating one figure exactly the way the bench
@@ -128,6 +129,11 @@ func main() {
 	convOpts.Jobs = *jobs
 	bwOpts.Jobs = *jobs
 	knlOpts.Jobs = *jobs
+	// The extreme-scale targets run the same configuration in both modes:
+	// they are already the "big" points (10k declared ranks), and their whole
+	// purpose is proving the sharded lazy runtime keeps them in seconds.
+	extremeOpts := experiments.ExtremeConvOptions()
+	extremeOpts.Jobs = *jobs
 
 	// Each target regenerates its figure the way the bench binary does: a
 	// fresh sweep plus the rendering. E1–E5 share a sweep shape but are
@@ -193,6 +199,17 @@ func main() {
 				return err
 			}
 			return res.WriteCSV(io.Discard)
+		}},
+		{"E12", "Extreme-scale 2-D convolution sweep CSV (1k/4k/10k ranks, lazy runtime)", func() error {
+			res, err := experiments.RunConvolution(extremeOpts)
+			if err != nil {
+				return err
+			}
+			return res.WriteCSV(io.Discard)
+		}},
+		{"E13", "Extreme-scale LULESH point (4096 ranks, lazy runtime)", func() error {
+			_, err := experiments.RunExtremeLulesh(experiments.DefaultExtremeLuleshOptions())
+			return err
 		}},
 	}
 

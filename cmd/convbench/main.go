@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	convbench [-fig 5a|5b|5c|5d|6|all] [-quick] [-reps N] [-steps N]
+//	convbench [-fig 5a|5b|5c|5d|6|all] [-quick] [-extreme] [-reps N] [-steps N]
 //	          [-seed N] [-out results] [-csv out.csv] [-j N] [-verify]
 //	          [-fault-spec SPEC] [-fault-seed N] [-deadline D]
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
@@ -47,6 +47,7 @@ func main() {
 	log.SetPrefix("convbench: ")
 	fig := flag.String("fig", "all", "figure to print: 5a, 5b, 5c, 5d, 6 or all")
 	quick := flag.Bool("quick", false, "reduced sweep (seconds instead of minutes)")
+	extreme := flag.Bool("extreme", false, "extreme-scale 2-D sweep (1k/4k/10k ranks on the extrapolated cluster, lazy runtime) instead of the paper sweep")
 	reps := flag.Int("reps", 0, "override repetitions per point")
 	steps := flag.Int("steps", 0, "override convolution steps")
 	seed := flag.Uint64("seed", 0, "override base seed")
@@ -81,6 +82,11 @@ func main() {
 	opts := experiments.PaperConvOptions()
 	if *quick {
 		opts = experiments.QuickConvOptions()
+	}
+	if *extreme {
+		// The extreme sweep is already second-scale; -quick has nothing to
+		// reduce and is simply superseded.
+		opts = experiments.ExtremeConvOptions()
 	}
 	if *reps > 0 {
 		opts.Reps = *reps

@@ -463,3 +463,41 @@ func TestFullRunAllEndpoints(t *testing.T) {
 		t.Errorf("per-section shares sum to %g, want 1.0", share)
 	}
 }
+
+// TestExtremeSessionRun drives the extreme-scale session workload through
+// the HTTP surface: /run accepts ranks=10000 (the sharded lazy runtime
+// materializes rank state on demand rather than pre-allocating it), and
+// /metrics exposes the declared/active/materialized rank gauges.
+func TestExtremeSessionRun(t *testing.T) {
+	h := newServer().handler()
+	code, body := get(t, h, "/run?exp=conv2d&p=10000&wait=1&seq=0")
+	if code != http.StatusOK {
+		t.Fatalf("extreme run: code %d body %q", code, body)
+	}
+	var run struct {
+		Status string  `json:"status"`
+		P      int     `json:"p"`
+		Wall   float64 `json:"wall_seconds"`
+		Error  string  `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(body), &run); err != nil {
+		t.Fatalf("run response not JSON: %v\n%s", err, body)
+	}
+	if run.Status != "finished" || run.Error != "" || run.P != 10000 || run.Wall <= 0 {
+		t.Fatalf("extreme run did not finish cleanly: %+v", run)
+	}
+
+	code, body = get(t, h, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: code %d body %q", code, body)
+	}
+	for _, want := range []string{
+		"mpi_ranks_declared 10000",
+		"mpi_ranks_active 10000",
+		"mpi_ranks_materialized 10000",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -19,6 +20,48 @@ import (
 	"repro/internal/verify"
 )
 
+// rankGauges captures the runtime's live session gauges at Init so
+// /metrics can report rank bring-up while the ranks are still executing.
+// On a lazy run (exp=conv2d, or any session workload) the materialized
+// gauge climbs from 0 toward the active count; a large gap between
+// declared and materialized is exactly the "10k declared ranks without 10k
+// pre-allocated states" property the sharded runtime provides.
+type rankGauges struct {
+	mpi.BaseTool
+	mu    sync.Mutex
+	stats *mpi.RuntimeStats
+}
+
+func (g *rankGauges) Init(w *mpi.WorldInfo) {
+	g.mu.Lock()
+	g.stats = w.Stats
+	g.mu.Unlock()
+}
+
+// write emits the Prometheus gauge family; a scrape before the first run's
+// Init (or against a runState assembled without a tool chain) emits
+// nothing.
+func (g *rankGauges) write(w io.Writer) error {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	stats := g.stats
+	g.mu.Unlock()
+	if stats == nil {
+		return nil
+	}
+	_, err := fmt.Fprintf(w,
+		"# HELP mpi_ranks_declared Configured world size of the current run.\n"+
+			"# TYPE mpi_ranks_declared gauge\nmpi_ranks_declared %d\n"+
+			"# HELP mpi_ranks_active Ranks participating in the session.\n"+
+			"# TYPE mpi_ranks_active gauge\nmpi_ranks_active %d\n"+
+			"# HELP mpi_ranks_materialized Active ranks whose state the runtime has brought up so far.\n"+
+			"# TYPE mpi_ranks_materialized gauge\nmpi_ranks_materialized %d\n",
+		stats.DeclaredRanks(), stats.ActiveRanks(), stats.MaterializedRanks())
+	return err
+}
+
 // runState is one launched (possibly still executing) experiment run.
 type runState struct {
 	opts      experiments.LiveOptions
@@ -26,6 +69,7 @@ type runState struct {
 	profiler  *prof.Profiler
 	collector *trace.Collector
 	verifier  *verify.Tool // non-nil when launched with verify=1
+	gauges    *rankGauges
 	seq       float64
 	running   bool
 	err       error
@@ -93,8 +137,9 @@ func (s *server) handleIndex(w http.ResponseWriter, req *http.Request) {
 <li><a href="/faults.json">/faults.json</a> — injected faults and failure consequences of the current run</li>
 <li><a href="/verify.json">/verify.json</a> — runtime verifier report (section nesting, enter counts, collective order)</li>
 <li><a href="/run?exp=conv&amp;p=64">/run?exp=conv&amp;p=64</a> — launch an experiment with the exporter attached
-    (params: exp=conv|lulesh, p, steps, scale, seed, threads, wait=1, seq=0, verify=1,
-    fault=kill:rank=2,after=100, fault-seed=N, deadline=30s; repeat fault= for multi-rule plans)</li>
+    (params: exp=conv|conv2d|lulesh, p, steps, scale, seed, threads, wait=1, seq=0, verify=1,
+    fault=kill:rank=2,after=100, fault-seed=N, deadline=30s; repeat fault= for multi-rule plans;
+    exp=conv2d runs the lazy extreme-scale session — p=10000 resolves in seconds)</li>
 </ul>`)
 }
 
@@ -103,6 +148,10 @@ func (s *server) handleMetrics(w http.ResponseWriter, req *http.Request) {
 	st := s.snapshot()
 	fmt.Fprint(w, "# HELP secmon_up Monitor process liveness.\n# TYPE secmon_up gauge\nsecmon_up 1\n")
 	if st == nil {
+		return
+	}
+	if err := st.gauges.write(w); err != nil {
+		logf("metrics write: %v", err)
 		return
 	}
 	if err := st.rec.WritePrometheus(w); err != nil {
@@ -367,7 +416,8 @@ func (s *server) handleRun(w http.ResponseWriter, req *http.Request) {
 	rec := export.NewRecorder(export.Options{Messages: true, Collectives: true})
 	profiler := prof.New()
 	collector := newAnalysisCollector()
-	opts.Tools = []mpi.Tool{profiler, rec, collector}
+	gauges := &rankGauges{}
+	opts.Tools = []mpi.Tool{profiler, rec, collector, gauges}
 	var verifier *verify.Tool
 	if q.Get("verify") == "1" {
 		verifier = verify.New()
@@ -380,7 +430,7 @@ func (s *server) handleRun(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, "a run is already in progress", http.StatusConflict)
 		return
 	}
-	st := &runState{opts: opts, rec: rec, profiler: profiler, collector: collector, verifier: verifier, running: true, started: time.Now()}
+	st := &runState{opts: opts, rec: rec, profiler: profiler, collector: collector, verifier: verifier, gauges: gauges, running: true, started: time.Now()}
 	s.cur = st
 	s.mu.Unlock()
 

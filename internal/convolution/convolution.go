@@ -88,6 +88,38 @@ func (p Params) Validate(ranks int) error {
 	return nil
 }
 
+// Validate2D checks the configuration against the px×py process grid the
+// 2-D decomposition uses for this rank count. It is the relaxed geometry
+// check Run2D needs: each grid dimension must fit the corresponding image
+// dimension, rather than the 1-D requirement that the executed *height*
+// cover every rank — which is what caps the 1-D variant near the paper's
+// scales and would reject a 10,000-rank run outright (a 100×100 grid over
+// the paper image is fine; 10,000 rows of a 234-row scaled image are not).
+func (p Params) Validate2D(ranks int) error {
+	if p.Width <= 0 || p.Height <= 0 {
+		return fmt.Errorf("convolution: invalid dimensions %dx%d", p.Width, p.Height)
+	}
+	if p.Steps <= 0 {
+		return fmt.Errorf("convolution: Steps must be positive, got %d", p.Steps)
+	}
+	if p.Scale < 1 {
+		return fmt.Errorf("convolution: Scale must be >= 1, got %d", p.Scale)
+	}
+	px, py, err := Grid2D(ranks)
+	if err != nil {
+		return err
+	}
+	if p.execWidth() < px || p.execHeight() < py {
+		return fmt.Errorf("convolution: executed image %dx%d smaller than %dx%d grid (reduce Scale)",
+			p.execWidth(), p.execHeight(), px, py)
+	}
+	if p.Width < px || p.Height < py {
+		return fmt.Errorf("convolution: full image %dx%d smaller than %dx%d grid",
+			p.Width, p.Height, px, py)
+	}
+	return nil
+}
+
 func (p Params) execWidth() int  { return max(1, p.Width/p.Scale) }
 func (p Params) execHeight() int { return max(1, p.Height/p.Scale) }
 

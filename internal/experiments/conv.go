@@ -50,6 +50,14 @@ type ConvOptions struct {
 	// Deadline arms the per-run deadlock detector (default 30s when Fault is
 	// set, off otherwise).
 	Deadline time.Duration
+	// TwoD runs the 2-D domain decomposition (convolution.Run2D) instead of
+	// the paper's 1-D split. Required past the 1-D geometry limit (the
+	// executed image height caps 1-D rank counts near the paper's scales).
+	TwoD bool
+	// Lazy enables session-style lazy rank bring-up in every run
+	// (mpi.Config.Lazy): virtual times and CSV bytes are unchanged; real
+	// start-up cost stops scaling with the declared rank count.
+	Lazy bool
 }
 
 // PaperConvOptions reproduces the paper's setup: the 5616×3744 image,
@@ -157,6 +165,7 @@ func RunConvolution(o ConvOptions) (*ConvResult, error) {
 			Seed:    o.Seed + uint64(rep)*7919,
 			Tools:   []mpi.Tool{profiler},
 			Timeout: 10 * time.Minute,
+			Lazy:    o.Lazy,
 		}
 		applyFault(&cfg, o.Fault, o.Deadline)
 		ver := attachVerifier(&cfg, o.Verify)
@@ -168,7 +177,11 @@ func RunConvolution(o ConvOptions) (*ConvResult, error) {
 			collector = newDiagCollector()
 			cfg.Tools = append(cfg.Tools, collector)
 		}
-		if _, err := convolution.Run(cfg, params); err != nil {
+		runConv := convolution.Run
+		if o.TwoD {
+			runConv = convolution.Run2D
+		}
+		if _, err := runConv(cfg, params); err != nil {
 			// Degraded mode: the point records its root cause and the sweep
 			// carries on — returning the error would abort every other point.
 			return repResult{errMsg: runErrCell(err), verify: verifierViolations(ver)}, nil

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/convolution"
+	"repro/internal/machine"
+	"repro/internal/mpi"
+)
+
+// vmHWM reads the process peak-RSS high-water mark in bytes, or 0 when
+// /proc is unavailable (non-Linux platforms).
+func vmHWM(t *testing.T) uint64 {
+	t.Helper()
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb * 1024
+	}
+	return 0
+}
+
+// TestExtremeSmokeRSSBudget is the bufpool/shard memory regression gate: a
+// 10,000-rank 2-D ghost run must complete quickly and keep the process peak
+// RSS under a fixed budget. Before the sharded runtime, rank state, mailbox
+// and fault bookkeeping were all pre-allocated O(ranks) (and link-fault
+// sequencing O(ranks²)); a regression that reintroduces eager per-rank
+// allocation or unbounded payload-pool growth trips this budget long before
+// it becomes a production problem.
+func TestExtremeSmokeRSSBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-rank smoke is not a -short test")
+	}
+	if raceEnabled {
+		t.Skip("race shadow memory dominates RSS")
+	}
+	const ranks = 10000
+	cfg := mpi.Config{
+		Ranks:   ranks,
+		Model:   machine.ExtremeCluster(),
+		Seed:    2017,
+		Lazy:    true,
+		Timeout: 5 * time.Minute,
+	}
+	params := convolution.Params{
+		Width: 5616, Height: 3744,
+		Steps: 2, Scale: 16, Seed: 2017, SkipKernel: true,
+	}
+	start := time.Now()
+	res, err := convolution.Run2D(cfg, params)
+	if err != nil {
+		t.Fatalf("10k-rank Run2D: %v", err)
+	}
+	wall := time.Since(start)
+	if res.Report.MaterializedRanks != ranks {
+		t.Errorf("MaterializedRanks = %d, want %d (every rank communicates)",
+			res.Report.MaterializedRanks, ranks)
+	}
+	t.Logf("10k-rank smoke: wall %v, virtual %.3fs", wall, res.Report.WallTime)
+
+	hwm := vmHWM(t)
+	if hwm == 0 {
+		t.Skip("no /proc/self/status; RSS budget not checkable")
+	}
+	// Budget: ~4x the measured high-water mark of the sharded runtime at the
+	// time this gate was added (~67 MiB) — generous enough for GC timing and
+	// test ordering, tight enough to catch a return to eager O(ranks) or
+	// O(ranks²) allocation (10k ranks' link-fault sequencing alone was
+	// 800 MB when pre-allocated).
+	const budget = 256 << 20 // 256 MiB
+	t.Logf("peak RSS %.1f MiB (budget %d MiB)", float64(hwm)/(1<<20), budget>>20)
+	if hwm > budget {
+		t.Errorf("peak RSS %d bytes exceeds the %d-byte extreme-smoke budget", hwm, budget)
+	}
+}

@@ -21,8 +21,10 @@ import (
 
 // LiveOptions configures one on-demand experiment run.
 type LiveOptions struct {
-	// Experiment selects the workload: "conv" (§5.1 image convolution) or
-	// "lulesh" (§5.2 proxy app).
+	// Experiment selects the workload: "conv" (§5.1 image convolution),
+	// "conv2d" (the 2-D decomposition on the extrapolated extreme cluster,
+	// lazy session runtime — accepts rank counts past the 1-D geometry
+	// limit, e.g. 10000), or "lulesh" (§5.2 proxy app).
 	Experiment string
 	// Ranks is the MPI process count (lulesh requires a perfect cube).
 	Ranks int
@@ -64,6 +66,19 @@ func (o LiveOptions) withDefaults() (LiveOptions, error) {
 		if o.Scale <= 0 {
 			o.Scale = 16
 		}
+	case "conv2d":
+		// The extreme-scale session workload: 2-D tiles on the extrapolated
+		// cluster, lazy bring-up, few steps — 10,000 declared ranks resolve
+		// in seconds without pre-allocating rank state.
+		if o.Model == nil {
+			o.Model = machine.ExtremeCluster()
+		}
+		if o.Steps <= 0 {
+			o.Steps = 2
+		}
+		if o.Scale <= 0 {
+			o.Scale = 16
+		}
 	case "lulesh":
 		if o.Model == nil {
 			o.Model = machine.KNL()
@@ -78,7 +93,7 @@ func (o LiveOptions) withDefaults() (LiveOptions, error) {
 			o.Threads = 1
 		}
 	default:
-		return o, fmt.Errorf("experiments: unknown experiment %q (want conv or lulesh)", o.Experiment)
+		return o, fmt.Errorf("experiments: unknown experiment %q (want conv, conv2d or lulesh)", o.Experiment)
 	}
 	if o.Ranks <= 0 {
 		return o, fmt.Errorf("experiments: Ranks must be >= 1, got %d", o.Ranks)
@@ -108,7 +123,7 @@ func SeqBaseline(o LiveOptions) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if o.Experiment != "conv" {
+	if o.Experiment != "conv" && o.Experiment != "conv2d" {
 		return 0, nil
 	}
 	params := convolution.Params{
@@ -151,6 +166,17 @@ func RunLive(o LiveOptions) (*mpi.Report, error) {
 		res, err := convolution.Run(cfg, params)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: live conv p=%d: %w", o.Ranks, err)
+		}
+		return res.Report, nil
+	case "conv2d":
+		cfg.Lazy = true
+		params := convolution.Params{
+			Width: 5616, Height: 3744,
+			Steps: o.Steps, Scale: o.Scale, Seed: o.Seed, SkipKernel: true,
+		}
+		res, err := convolution.Run2D(cfg, params)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: live conv2d p=%d: %w", o.Ranks, err)
 		}
 		return res.Report, nil
 	case "lulesh":

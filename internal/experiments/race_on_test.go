@@ -1,0 +1,7 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector instruments this build; its
+// shadow memory makes peak-RSS assertions meaningless.
+const raceEnabled = true

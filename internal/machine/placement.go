@@ -14,6 +14,12 @@ type Placement struct {
 	threadsPerRank int
 	nodeOf         []int
 	threadsOnNode  []int
+	// nodesInUse/interNodePairs are derived once at construction: the
+	// placement is immutable, and NodesInUse sits on the per-message send
+	// path, where an O(nodes) recount at 10k ranks would dominate the
+	// transfer-time model itself.
+	nodesInUse     int
+	interNodePairs int
 }
 
 // NewPlacement distributes ranks block-wise over the model's nodes. Ranks
@@ -57,6 +63,19 @@ func NewPlacement(m *Model, ranks, threadsPerRank int) (*Placement, error) {
 		p.nodeOf[r] = n
 		p.threadsOnNode[n] += threadsPerRank
 	}
+	for _, t := range p.threadsOnNode {
+		if t > 0 {
+			p.nodesInUse++
+		}
+	}
+	for r := 1; r < ranks; r++ {
+		if !p.SameNode(r-1, r) {
+			p.interNodePairs++
+		}
+	}
+	if p.interNodePairs == 0 {
+		p.interNodePairs = 1
+	}
 	return p, nil
 }
 
@@ -90,29 +109,12 @@ func (p *Placement) ComputeTime(r int, w Work, team int) float64 {
 
 // NodesInUse reports how many distinct nodes host at least one rank — the
 // number of switch uplinks that can be busy at once, used as the default
-// contention figure for inter-node transfers.
-func (p *Placement) NodesInUse() int {
-	n := 0
-	for _, t := range p.threadsOnNode {
-		if t > 0 {
-			n++
-		}
-	}
-	return n
-}
+// contention figure for inter-node transfers. O(1): computed at
+// construction, since this sits on the per-message send path.
+func (p *Placement) NodesInUse() int { return p.nodesInUse }
 
 // InterNodePairs estimates the number of rank pairs whose traffic crosses
 // the switch when every rank exchanges with neighbors simultaneously; it is
 // the contention figure handed to Model.MsgTime for stencil-style phases.
-func (p *Placement) InterNodePairs() int {
-	n := 0
-	for r := 1; r < p.ranks; r++ {
-		if !p.SameNode(r-1, r) {
-			n++
-		}
-	}
-	if n == 0 {
-		n = 1
-	}
-	return n
-}
+// O(1): computed at construction.
+func (p *Placement) InterNodePairs() int { return p.interNodePairs }

@@ -112,6 +112,45 @@ func DualBroadwell() *Model {
 	}
 }
 
+// ExtremeCluster models the extrapolated system the "scaling past the
+// paper" sweeps run on: 640 nodes with one 16-core Sandy-Bridge-class
+// socket each (10,240 cores), a full bisection-bandwidth fat tree instead
+// of the Nehalem test cluster's oversubscribed backplane, and modern fabric
+// latencies. It is deliberately Nehalem-like in compute character so
+// extreme-scale results read as "the paper's experiment, bigger machine":
+// the speedup-bound analyses see the same kernel rates, while the fabric no
+// longer collapses at hundreds of ranks (which would make 10k-rank points
+// pure noise).
+func ExtremeCluster() *Model {
+	return &Model{
+		Name:           "extreme-cluster",
+		Nodes:          640,
+		CoresPerNode:   16,
+		ThreadsPerCore: 1,
+		FlopsPerCore:   1.2e9,
+		MemBWPerNode:   50e9,
+		HTYield:        0,
+		OversubEff:     0.7,
+		StorageBW:      2e9, // parallel filesystem
+		StorageLatency: 1e-3,
+		Net: Network{
+			LatencyIntra:   6e-7,
+			LatencyInter:   1.5e-6,
+			BandwidthIntra: 6e9,
+			BandwidthInter: 10e9,
+			SwitchBW:       5e9, // fat tree: contention grows slowly with p
+			SendOverhead:   1e-6,
+			RecvOverhead:   1e-6,
+			JitterSigma:    0.3,
+		},
+		OMP: OMP{ForkBase: 4e-6, ForkPerThread: 1.5e-6, BarrierBase: 2e-6},
+		Noise: Noise{
+			EventRate:    0.1,
+			MeanDuration: 1e-2,
+		},
+	}
+}
+
 // Ideal is a frictionless machine: zero latency and overhead, no jitter,
 // no noise, effectively infinite bandwidth. It is used by tests that verify
 // pure speedup algebra (perfect scaling baselines) and by property tests

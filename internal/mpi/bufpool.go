@@ -3,6 +3,7 @@ package mpi
 import (
 	"math/bits"
 	"sync"
+	"sync/atomic"
 )
 
 // Payload buffers are recycled through size-classed sync.Pools so the
@@ -22,9 +23,25 @@ const (
 	numClasses   = maxClassBits - minClassBits + 1
 )
 
+// classBudgetBytes caps the bytes each size class may keep parked in its
+// pool. Without a cap, a 10k-rank sweep whose ranks all cycle buffers can
+// park an unbounded high-water mark of idle memory between GC cycles; with
+// it, put simply drops buffers beyond the budget and the garbage collector
+// reclaims them. 8 MiB per class bounds the whole pool near 136 MiB worst
+// case while still covering the steady state of every sweep in the repo
+// (the paper-scale workloads cycle a working set far below the cap, so the
+// 0 allocs/op fast path never sees a budget miss).
+const classBudgetBytes = 8 << 20
+
 type payloadPool struct {
 	classes [numClasses]sync.Pool // of *[]byte, len == cap == class size
-	boxes   sync.Pool             // of *[]byte with nil contents
+	// held approximates the bytes parked per class. sync.Pool can drop
+	// items during GC without telling us, so the counter may drift above
+	// the true value; a get that misses the pool resets its class to zero,
+	// which restores accounting (the drift direction only ever makes the
+	// pool drop extra puts, never grow past ~2x budget).
+	held  [numClasses]atomic.Int64
+	boxes sync.Pool // of *[]byte with nil contents
 }
 
 var payloads payloadPool
@@ -57,8 +74,14 @@ func (p *payloadPool) get(n int) []byte {
 		b := *box
 		*box = nil
 		p.boxes.Put(box)
+		if p.held[c].Add(-int64(cap(b))) < 0 {
+			p.held[c].Store(0)
+		}
 		return b[:n]
 	}
+	// Pool miss: whatever held still claims for this class was GC-reclaimed
+	// (or raced away); reset so future puts are not spuriously dropped.
+	p.held[c].Store(0)
 	return make([]byte, n, 1<<(c+minClassBits))
 }
 
@@ -75,6 +98,10 @@ func (p *payloadPool) put(b []byte) {
 	if c >= numClasses {
 		return
 	}
+	if p.held[c].Load() >= classBudgetBytes {
+		return // class at budget: leave b to the garbage collector
+	}
+	p.held[c].Add(int64(n))
 	var box *[]byte
 	if v := p.boxes.Get(); v != nil {
 		box = v.(*[]byte)

@@ -11,7 +11,9 @@ type commShared struct {
 	id    int64
 	world *World
 	group []int // comm rank -> world rank
-	boxes []*mailbox
+	// boxShards holds the communicator's mailboxes in lazily materialized
+	// shard slabs, indexed by comm rank >> shardBits (p2p.go).
+	boxShards []boxShard
 
 	sections *sectionRegistry
 
@@ -64,22 +66,29 @@ func (w *World) newCommSharedClean(group []int) *commShared {
 	w.nextComm++
 	w.commMu.Unlock()
 	cs := &commShared{
-		id:       id,
-		world:    w,
-		group:    group,
-		boxes:    make([]*mailbox, len(group)),
-		splitGen: make(map[int]*splitState),
-		revoked:  make(chan struct{}),
-		ftGen:    make(map[int]*ftState),
-	}
-	for i := range cs.boxes {
-		cs.boxes[i] = newMailbox()
+		id:        id,
+		world:     w,
+		group:     group,
+		boxShards: make([]boxShard, (len(group)+shardSize-1)/shardSize),
+		splitGen:  make(map[int]*splitState),
+		revoked:   make(chan struct{}),
+		ftGen:     make(map[int]*ftState),
 	}
 	cs.sections = newSectionRegistry(len(group))
 	w.ftMu.Lock()
 	w.comms = append(w.comms, cs)
 	w.ftMu.Unlock()
 	return cs
+}
+
+// box returns the mailbox of a comm rank together with its shard, whose
+// lock guards the box. The post-materialization cost is one atomic load.
+func (cs *commShared) box(rank int) (*boxShard, *mailbox) {
+	sh := &cs.boxShards[rank>>shardBits]
+	if !sh.ready.Load() {
+		sh.materialize(len(cs.group), rank>>shardBits<<shardBits)
+	}
+	return sh, &sh.slab[rank&shardMask]
 }
 
 // ID reports a process-unique identifier for the communicator; tools use it
@@ -110,6 +119,7 @@ func (c *Comm) World() *WorldInfo {
 		Size:           w.cfg.Ranks,
 		ThreadsPerRank: w.cfg.ThreadsPerRank,
 		Model:          w.cfg.Model,
+		Stats:          &RuntimeStats{w: w},
 	}
 }
 

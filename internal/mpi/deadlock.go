@@ -87,12 +87,16 @@ func (rs *rankState) enterBlocked(c *Comm, op string, peer, tag int) {
 		wpeer = c.shared.group[peer]
 	}
 	b.mu.Lock()
+	was := b.state
 	b.state = blkBlocked
 	b.op, b.peer, b.tag = op, wpeer, tag
 	b.comm = c.shared.id
 	b.section = c.sectionLabel()
 	b.since = rs.now()
 	b.mu.Unlock()
+	if was != blkBlocked {
+		rs.world.blockedRanks.Add(1)
+	}
 }
 
 // exitBlocked publishes that the rank unparked, counting global progress.
@@ -102,8 +106,12 @@ func (rs *rankState) exitBlocked() {
 		return
 	}
 	b.mu.Lock()
+	was := b.state
 	b.state = blkRunning
 	b.mu.Unlock()
+	if was == blkBlocked {
+		rs.world.blockedRanks.Add(-1)
+	}
 	rs.world.progress.Add(1)
 }
 
@@ -115,8 +123,13 @@ func (rs *rankState) markFinished() {
 		return
 	}
 	b.mu.Lock()
+	was := b.state
 	b.state = blkFinished
 	b.mu.Unlock()
+	if was == blkBlocked {
+		rs.world.blockedRanks.Add(-1)
+	}
+	rs.world.liveRanks.Add(-1)
 	rs.world.progress.Add(1)
 }
 
@@ -128,10 +141,10 @@ type detector struct {
 	stopOnce sync.Once
 }
 
+// newDetector arms detection. Per-rank slots are allocated with the shard
+// slabs (World.detect is set before any shard materializes); the detector
+// itself holds no per-rank state.
 func newDetector(w *World, deadline time.Duration) *detector {
-	for _, rs := range w.ranks {
-		rs.blk = &blockedInfo{peer: -1}
-	}
 	return &detector{w: w, deadline: deadline, stopc: make(chan struct{})}
 }
 
@@ -143,6 +156,14 @@ func (d *detector) stop() { d.stopOnce.Do(func() { close(d.stopc) }) }
 // counter). Three stable samples keep a momentarily-starved runnable
 // goroutine from reading as deadlock, while still reporting well within
 // the configured deadline.
+//
+// Each tick costs three atomic loads regardless of world size: ranks
+// maintain liveRanks/blockedRanks at their own park/unpark points, so the
+// probe work is proportional to state *changes*, not to the rank count.
+// The O(ranks) walk in snapshot runs only once, to build the report of a
+// detected deadlock. Lazy runs stay sound: an active rank whose goroutine
+// has not been spawned yet counts as live but can never count as blocked,
+// so the world cannot read as quiescent while bring-up is still pending.
 func (d *detector) run() {
 	interval := d.deadline / 8
 	if interval < 200*time.Microsecond {
@@ -158,7 +179,9 @@ func (d *detector) run() {
 			return
 		case <-ticker.C:
 		}
-		all, blocked := d.snapshot()
+		live := d.w.liveRanks.Load()
+		blocked := d.w.blockedRanks.Load()
+		all := live > 0 && blocked >= live
 		prog := d.w.progress.Load()
 		if all && stable > 0 && prog == prevProgress {
 			stable++
@@ -169,32 +192,51 @@ func (d *detector) run() {
 		}
 		prevProgress = prog
 		if stable >= 3 {
-			d.w.abort(&DeadlockError{Deadline: d.deadline, Blocked: blocked})
-			return
+			// Re-validate with the full walk: the counters said quiescent
+			// three ticks running, now collect the per-rank report.
+			if all, blocked := d.snapshot(); all {
+				d.w.abort(&DeadlockError{Deadline: d.deadline, Blocked: blocked})
+				return
+			}
+			stable = 0
 		}
 	}
 }
 
 // snapshot reports whether every live rank is blocked, and the blocked set.
+// Only materialized shards are walked; unmaterialized active ranks count
+// as live-but-running, vetoing the deadlock verdict.
 func (d *detector) snapshot() (bool, []BlockedOp) {
+	w := d.w
 	live, parked := 0, 0
-	ops := make([]BlockedOp, 0, len(d.w.ranks))
-	for i, rs := range d.w.ranks {
-		b := rs.blk
-		b.mu.Lock()
-		st := b.state
-		op := BlockedOp{
-			Rank: i, Op: b.op, Peer: b.peer, Tag: b.tag,
-			Comm: b.comm, Section: b.section, Since: b.since,
-		}
-		b.mu.Unlock()
-		if st == blkFinished {
+	var ops []BlockedOp
+	for s := range w.shards {
+		sh := &w.shards[s]
+		if !sh.ready.Load() {
+			for r := sh.lo; r < sh.lo+sh.n; r++ {
+				if w.isActive(r) {
+					live++
+				}
+			}
 			continue
 		}
-		live++
-		if st == blkBlocked {
-			parked++
-			ops = append(ops, op)
+		for i := range sh.states {
+			b := sh.states[i].blk
+			b.mu.Lock()
+			st := b.state
+			op := BlockedOp{
+				Rank: sh.lo + i, Op: b.op, Peer: b.peer, Tag: b.tag,
+				Comm: b.comm, Section: b.section, Since: b.since,
+			}
+			b.mu.Unlock()
+			if st == blkFinished {
+				continue
+			}
+			live++
+			if st == blkBlocked {
+				parked++
+				ops = append(ops, op)
+			}
 		}
 	}
 	return live > 0 && parked == live, ops

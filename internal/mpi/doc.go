@@ -67,4 +67,46 @@
 // to any attached Tool implementing FaultObserver, which is how the
 // trace, export and waitstate layers see failures; Report.Dead lists the
 // ranks that did not survive the run.
+//
+// # Sharded rank state, per-shard clocks, and lazy sessions
+//
+// The runtime targets extreme-scale runs — 10,000+ declared ranks — so
+// nothing rank-proportional is global and nothing is paid before a rank is
+// used:
+//
+//   - Rank state lives in fixed-size shards (shardSize ranks each, see
+//     shard.go). A shard's state slab is materialized on first touch under
+//     the shard's own mutex; rank-state pointers are stable thereafter.
+//     Mailboxes are sharded the same way (boxShard in p2p.go): delivery
+//     locks one shard, not the world, and SendGhostBatch enqueues runs of
+//     consecutive same-shard destinations under a single lock acquisition
+//     while staying message-for-message identical (charges, stamps, tool
+//     hooks) to the equivalent SendGhost loop.
+//
+//   - Virtual-clock frontiers are per shard. Ranks publish their clock to
+//     the shard's atomic frontier lazily — at receive completion and at
+//     rank finish, the points where clocks become externally meaningful —
+//     instead of synchronizing through a global structure on every
+//     advance. RuntimeStats.Frontier folds the shard maxima on demand; the
+//     deadlock detector's steady-state tick reads three counters instead
+//     of walking every rank.
+//
+//   - Sessions bring ranks up lazily. With Config.Lazy the rank goroutines
+//     materialize shard by shard in the background and on demand when a
+//     message first addresses them, so start-up cost tracks the ranks
+//     actually touched, not the declared world size. Config.Active
+//     restricts the session to a rank subset (implying Lazy): inactive
+//     ranks never materialize, never run fn, and report zero final clocks.
+//     By contract an Active session must confine collectives — including
+//     Split and Barrier — to communicators whose members are all active;
+//     the world communicator still spans every declared rank, so a
+//     world-spanning collective would wait forever on ranks that will
+//     never arrive. Point-to-point traffic among active ranks is
+//     unrestricted.
+//
+// WorldInfo.Stats hands tools a live RuntimeStats view of the bring-up
+// (declared vs. active vs. materialized ranks, virtual-time frontier),
+// and Report carries the final counts. None of this costs the small case
+// anything: an eager 8-rank run materializes its single shard inline at
+// Run, exactly as before.
 package mpi

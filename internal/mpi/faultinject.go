@@ -26,20 +26,15 @@ type faultState struct {
 // errFailStop is the cause carried by injected kills.
 var errFailStop = errors.New("fail-stop injected by fault plan")
 
-// armFaults prepares per-rank injection state for the plan (nil = no-op).
+// armFaults arms the plan (nil = no-op). Per-rank state is not touched
+// here: kill thresholds are applied as shards materialize (shard.go), and
+// link-ordinal arrays are allocated on a rank's first faulted send — so
+// arming costs O(1) instead of O(ranks²) at extreme scale.
 func (w *World) armFaults(plan *fault.Plan) {
 	if plan == nil {
 		return
 	}
 	w.fi = &faultState{plan: plan, hasLink: plan.HasLinkRules()}
-	for _, rs := range w.ranks {
-		if at, ok := plan.KillAfter(rs.id); ok {
-			rs.killAt = at
-		}
-		if w.fi.hasLink {
-			rs.linkSeq = make([]uint64, w.cfg.Ranks)
-		}
-	}
 }
 
 // countOp advances the rank's p2p op counter and fail-stops the rank when
@@ -60,6 +55,12 @@ func (c *Comm) countOp() {
 // possibly-updated (dropped, nbytes, transfer).
 func (c *Comm) applyLinkFaults(srcWorld, dstWorld, nbytes, vbytes int, transfer float64) (bool, int, float64) {
 	rs := c.rs
+	if rs.linkSeq == nil {
+		// First faulted send of this rank: allocate its link ordinals now
+		// instead of for every declared rank at arm time. Sender-owned, so
+		// no synchronization is needed.
+		rs.linkSeq = make([]uint64, rs.world.cfg.Ranks)
+	}
 	idx := rs.linkSeq[dstWorld]
 	rs.linkSeq[dstWorld]++
 	w := rs.world

@@ -67,21 +67,31 @@ type poisonInfo struct {
 	deathT float64
 }
 
-// poison marks the box revoked and wakes every parked receive with a
-// poison envelope. Idempotent; the first reason wins. Queued sends stay
-// matchable: a message that was already delivered before the failure can
-// still be received, mirroring ULFM's completion of already-matched
-// operations.
-func (b *mailbox) poison(pi *poisonInfo) {
-	b.mu.Lock()
-	if b.fail == nil {
-		b.fail = pi
+// poison marks every box of the shard revoked and wakes its parked
+// receives with poison envelopes. Idempotent; the first reason wins.
+// Queued sends stay matchable: a message that was already delivered before
+// the failure can still be received, mirroring ULFM's completion of
+// already-matched operations. The shard-level pi also covers slabs that
+// have not materialized yet — their boxes are born poisoned.
+func (sh *boxShard) poison(pi *poisonInfo) {
+	sh.mu.Lock()
+	if sh.pi == nil {
+		sh.pi = pi
 	}
-	pi = b.fail
-	recvs := b.recvs
-	b.recvs = nil
-	b.mu.Unlock()
-	for _, p := range recvs {
+	pi = sh.pi
+	var woken []*posted
+	for i := range sh.slab {
+		b := &sh.slab[i]
+		if b.fail == nil {
+			b.fail = pi
+		}
+		if len(b.recvs) > 0 {
+			woken = append(woken, b.recvs...)
+			b.recvs = nil
+		}
+	}
+	sh.mu.Unlock()
+	for _, p := range woken {
 		e := newEnvelope()
 		e.src = -1
 		e.fail = pi
@@ -109,8 +119,8 @@ func (cs *commShared) revoke(pi *poisonInfo) {
 		cs.pi = pi
 		close(cs.revoked)
 	})
-	for _, b := range cs.boxes {
-		b.poison(pi)
+	for i := range cs.boxShards {
+		cs.boxShards[i].poison(pi)
 	}
 }
 

@@ -149,10 +149,10 @@ func TestQueuedMessageSurvivesRevoke(t *testing.T) {
 			if _, _, err := c.Iprobe(0, 5); err != nil {
 				return err
 			}
-			box := c.shared.boxes[c.rank]
-			box.mu.Lock()
+			sh, box := c.shared.box(c.rank)
+			sh.mu.Lock()
 			poisoned := box.fail != nil
-			box.mu.Unlock()
+			sh.mu.Unlock()
 			if poisoned {
 				break
 			}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/fault"
 )
@@ -78,9 +79,12 @@ func (p *posted) matches(e *envelope) bool {
 		(p.tag == AnyTag || p.tag == e.tag)
 }
 
-// mailbox holds the unmatched traffic addressed to one rank.
+// mailbox holds the unmatched traffic addressed to one rank. Boxes have no
+// lock of their own: they live in boxShard slabs, and all queue access goes
+// through the owning shard's mutex (one lock per shardSize ranks, which
+// also lets a batched fan-out deliver a whole run of messages under a
+// single acquisition).
 type mailbox struct {
-	mu    sync.Mutex
 	sends []*envelope
 	recvs []*posted
 	// fail is set when the owning communicator is revoked (ft.go): new
@@ -89,28 +93,59 @@ type mailbox struct {
 	fail *poisonInfo
 }
 
-func newMailbox() *mailbox { return &mailbox{} }
+// boxShard is one shard's worth of a communicator's mailboxes. Like rank
+// shards, the slab materializes on first touch, so a 10k-rank communicator
+// allocates mailbox state only for the shards traffic actually reaches.
+type boxShard struct {
+	mu    sync.Mutex
+	ready atomic.Bool
+	slab  []mailbox
+	// pi records a revocation that arrived before (or while) the slab
+	// materialized: boxes created later are born poisoned.
+	pi *poisonInfo
+}
 
-// deliver matches e against posted receives or queues it. Called with the
-// box unlocked. A non-nil return means the box is poisoned: the message
+// materialize allocates the slab for a shard covering ranks [lo, lo+n) of
+// a group of groupLen members.
+func (sh *boxShard) materialize(groupLen, lo int) {
+	sh.mu.Lock()
+	if !sh.ready.Load() {
+		n := groupLen - lo
+		if n > shardSize {
+			n = shardSize
+		}
+		slab := make([]mailbox, n)
+		if sh.pi != nil {
+			for i := range slab {
+				slab[i].fail = sh.pi
+			}
+		}
+		sh.slab = slab
+		sh.ready.Store(true)
+	}
+	sh.mu.Unlock()
+}
+
+// deliver matches e against the box's posted receives or queues it, under
+// the shard lock. A non-nil return means the box is poisoned: the message
 // was not delivered and the sender must fail with the carried reason.
-func (b *mailbox) deliver(e *envelope) *poisonInfo {
-	b.mu.Lock()
+func (sh *boxShard) deliver(b *mailbox, e *envelope) *poisonInfo {
+	sh.mu.Lock()
 	if pi := b.fail; pi != nil {
-		b.mu.Unlock()
+		sh.mu.Unlock()
 		freeEnvelope(e)
 		return pi
 	}
 	for i, p := range b.recvs {
 		if p.matches(e) {
 			b.recvs = append(b.recvs[:i], b.recvs[i+1:]...)
-			b.mu.Unlock()
+			sh.mu.Unlock()
 			p.ch <- e
 			return nil
 		}
 	}
 	b.sends = append(b.sends, e)
-	b.mu.Unlock()
+	sh.mu.Unlock()
 	return nil
 }
 
@@ -118,25 +153,32 @@ func (b *mailbox) deliver(e *envelope) *poisonInfo {
 // either an immediately matched envelope or nil, in which case the caller
 // waits on p.ch. On a poisoned box with no queued match it returns a
 // poison envelope instead of parking the receive forever.
-func (b *mailbox) post(p *posted) *envelope {
-	b.mu.Lock()
+func (sh *boxShard) post(b *mailbox, p *posted) *envelope {
+	sh.mu.Lock()
 	for i, e := range b.sends {
 		if p.matches(e) {
 			b.sends = append(b.sends[:i], b.sends[i+1:]...)
-			b.mu.Unlock()
+			sh.mu.Unlock()
 			return e
 		}
 	}
 	if pi := b.fail; pi != nil {
-		b.mu.Unlock()
+		sh.mu.Unlock()
 		e := newEnvelope()
 		e.src = -1
 		e.fail = pi
 		return e
 	}
 	b.recvs = append(b.recvs, p)
-	b.mu.Unlock()
+	sh.mu.Unlock()
 	return nil
+}
+
+// postedMatch pairs a matched receive with its envelope so batched delivery
+// can complete the channel handoffs after the shard lock drops.
+type postedMatch struct {
+	p *posted
+	e *envelope
 }
 
 // Request represents a nonblocking operation; Wait completes it.
@@ -237,13 +279,152 @@ func (c *Comm) sendInternal(dst, tag int, data []byte, nbytes, vbytes int, ghost
 			copy(buf, data[:n])
 			e.data = buf
 		}
-		if pi := c.shared.boxes[dst].deliver(e); pi != nil {
+		sh, box := c.shared.box(dst)
+		if pi := sh.deliver(box, e); pi != nil {
 			return fmt.Errorf("mpi: rank %d: Send to rank %d failed: %w", c.rank, dst, pi.reason)
+		}
+		if w.lazy {
+			// Session bring-up: a first message into a dormant shard
+			// materializes it, so the receiver exists by the time anyone
+			// waits on it.
+			w.nudge(dstWorld)
 		}
 	}
 
 	for _, t := range w.cfg.Tools {
 		t.MessageSent(c, dst, tag, vbytes, c.rs.now())
+	}
+	return nil
+}
+
+// SendGhostBatch posts one ghost message per destination — the fan-out
+// counterpart of SendGhost. Message i is exactly equivalent to
+// SendGhost(dsts[i], tag, nbytes[i], vbytes[i]) called in order: per-message
+// overheads, modeled transfer times, send stamps and tool hooks are
+// identical, so sweeps switching a scatter loop to the batch produce
+// byte-identical CSVs. The payoff is delivery: envelopes addressed to
+// consecutive destinations in the same mailbox shard are enqueued under a
+// single shard-lock acquisition instead of one per message. With a fault
+// plan armed the call degrades to per-message SendGhost so injected
+// link-fault schedules stay identical. On a revoked communicator a prefix
+// of the batch may already have been delivered when the error returns.
+func (c *Comm) SendGhostBatch(dsts []int, tag int, nbytes, vbytes []int) error {
+	if len(dsts) != len(nbytes) || len(dsts) != len(vbytes) {
+		return fmt.Errorf("mpi: SendGhostBatch length mismatch (%d dsts, %d nbytes, %d vbytes)",
+			len(dsts), len(nbytes), len(vbytes))
+	}
+	if len(dsts) == 0 {
+		return nil
+	}
+	w := c.rs.world
+	if w.fi != nil {
+		for i, dst := range dsts {
+			if err := c.SendGhost(dst, tag, nbytes[i], vbytes[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if tag < 0 && tag > internalTagBase {
+		return fmt.Errorf("mpi: negative tag %d is reserved", tag)
+	}
+	for i, dst := range dsts {
+		if dst < 0 || dst >= c.Size() {
+			return fmt.Errorf("mpi: Send to invalid rank %d (size %d)", dst, c.Size())
+		}
+		if nbytes[i] < 0 {
+			return fmt.Errorf("mpi: negative ghost size %d", nbytes[i])
+		}
+		if vbytes[i] < 0 {
+			return fmt.Errorf("mpi: negative virtual size %d", vbytes[i])
+		}
+	}
+
+	// Charge and stamp every message first, in order, exactly as the
+	// sequential loop would.
+	model := w.cfg.Model
+	srcWorld := c.shared.group[c.rank]
+	contenders := w.placement.NodesInUse()
+	envs := c.rs.batchEnvs[:0]
+	sendTs := c.rs.batchSendTs[:0]
+	for i, dst := range dsts {
+		c.rs.advance(model.Net.SendOverhead)
+		dstWorld := c.shared.group[dst]
+		transfer := model.MsgTime(vbytes[i], w.placement.SameNode(srcWorld, dstWorld), contenders, c.rs.rng)
+		e := newEnvelope()
+		e.src, e.tag = c.rank, tag
+		e.nbytes, e.vbytes = nbytes[i], vbytes[i]
+		e.sendT = c.rs.now()
+		e.arrival = e.sendT + transfer
+		envs = append(envs, e)
+		sendTs = append(sendTs, e.sendT)
+	}
+	c.rs.batchEnvs = envs
+	c.rs.batchSendTs = sendTs
+
+	// Deliver in runs of consecutive same-shard destinations, each run
+	// under one shard-lock acquisition. Matched receives are woken after
+	// the lock drops, preserving the unlocked-handoff discipline of the
+	// single-message path.
+	var failPi *poisonInfo
+	failAt := len(dsts)
+	delivered := 0
+	for i := 0; i < len(dsts) && failPi == nil; {
+		s := dsts[i] >> shardBits
+		j := i + 1
+		for j < len(dsts) && dsts[j]>>shardBits == s {
+			j++
+		}
+		sh, _ := c.shared.box(dsts[i])
+		matches := c.rs.batchMatches[:0]
+		sh.mu.Lock()
+		for k := i; k < j; k++ {
+			b := &sh.slab[dsts[k]&shardMask]
+			if pi := b.fail; pi != nil {
+				failPi, failAt = pi, k
+				break
+			}
+			e := envs[k]
+			matched := false
+			for ri, p := range b.recvs {
+				if p.matches(e) {
+					b.recvs = append(b.recvs[:ri], b.recvs[ri+1:]...)
+					matches = append(matches, postedMatch{p: p, e: e})
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				b.sends = append(b.sends, e)
+			}
+		}
+		sh.mu.Unlock()
+		for _, m := range matches {
+			m.p.ch <- m.e
+		}
+		c.rs.batchMatches = matches[:0]
+		if failPi == nil {
+			delivered = j
+		} else {
+			delivered = failAt
+		}
+		if w.lazy {
+			for k := i; k < delivered; k++ {
+				w.nudge(c.shared.group[dsts[k]])
+			}
+		}
+		i = j
+	}
+	for _, t := range w.cfg.Tools {
+		for k := 0; k < delivered; k++ {
+			t.MessageSent(c, dsts[k], tag, vbytes[k], sendTs[k])
+		}
+	}
+	if failPi != nil {
+		for k := failAt; k < len(envs); k++ {
+			freeEnvelope(envs[k])
+		}
+		return fmt.Errorf("mpi: rank %d: Send to rank %d failed: %w", c.rank, dsts[failAt], failPi.reason)
 	}
 	return nil
 }
@@ -259,7 +440,8 @@ func (c *Comm) Irecv(src, tag int) (*Request, error) {
 	}
 	p := newPosted(src, tag)
 	req := &Request{comm: c, pending: p, src: src, postT: c.rs.now()}
-	if e := c.shared.boxes[c.rank].post(p); e != nil {
+	sh, box := c.shared.box(c.rank)
+	if e := sh.post(box, p); e != nil {
 		req.env = e
 		req.pending = nil
 		freePosted(p) // never waited on: channel untouched
@@ -279,7 +461,8 @@ func (c *Comm) recvEnvelope(src, tag int) (*envelope, error) {
 	}
 	p := newPosted(src, tag)
 	postT := c.rs.now()
-	e := c.shared.boxes[c.rank].post(p)
+	sh, box := c.shared.box(c.rank)
+	e := sh.post(box, p)
 	if e == nil {
 		if c.rs.blk != nil {
 			c.rs.enterBlocked(c, "Recv", src, tag)
@@ -327,6 +510,10 @@ func (c *Comm) completeRecv(e *envelope, postT float64) {
 	model := c.rs.world.cfg.Model
 	c.rs.advance(model.Net.RecvOverhead)
 	c.rs.advanceTo(e.arrival)
+	// Lazy clock synchronization: communication completion is where a
+	// rank's progress becomes observable, so publish it to the shard
+	// frontier here (never under any lock).
+	c.rs.shard.noteClock(c.rs.clock)
 	tools := c.rs.world.cfg.Tools
 	if len(tools) == 0 {
 		return
@@ -411,9 +598,9 @@ func (c *Comm) Iprobe(src, tag int) (Status, bool, error) {
 		return Status{}, false, fmt.Errorf("mpi: Iprobe from invalid rank %d (size %d)", src, c.Size())
 	}
 	probe := posted{src: src, tag: tag}
-	box := c.shared.boxes[c.rank]
-	box.mu.Lock()
-	defer box.mu.Unlock()
+	sh, box := c.shared.box(c.rank)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	for _, e := range box.sends {
 		if probe.matches(e) {
 			return Status{Source: e.src, Tag: e.tag, Bytes: e.vbytes}, true, nil

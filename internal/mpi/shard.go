@@ -1,0 +1,225 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/stats"
+)
+
+// Sharded rank state. Per-rank runtime context lives in fixed-size shard
+// slabs instead of one flat array of pointers: a shard's slab (and the rank
+// goroutines it backs) is materialized on first touch — by the background
+// spawner of a lazy run, or by the first message addressed into the shard —
+// so a 10,000-rank world does not pay 10,000 allocations and goroutine
+// launches before the first byte moves. Each shard also carries a virtual-
+// clock frontier, a lock-free high-water mark its ranks publish at
+// communication points; cross-shard time observation (live gauges, the
+// run report) folds the per-shard frontiers instead of taking any global
+// lock.
+
+const (
+	// shardBits sets the shard granularity: 1<<shardBits ranks per shard.
+	// 256 keeps slab allocation coarse enough to amortize (a 10k-rank world
+	// is 40 slabs) while small enough that a lazy session touching a few
+	// ranks materializes little.
+	shardBits = 8
+	shardSize = 1 << shardBits
+	shardMask = shardSize - 1
+)
+
+// rankShard holds the runtime state of up to shardSize consecutive world
+// ranks. The states slab is allocated under mu on first touch and then
+// immutable in shape; pointer stability of &states[i] is what lets the rest
+// of the runtime hold *rankState across the run.
+type rankShard struct {
+	lo int // first world rank covered
+	n  int // ranks covered (the last shard may be partial)
+
+	mu    sync.Mutex
+	ready atomic.Bool // states materialized and goroutines launched
+	// spawned counts the active ranks this shard launched (gauge input).
+	spawned int
+
+	states []rankState
+	blks   []blockedInfo // deadlock-detector slots; nil unless armed
+
+	// frontier is the shard's virtual-clock high-water mark, float64 bits.
+	// Ranks publish lazily at communication points (completeRecv) and at
+	// finish; non-negative clocks make the bit pattern order-preserving,
+	// but noteClock compares as float64 anyway.
+	frontier atomic.Uint64
+}
+
+// noteClock raises the shard frontier to at least t.
+func (sh *rankShard) noteClock(t float64) {
+	for {
+		cur := sh.frontier.Load()
+		if math.Float64frombits(cur) >= t {
+			return
+		}
+		if sh.frontier.CompareAndSwap(cur, math.Float64bits(t)) {
+			return
+		}
+	}
+}
+
+// shardOf returns the shard header covering a world rank. Headers exist for
+// the whole world from Run on; only slabs are lazy.
+func (w *World) shardOf(rank int) *rankShard { return &w.shards[rank>>shardBits] }
+
+// isActive reports whether a world rank participates in the session.
+func (w *World) isActive(rank int) bool {
+	return w.active == nil || w.active(rank)
+}
+
+// ensureShard materializes the shard's state slab and launches the rank
+// goroutines of its active ranks. Idempotent and safe from any goroutine;
+// the double-checked ready flag keeps the post-materialization cost at one
+// atomic load.
+func (w *World) ensureShard(sh *rankShard) {
+	if sh.ready.Load() {
+		return
+	}
+	sh.mu.Lock()
+	if sh.ready.Load() {
+		sh.mu.Unlock()
+		return
+	}
+	sh.states = make([]rankState, sh.n)
+	if w.detect {
+		sh.blks = make([]blockedInfo, sh.n)
+	}
+	spawned := 0
+	for i := range sh.states {
+		rank := sh.lo + i
+		rs := &sh.states[i]
+		rs.id = rank
+		rs.world = w
+		rs.shard = sh
+		rs.start = w.startT
+		if w.detect {
+			rs.blk = &sh.blks[i]
+			rs.blk.peer = -1
+		}
+		if !w.isActive(rank) {
+			// Inactive ranks never run and never count as live: the
+			// detector sees them as already finished.
+			if rs.blk != nil {
+				rs.blk.state = blkFinished
+			}
+			continue
+		}
+		rs.rng = stats.NewRNG(mixSeed(w.cfg.Seed, uint64(rank)))
+		if fi := w.fi; fi != nil {
+			if at, ok := fi.plan.KillAfter(rank); ok {
+				rs.killAt = at
+			}
+		}
+		spawned++
+	}
+	sh.spawned = spawned
+	sh.ready.Store(true)
+	sh.mu.Unlock()
+	w.materialized.Add(int64(spawned))
+	for i := range sh.states {
+		rs := &sh.states[i]
+		if rs.rng == nil {
+			continue // inactive
+		}
+		go w.rankMain(rs)
+	}
+}
+
+// nudge materializes the shard of a world rank a message was just delivered
+// to — the communication-driven half of lazy bring-up. Only called on lazy
+// runs; the background spawner covers shards nobody sends to.
+func (w *World) nudge(worldRank int) {
+	sh := w.shardOf(worldRank)
+	if !sh.ready.Load() {
+		w.ensureShard(sh)
+	}
+}
+
+// spawnAll is the lazy run's background spawner: it walks the shards in
+// order so every active rank's goroutine eventually launches even if no
+// message ever targets its shard. Demand nudges from senders overtake it
+// for communication-hot shards.
+func (w *World) spawnAll() {
+	for s := range w.shards {
+		select {
+		case <-w.aborted:
+			return
+		default:
+		}
+		w.ensureShard(&w.shards[s])
+	}
+}
+
+// rankMain is one rank goroutine: the MPI_MAIN-wrapped execution of the
+// run's rank function, with panic recovery and death propagation.
+func (w *World) rankMain(rs *rankState) {
+	defer w.wg.Done()
+	rank := rs.id
+	comm := &Comm{shared: w.worldComm, rank: rank, rs: rs}
+	defer func() {
+		if p := recover(); p != nil {
+			re := &RankError{Rank: rank}
+			if kp, ok := p.(*killPanic); ok {
+				re.Section, re.Err, re.killed = kp.section, kp.err, true
+			} else {
+				re.Section = comm.sectionLabel()
+				re.Err = fmt.Errorf("panic: %v", p)
+			}
+			w.errs[rank] = re
+			w.rankDied(rank, re, rs.now())
+		}
+		rs.markFinished()
+		t := rs.now()
+		w.finals[rank] = t
+		rs.shard.noteClock(t)
+	}()
+	comm.SectionEnter(MainSection)
+	err := w.runFn(comm)
+	comm.SectionExit(MainSection)
+	if err != nil {
+		// An erroring rank has left the computation: propagate its
+		// departure so peers blocked on it unwind too.
+		re := &RankError{Rank: rank, Section: comm.sectionLabel(), Err: err}
+		w.errs[rank] = re
+		w.rankDied(rank, re, rs.now())
+	}
+}
+
+// RuntimeStats exposes live gauges of a running (or finished) world. Tools
+// receive one via WorldInfo.Stats at Init and may poll it concurrently
+// while the run executes — monitors report rank bring-up and virtual-time
+// progress without touching any runtime lock.
+type RuntimeStats struct{ w *World }
+
+// DeclaredRanks reports the world size of the run (Config.Ranks).
+func (s *RuntimeStats) DeclaredRanks() int { return s.w.cfg.Ranks }
+
+// ActiveRanks reports how many declared ranks participate in the session
+// (all of them unless Config.Active restricts the set).
+func (s *RuntimeStats) ActiveRanks() int { return s.w.activeCount }
+
+// MaterializedRanks reports how many active ranks have had their state
+// materialized and goroutine launched so far. On a lazy run it climbs from
+// 0 as shards spin up; on an eager run it equals ActiveRanks from the
+// start.
+func (s *RuntimeStats) MaterializedRanks() int { return int(s.w.materialized.Load()) }
+
+// Frontier reports the largest virtual-clock frontier any shard has
+// published — the run's current virtual-time high-water mark.
+func (s *RuntimeStats) Frontier() float64 {
+	var max float64
+	for i := range s.w.shards {
+		if t := math.Float64frombits(s.w.shards[i].frontier.Load()); t > max {
+			max = t
+		}
+	}
+	return max
+}

@@ -11,6 +11,10 @@ type WorldInfo struct {
 	Size           int
 	ThreadsPerRank int
 	Model          *machine.Model
+	// Stats exposes live runtime gauges (declared vs. materialized ranks,
+	// virtual-clock frontier); safe to poll from any goroutine while the
+	// run executes. May be nil for WorldInfo values constructed by tests.
+	Stats *RuntimeStats
 }
 
 // ToolDataSize is the size of the opaque per-section tool payload the

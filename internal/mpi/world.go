@@ -54,6 +54,21 @@ type Config struct {
 	// with a DeadlockError listing each rank's parked operation. 0
 	// disables detection (and its per-rank bookkeeping entirely).
 	Deadline time.Duration
+	// Lazy enables session-style rank bring-up: rank state and goroutines
+	// are materialized shard by shard — by a background spawner and on
+	// demand when a message first targets a shard — instead of all at
+	// Run(). Virtual times, CSVs and tool hooks are identical to an eager
+	// run; only real-time bring-up order changes. Huge worlds start
+	// producing traffic while most of their ranks are still unmaterialized.
+	Lazy bool
+	// Active restricts the run to a session: fn executes only on ranks for
+	// which Active returns true, and ranks outside the session are never
+	// materialized (they report a zero final clock). Implies Lazy. The
+	// world communicator still spans every declared rank, so a session
+	// must confine collectives (including Split) to communicators whose
+	// members are all active; point-to-point traffic between active ranks
+	// is unrestricted. nil means every rank is active.
+	Active func(rank int) bool
 }
 
 func (c *Config) withDefaults() (Config, error) {
@@ -81,15 +96,36 @@ type Report struct {
 	Faults []fault.Event
 	// Dead lists the world ranks that failed, ascending.
 	Dead []int
+	// DeclaredRanks is the configured world size; ActiveRanks how many of
+	// them the session ran fn on; MaterializedRanks how many active ranks
+	// the runtime actually brought up (equal to ActiveRanks unless the run
+	// aborted before lazy bring-up completed).
+	DeclaredRanks     int
+	ActiveRanks       int
+	MaterializedRanks int
 }
 
 // World owns the shared state of one run.
 type World struct {
 	cfg       Config
 	placement *machine.Placement
-	ranks     []*rankState
-	nextComm  int64
-	commMu    sync.Mutex
+	// shards covers the declared ranks in fixed-size slabs (shard.go).
+	// Headers exist from Run; state slabs materialize on first touch.
+	shards   []rankShard
+	nextComm int64
+	commMu   sync.Mutex
+
+	// Session / lazy bring-up (shard.go).
+	lazy         bool           // lazy materialization enabled
+	active       func(int) bool // nil = all ranks active
+	activeCount  int            // ranks the session runs fn on
+	runFn        func(*Comm) error
+	worldComm    *commShared
+	errs         []error   // per-world-rank errors, written by rankMain
+	finals       []float64 // per-world-rank final clocks
+	wg           sync.WaitGroup
+	startT       time.Time
+	materialized atomic.Int64 // active ranks brought up so far
 
 	sectionErrMu sync.Mutex
 	sectionErrs  []error
@@ -118,16 +154,24 @@ type World struct {
 	// len() == 0 in the common (unobserved) case.
 	computeObs []ComputeObserver
 
-	// Deadlock detection (deadlock.go).
-	progress atomic.Uint64
+	// Deadlock detection (deadlock.go). detect arms the per-rank
+	// bookkeeping; liveRanks/blockedRanks are the O(1) counters the
+	// detector tick reads instead of scanning every rank.
+	detect       bool
+	progress     atomic.Uint64
+	liveRanks    atomic.Int64
+	blockedRanks atomic.Int64
 }
 
 // rankState is the per-rank mutable context, touched only by its goroutine.
+// States live in shard slabs (shard.go); rng == nil marks a rank outside
+// the session, whose state exists but never runs.
 type rankState struct {
 	id    int
 	clock float64
 	rng   *stats.RNG
 	world *World
+	shard *rankShard
 	start time.Time // wallclock epoch (Wallclock mode only)
 
 	// Scratch buffers for the typed send path and the tree collectives.
@@ -138,6 +182,14 @@ type rankState struct {
 	encScratch []byte    // wire encoding for typed sends
 	accScratch []float64 // reduction accumulator
 	vecScratch []float64 // decoded peer contribution during reductions
+	// Batched-delivery scratch (SendGhostBatch): prepared envelopes, the
+	// matched receives to wake after the shard lock drops, and the
+	// sender-owned copy of each message's send stamp — envelope ownership
+	// transfers at delivery, so the tool hooks must not read envelopes
+	// the receivers may already have freed.
+	batchEnvs    []*envelope
+	batchMatches []postedMatch
+	batchSendTs  []float64
 
 	// Fault injection (nil/zero unless a plan is armed; see armFaults).
 	ops     uint64   // point-to-point op counter
@@ -208,25 +260,45 @@ func Run(cfg Config, fn func(*Comm) error) (*Report, error) {
 	w.dead = make([]bool, c.Ranks)
 	w.ftPending = make(map[*ftState]struct{})
 	w.aborted = make(chan struct{})
-	w.ranks = make([]*rankState, c.Ranks)
-	for i := range w.ranks {
-		w.ranks[i] = &rankState{
-			id:    i,
-			rng:   stats.NewRNG(mixSeed(c.Seed, uint64(i))),
-			world: w,
+	w.runFn = fn
+	w.active = c.Active
+	w.lazy = c.Lazy || c.Active != nil
+	w.detect = c.Deadline > 0
+
+	// Shard headers for the whole world; slabs materialize on first touch.
+	nShards := (c.Ranks + shardSize - 1) / shardSize
+	w.shards = make([]rankShard, nShards)
+	for s := range w.shards {
+		sh := &w.shards[s]
+		sh.lo = s << shardBits
+		sh.n = c.Ranks - sh.lo
+		if sh.n > shardSize {
+			sh.n = shardSize
 		}
 	}
+	w.activeCount = c.Ranks
+	if w.active != nil {
+		w.activeCount = 0
+		for i := 0; i < c.Ranks; i++ {
+			if w.active(i) {
+				w.activeCount++
+			}
+		}
+	}
+
 	w.armFaults(c.Fault)
 	var det *detector
-	if c.Deadline > 0 {
+	if w.detect {
+		w.liveRanks.Store(int64(w.activeCount))
 		det = newDetector(w, c.Deadline)
 	}
-	shared := w.newCommShared(identityGroup(c.Ranks))
+	w.worldComm = w.newCommShared(identityGroup(c.Ranks))
 
 	info := &WorldInfo{
 		Size:           c.Ranks,
 		ThreadsPerRank: c.ThreadsPerRank,
 		Model:          c.Model,
+		Stats:          &RuntimeStats{w: w},
 	}
 	for _, tool := range c.Tools {
 		tool.Init(info)
@@ -238,47 +310,22 @@ func Run(cfg Config, fn func(*Comm) error) (*Report, error) {
 		}
 	}
 
-	errs := make([]error, c.Ranks)
-	finals := make([]float64, c.Ranks)
+	w.errs = make([]error, c.Ranks)
+	w.finals = make([]float64, c.Ranks)
 	done := make(chan struct{})
-	start := time.Now()
-	var wg sync.WaitGroup
-	wg.Add(c.Ranks)
-	for i := 0; i < c.Ranks; i++ {
-		w.ranks[i].start = start
-		go func(rank int) {
-			defer wg.Done()
-			rs := w.ranks[rank]
-			comm := &Comm{shared: shared, rank: rank, rs: rs}
-			defer func() {
-				if p := recover(); p != nil {
-					re := &RankError{Rank: rank}
-					if kp, ok := p.(*killPanic); ok {
-						re.Section, re.Err, re.killed = kp.section, kp.err, true
-					} else {
-						re.Section = comm.sectionLabel()
-						re.Err = fmt.Errorf("panic: %v", p)
-					}
-					errs[rank] = re
-					w.rankDied(rank, re, rs.now())
-				}
-				rs.markFinished()
-				finals[rank] = rs.now()
-			}()
-			comm.SectionEnter(MainSection)
-			err := fn(comm)
-			comm.SectionExit(MainSection)
-			if err != nil {
-				// An erroring rank has left the computation: propagate
-				// its departure so peers blocked on it unwind too.
-				re := &RankError{Rank: rank, Section: comm.sectionLabel(), Err: err}
-				errs[rank] = re
-				w.rankDied(rank, re, rs.now())
-			}
-		}(i)
+	w.startT = time.Now()
+	w.wg.Add(w.activeCount)
+	if w.lazy {
+		// Session bring-up: a background spawner walks the shards in order
+		// while senders demand-materialize the shards they first target.
+		go w.spawnAll()
+	} else {
+		for s := range w.shards {
+			w.ensureShard(&w.shards[s])
+		}
 	}
 	go func() {
-		wg.Wait()
+		w.wg.Wait()
 		close(done)
 	}()
 	if det != nil {
@@ -304,11 +351,16 @@ func Run(cfg Config, fn func(*Comm) error) (*Report, error) {
 		<-done
 	}
 
-	rep := &Report{RankTimes: make([]float64, c.Ranks)}
-	for i := range w.ranks {
-		rep.RankTimes[i] = finals[i]
-		if finals[i] > rep.WallTime {
-			rep.WallTime = finals[i]
+	rep := &Report{
+		RankTimes:         make([]float64, c.Ranks),
+		DeclaredRanks:     c.Ranks,
+		ActiveRanks:       w.activeCount,
+		MaterializedRanks: int(w.materialized.Load()),
+	}
+	for i := range w.finals {
+		rep.RankTimes[i] = w.finals[i]
+		if w.finals[i] > rep.WallTime {
+			rep.WallTime = w.finals[i]
 		}
 	}
 	rep.Faults = w.faultLog()
@@ -318,7 +370,7 @@ func Run(cfg Config, fn func(*Comm) error) (*Report, error) {
 	}
 
 	var all []error
-	for _, e := range errs {
+	for _, e := range w.errs {
 		if e != nil {
 			all = append(all, e)
 		}
