@@ -1,7 +1,8 @@
 // Command benchsweep times the EXPERIMENTS.md regeneration targets E1–E9,
 // the POP-enabled sweep-CSV target E11, and the extreme-scale targets
-// E12 (10k-rank 2-D convolution sweep) and E13 (4k-rank LULESH point),
-// and writes BENCH_sweep.json — the repository's perf trajectory. Each
+// E12 (10k-rank 2-D convolution sweep), E13 (4k-rank LULESH point) and
+// E14 (the E12 sweep with the streaming telemetry tool attached), and
+// writes BENCH_sweep.json — the repository's perf trajectory. Each
 // entry records the wall-clock time, heap allocation count/bytes and the
 // process peak RSS after regenerating one figure exactly the way the bench
 // binaries do, so a PR that slows a sweep down or reintroduces per-message
@@ -210,6 +211,18 @@ func main() {
 		{"E13", "Extreme-scale LULESH point (4096 ranks, lazy runtime)", func() error {
 			_, err := experiments.RunExtremeLulesh(experiments.DefaultExtremeLuleshOptions())
 			return err
+		}},
+		{"E14", "Extreme-scale sweep with streaming telemetry attached (live Eq. 6 + POP)", func() error {
+			opts := extremeOpts
+			opts.Profile = true
+			res, err := experiments.RunConvolution(opts)
+			if err != nil {
+				return err
+			}
+			if res.LargestProfile() == nil {
+				return fmt.Errorf("E14: no telemetry profile produced")
+			}
+			return res.WriteCSV(io.Discard)
 		}},
 	}
 

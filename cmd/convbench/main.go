@@ -5,9 +5,15 @@
 // Usage:
 //
 //	convbench [-fig 5a|5b|5c|5d|6|all] [-quick] [-extreme] [-reps N] [-steps N]
-//	          [-seed N] [-out results] [-csv out.csv] [-j N] [-verify]
-//	          [-fault-spec SPEC] [-fault-seed N] [-deadline D]
+//	          [-seed N] [-out results] [-csv out.csv] [-profile prof.json]
+//	          [-j N] [-verify] [-fault-spec SPEC] [-fault-seed N] [-deadline D]
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// With -profile the constant-memory streaming telemetry tool rides along on
+// every point's rep-0 run; the largest completed point's summary (live
+// Eq. 6 bounds, POP factors, Fig. 3 imbalance, heatmap, exemplars) is
+// written as JSON and its binding diagnosis printed. Unlike -fault tracing
+// this adds O(1) memory per rank shard, so it composes with -extreme.
 //
 // With -verify the runtime section/collective verifier rides along on every
 // run and the command exits nonzero if any contract violation is detected.
@@ -52,6 +58,7 @@ func main() {
 	steps := flag.Int("steps", 0, "override convolution steps")
 	seed := flag.Uint64("seed", 0, "override base seed")
 	csvPath := flag.String("csv", "", "also write the raw sweep as CSV")
+	profilePath := flag.String("profile", "", "attach streaming telemetry and write the largest point's profile summary (JSON) to this file")
 	outDir := flag.String("out", "", "directory for output artifacts (created if missing; default CWD)")
 	plot := flag.Bool("plot", false, "also draw ASCII charts for Figs. 5(c) and 5(d)")
 	weak := flag.Bool("weak", false, "additionally run the weak-scaling (Gustafson) sweep")
@@ -101,6 +108,7 @@ func main() {
 	opts.Fault = plan
 	opts.Deadline = *deadline
 	opts.Verify = *verifyRuns
+	opts.Profile = *profilePath != ""
 
 	fmt.Printf("machine: %s  |  image 5616x3744 RGB, %d steps, %d reps, scales %v\n\n",
 		opts.Model.Name, opts.Steps, opts.Reps, opts.Ps)
@@ -207,6 +215,22 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("raw sweep written to %s\n", path)
+	}
+
+	if *profilePath != "" {
+		prof := res.LargestProfile()
+		if prof == nil {
+			log.Fatal("profile: every profiled point failed; no summary to write")
+		}
+		path, err := resolveOut(*outDir, *profilePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := prof.WriteFile(path); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("telemetry: %s\n", prof.Summary())
+		fmt.Printf("telemetry summary written to %s\n", path)
 	}
 
 	if err := stopProfiles(); err != nil {

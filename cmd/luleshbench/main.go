@@ -5,8 +5,13 @@
 // Usage:
 //
 //	luleshbench [-fig 7|8|9|10|all] [-quick] [-steps N] [-seed N]
-//	            [-out results] [-csv out.csv] [-j N] [-verify]
+//	            [-out results] [-csv out.csv] [-profile prof.json]
+//	            [-j N] [-verify]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// With -profile the constant-memory streaming telemetry tool rides along on
+// every KNL sweep cell; the deepest completed cell's summary is written as
+// JSON and its binding diagnosis printed.
 //
 // With -verify the runtime section/collective verifier rides along on every
 // run and the command exits nonzero if any contract violation is detected.
@@ -38,6 +43,7 @@ func main() {
 	steps := flag.Int("steps", 0, "override timesteps per run")
 	seed := flag.Uint64("seed", 0, "override seed")
 	csvPath := flag.String("csv", "", "also write the KNL sweep as CSV")
+	profilePath := flag.String("profile", "", "attach streaming telemetry to the KNL sweep and write the deepest cell's profile summary (JSON) to this file")
 	outDir := flag.String("out", "", "directory for output artifacts (created if missing; default CWD)")
 	plot := flag.Bool("plot", false, "also draw ASCII charts for the sweeps")
 	inspect := flag.Bool("inspect", false, "run one p=8 configuration and print the section tree, load-balance report and communication matrix")
@@ -80,7 +86,7 @@ func main() {
 	var violations []verify.Violation
 
 	needBW := *fig == "8" || *fig == "all"
-	needKNL := *fig == "9" || *fig == "10" || *fig == "all" || *csvPath != ""
+	needKNL := *fig == "9" || *fig == "10" || *fig == "all" || *csvPath != "" || *profilePath != ""
 
 	if *fig == "7" || *fig == "all" {
 		fmt.Println(experiments.Fig7())
@@ -106,6 +112,7 @@ func main() {
 
 	if needKNL {
 		o := adjust(experiments.PaperKNLOptions())
+		o.Profile = *profilePath != ""
 		res, err := experiments.RunHybrid(o)
 		if err != nil {
 			log.Fatal(err)
@@ -152,6 +159,21 @@ func main() {
 				log.Fatal(err)
 			}
 			fmt.Printf("KNL sweep written to %s\n", path)
+		}
+		if *profilePath != "" {
+			tp := res.LargestProfile()
+			if tp == nil {
+				log.Fatal("profile: every profiled cell failed; no summary to write")
+			}
+			path, err := resolveOut(*outDir, *profilePath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := tp.WriteFile(path); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("telemetry: %s\n", tp.Summary())
+			fmt.Printf("telemetry summary written to %s\n", path)
 		}
 	}
 

@@ -7,6 +7,14 @@
 //
 //	secanalyze -profile run.csv -seq 5589.84
 //
+// -profile also accepts a streaming telemetry summary (the JSON written by
+// convbench/luleshbench -profile or secmon's /profile.json) — the format is
+// sniffed from the file's first byte — and renders the full live report:
+// section table with Eq. 6 bounds, the binding diagnosis, POP factors,
+// interval series and exemplar receives. With -heatmap-csv the summary's
+// rank×time wait heatmap is additionally written as CSV; with -chrome-trace
+// the interval series becomes Chrome-trace counter tracks.
+//
 // It can also render an ASCII timeline from a trace CSV:
 //
 //	secanalyze -trace trace.csv [-width 100] [-focus HALO,CONVOLVE]
@@ -49,6 +57,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/pop"
 	"repro/internal/prof"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/verify"
 	"repro/internal/waitstate"
@@ -57,7 +66,9 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("secanalyze: ")
-	profilePath := flag.String("profile", "", "profile CSV (from prof.Profile.WriteCSV)")
+	profilePath := flag.String("profile", "", "profile CSV (from prof.Profile.WriteCSV) or streaming telemetry JSON summary (format sniffed)")
+	heatCSV := flag.String("heatmap-csv", "", "with a telemetry summary: also write the rank x time wait heatmap as CSV")
+	chromePath := flag.String("chrome-trace", "", "with a telemetry summary: also write the interval series as Chrome-trace counter tracks")
 	seq := flag.Float64("seq", 0, "sequential baseline time in seconds (required with -profile)")
 	perRankPath := flag.String("perrank", "", "per-rank profile CSV (from prof.Profile.WritePerRankCSV): load-balance analysis")
 	tracePath := flag.String("trace", "", "trace CSV (from trace.Buffer.WriteCSV)")
@@ -77,6 +88,13 @@ func main() {
 	)
 	switch {
 	case *profilePath != "":
+		if telemetry.LooksLikeSummary(*profilePath) {
+			run = func(w io.Writer) error {
+				return renderTelemetry(w, *profilePath, *heatCSV, *chromePath)
+			}
+			name = "telemetry.txt"
+			break
+		}
 		run = func(w io.Writer) error { return analyzeProfile(w, *profilePath, *seq) }
 		name = "bounds.txt"
 	case *perRankPath != "":
@@ -220,6 +238,40 @@ func analyzeProfile(w io.Writer, path string, seq float64) error {
 		break
 	}
 	return nil
+}
+
+// renderTelemetry renders a streaming telemetry summary and the optional
+// heatmap/Chrome-trace side artifacts.
+func renderTelemetry(w io.Writer, path, heatCSV, chromePath string) error {
+	p, err := telemetry.ReadSummaryFile(path)
+	if err != nil {
+		return err
+	}
+	if err := p.RenderTo(w); err != nil {
+		return err
+	}
+	writeSide := func(out string, write func(io.Writer) error, what string) error {
+		if out == "" {
+			return nil
+		}
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("%s written to %s\n", what, out)
+		return nil
+	}
+	if err := writeSide(heatCSV, p.WriteHeatmapCSV, "heatmap CSV"); err != nil {
+		return err
+	}
+	return writeSide(chromePath, p.WriteChromeCounters, "Chrome-trace counters")
 }
 
 // readTrace loads a recorded trace, tolerating a truncated or corrupt tail:

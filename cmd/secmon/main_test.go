@@ -39,7 +39,7 @@ func TestEndpointsBeforeAnyRun(t *testing.T) {
 	if code != http.StatusOK || !strings.Contains(body, "secmon_up 1") {
 		t.Fatalf("metrics without a run: code %d body %q", code, body)
 	}
-	for _, path := range []string{"/sections", "/trace.json", "/spans.json", "/waitstate.json", "/critpath.json", "/verify.json", "/efficiency.json"} {
+	for _, path := range []string{"/sections", "/trace.json", "/spans.json", "/waitstate.json", "/critpath.json", "/verify.json", "/efficiency.json", "/profile.json", "/heatmap.csv"} {
 		if code, _ := get(t, h, path); code != http.StatusNotFound {
 			t.Fatalf("%s without a run: code %d, want 404", path, code)
 		}
@@ -461,6 +461,112 @@ func TestFullRunAllEndpoints(t *testing.T) {
 	}
 	if diff := share - 1; diff > 1e-9 || diff < -1e-9 {
 		t.Errorf("per-section shares sum to %g, want 1.0", share)
+	}
+}
+
+// TestTelemetryEndpoints drives a run to completion and checks the
+// streaming-telemetry surface: /profile.json serves the constant-memory
+// profile with the live Eq. 6 binding and POP factors, /heatmap.csv serves
+// the bounded rank×time wait view, and /metrics carries the
+// bounded-cardinality telemetry_* families.
+func TestTelemetryEndpoints(t *testing.T) {
+	h := newServer().handler()
+	code, body := get(t, h, "/run?exp=conv&p=4&steps=6&scale=32&seed=2017&wait=1")
+	if code != http.StatusOK {
+		t.Fatalf("run: code %d body %q", code, body)
+	}
+
+	code, body = get(t, h, "/profile.json")
+	if code != http.StatusOK {
+		t.Fatalf("profile: code %d body %q", code, body)
+	}
+	var p struct {
+		Schema   int     `json:"schema"`
+		Ranks    int     `json:"ranks"`
+		Finished bool    `json:"finished"`
+		Wall     float64 `json:"wall_seconds"`
+		Messages int64   `json:"messages"`
+		Sections []struct {
+			Section string  `json:"section"`
+			Total   float64 `json:"total_seconds"`
+			Bound   float64 `json:"partial_bound"`
+			Cause   string  `json:"dominant_cause"`
+		} `json:"sections"`
+		Binding   string `json:"binding"`
+		Diagnosis string `json:"diagnosis"`
+		Global    *struct {
+			Factors *struct {
+				Parallel float64 `json:"parallel"`
+			} `json:"factors"`
+		} `json:"global"`
+		Heatmap *struct {
+			RowRanks int `json:"row_ranks"`
+			Rows     []struct {
+				RankLo int       `json:"rank_lo"`
+				Wait   []float64 `json:"wait_seconds"`
+			} `json:"rows"`
+		} `json:"heatmap"`
+	}
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatalf("profile not JSON: %v\n%s", err, body)
+	}
+	if p.Schema != 1 || p.Ranks != 4 || !p.Finished || p.Wall <= 0 || p.Messages == 0 {
+		t.Fatalf("profile header inconsistent: %s", body)
+	}
+	if len(p.Sections) == 0 {
+		t.Fatal("profile has no sections")
+	}
+	if p.Binding == "" || p.Diagnosis == "" || !strings.Contains(p.Diagnosis, "binds at p=4") {
+		t.Fatalf("profile lacks the live binding verdict: binding=%q diagnosis=%q", p.Binding, p.Diagnosis)
+	}
+	sawBound, sawCause := false, false
+	for _, s := range p.Sections {
+		if s.Bound > 0 {
+			sawBound = true
+		}
+		if s.Cause != "" {
+			sawCause = true
+		}
+	}
+	if !sawBound {
+		t.Error("no live Eq. 6 bound in /profile.json despite the seq baseline")
+	}
+	if !sawCause {
+		t.Error("no dominant-cause verdict in /profile.json")
+	}
+	if p.Global == nil || p.Global.Factors == nil || p.Global.Factors.Parallel <= 0 {
+		t.Fatalf("profile lacks the POP factor tree: %s", body)
+	}
+	if p.Heatmap == nil || len(p.Heatmap.Rows) == 0 {
+		t.Fatalf("profile lacks the heatmap: %s", body)
+	}
+
+	code, body = get(t, h, "/heatmap.csv")
+	if code != http.StatusOK {
+		t.Fatalf("heatmap: code %d body %q", code, body)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) < 2 || !strings.HasPrefix(lines[0], "rank_lo,rank_hi,") {
+		t.Fatalf("heatmap CSV malformed: %q", body)
+	}
+	if got := len(lines) - 1; got != len(p.Heatmap.Rows) {
+		t.Errorf("heatmap CSV has %d rows, profile has %d", got, len(p.Heatmap.Rows))
+	}
+
+	code, body = get(t, h, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: code %d", code)
+	}
+	for _, needle := range []string{
+		"telemetry_section_seconds_total",
+		"telemetry_section_bound",
+		"telemetry_pop_efficiency",
+		"telemetry_message_latency_seconds_bucket",
+		"telemetry_series_dropped_total",
+	} {
+		if !strings.Contains(body, needle) {
+			t.Errorf("metrics missing %q", needle)
+		}
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/mpi"
 	"repro/internal/prof"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/verify"
 )
@@ -70,6 +71,7 @@ type runState struct {
 	collector *trace.Collector
 	verifier  *verify.Tool // non-nil when launched with verify=1
 	gauges    *rankGauges
+	tele      *telemetry.Tool
 	seq       float64
 	running   bool
 	err       error
@@ -101,6 +103,8 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/efficiency.json", s.handleEfficiency)
 	mux.HandleFunc("/faults.json", s.handleFaults)
 	mux.HandleFunc("/verify.json", s.handleVerify)
+	mux.HandleFunc("/profile.json", s.handleProfile)
+	mux.HandleFunc("/heatmap.csv", s.handleHeatmap)
 	mux.HandleFunc("/run", s.handleRun)
 	// Runtime profiling of the monitor process itself: with a sweep running
 	// behind /run, `go tool pprof http://.../debug/pprof/profile` lands in
@@ -134,6 +138,8 @@ func (s *server) handleIndex(w http.ResponseWriter, req *http.Request) {
 <li><a href="/waitstate.json">/waitstate.json</a> — wait-state diagnosis: why the binding section caps the speedup</li>
 <li><a href="/critpath.json">/critpath.json</a> — critical path through the happens-before graph</li>
 <li><a href="/efficiency.json">/efficiency.json</a> — POP efficiency tree: load-balance/transfer/serialisation factors joined with the Eq. 6 binding</li>
+<li><a href="/profile.json">/profile.json</a> — streaming telemetry snapshot: live Eq. 6 bounds, POP factors, Fig. 3 imbalance, intervals, exemplars (constant memory at any rank count)</li>
+<li><a href="/heatmap.csv">/heatmap.csv</a> — bounded rank×time wait heatmap from the same snapshot</li>
 <li><a href="/faults.json">/faults.json</a> — injected faults and failure consequences of the current run</li>
 <li><a href="/verify.json">/verify.json</a> — runtime verifier report (section nesting, enter counts, collective order)</li>
 <li><a href="/run?exp=conv&amp;p=64">/run?exp=conv&amp;p=64</a> — launch an experiment with the exporter attached
@@ -161,6 +167,14 @@ func (s *server) handleMetrics(w http.ResponseWriter, req *http.Request) {
 	}
 	if st.verifier != nil {
 		if err := export.WriteVerifyPrometheus(w, st.verifier.Counts()); err != nil {
+			logf("metrics write: %v", err)
+		}
+	}
+	// Streaming telemetry families: bounded-cardinality per-section series
+	// straight from the constant-memory accumulators — no trace replay, so
+	// this scales to the 10k-rank session runs.
+	if st.tele != nil {
+		if err := st.tele.WritePrometheus(w, telemetry.PromOptions{}); err != nil {
 			logf("metrics write: %v", err)
 		}
 	}
@@ -337,6 +351,35 @@ func (s *server) handleFaults(w http.ResponseWriter, req *http.Request) {
 	}
 }
 
+// handleProfile serves the streaming telemetry snapshot — consistent at any
+// moment, including mid-run: the constant-memory accumulators are read
+// live, no trace replay involved.
+func (s *server) handleProfile(w http.ResponseWriter, req *http.Request) {
+	st := s.snapshot()
+	if st == nil || st.tele == nil {
+		http.Error(w, "no run yet: GET /run?exp=conv&p=4 first", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := st.tele.Snapshot().WriteJSON(w); err != nil {
+		logf("profile write: %v", err)
+	}
+}
+
+// handleHeatmap serves the bounded rank×time wait heatmap as CSV.
+func (s *server) handleHeatmap(w http.ResponseWriter, req *http.Request) {
+	st := s.snapshot()
+	if st == nil || st.tele == nil {
+		http.Error(w, "no run yet: GET /run?exp=conv&p=4 first", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	w.Header().Set("Content-Disposition", `attachment; filename="heatmap.csv"`)
+	if err := st.tele.Snapshot().WriteHeatmapCSV(w); err != nil {
+		logf("heatmap write: %v", err)
+	}
+}
+
 // queryInt parses an integer query parameter with a default.
 func queryInt(req *http.Request, key string, def int) (int, error) {
 	v := req.URL.Query().Get(key)
@@ -417,7 +460,8 @@ func (s *server) handleRun(w http.ResponseWriter, req *http.Request) {
 	profiler := prof.New()
 	collector := newAnalysisCollector()
 	gauges := &rankGauges{}
-	opts.Tools = []mpi.Tool{profiler, rec, collector, gauges}
+	tele := telemetry.New(telemetry.Options{})
+	opts.Tools = []mpi.Tool{profiler, rec, collector, gauges, tele}
 	var verifier *verify.Tool
 	if q.Get("verify") == "1" {
 		verifier = verify.New()
@@ -430,7 +474,7 @@ func (s *server) handleRun(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, "a run is already in progress", http.StatusConflict)
 		return
 	}
-	st := &runState{opts: opts, rec: rec, profiler: profiler, collector: collector, verifier: verifier, gauges: gauges, running: true, started: time.Now()}
+	st := &runState{opts: opts, rec: rec, profiler: profiler, collector: collector, verifier: verifier, gauges: gauges, tele: tele, running: true, started: time.Now()}
 	s.cur = st
 	s.mu.Unlock()
 
@@ -442,6 +486,7 @@ func (s *server) handleRun(w http.ResponseWriter, req *http.Request) {
 		if withSeq {
 			if seq, runErr = experiments.SeqBaseline(opts); runErr == nil && seq > 0 {
 				rec.SetSeqTime(seq)
+				tele.SetSeqTime(seq)
 				s.mu.Lock()
 				st.seq = seq
 				s.mu.Unlock()

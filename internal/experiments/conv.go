@@ -13,6 +13,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/prof"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/verify"
 )
@@ -40,6 +41,11 @@ type ConvOptions struct {
 	// Diagnose attaches a trace collector to each point's rep-0 run and
 	// reports the binding section's wait-state diagnosis in the CSV.
 	Diagnose bool
+	// Profile attaches the constant-memory streaming telemetry tool to each
+	// point's rep-0 run; the resulting summaries land in ConvPoint.Profile.
+	// Unlike Diagnose this never buffers an event stream, so it composes
+	// with the extreme-scale sweeps.
+	Profile bool
 	// Verify attaches the runtime section/collective verifier to every run;
 	// violations accumulate in ConvResult.Verify (the -verify bench flag).
 	Verify bool
@@ -102,6 +108,9 @@ type ConvPoint struct {
 	Shares map[string]float64
 	// Diag is the rep-0 wait-state diagnosis (nil with Diagnose off).
 	Diag *PointDiagnosis
+	// Profile is the rep-0 streaming telemetry summary (nil with Profile
+	// off, and for failed points).
+	Profile *telemetry.Profile
 	// Err is the root cause of the first failed repetition ("" for a healthy
 	// point). A failed point keeps zero metrics and is excluded from the
 	// bound study, but the sweep itself completes.
@@ -148,12 +157,13 @@ func RunConvolution(o ConvOptions) (*ConvResult, error) {
 	// and study insertion order are those of the sequential sweep, so the
 	// output bytes are identical for every Jobs value.
 	type repResult struct {
-		wall   float64
-		totals map[string]float64
-		shares map[string]float64
-		diag   *PointDiagnosis
-		verify []verify.Violation
-		errMsg string
+		wall    float64
+		totals  map[string]float64
+		shares  map[string]float64
+		diag    *PointDiagnosis
+		profile *telemetry.Profile
+		verify  []verify.Violation
+		errMsg  string
 	}
 	reps, err := sched.Map(sched.Workers(o.Jobs), len(o.Ps)*o.Reps, func(i int) (repResult, error) {
 		p := o.Ps[i/o.Reps]
@@ -176,6 +186,11 @@ func RunConvolution(o ConvOptions) (*ConvResult, error) {
 		if o.Diagnose && rep == 0 {
 			collector = newDiagCollector()
 			cfg.Tools = append(cfg.Tools, collector)
+		}
+		var tele *telemetry.Tool
+		if o.Profile && rep == 0 {
+			tele = telemetry.New(telemetry.Options{SeqTime: seq})
+			cfg.Tools = append(cfg.Tools, tele)
 		}
 		runConv := convolution.Run
 		if o.TwoD {
@@ -205,6 +220,9 @@ func RunConvolution(o ConvOptions) (*ConvResult, error) {
 		if collector != nil {
 			out.diag = diagnoseEvents(collector.Buffer().Events(), seq)
 		}
+		if tele != nil {
+			out.profile = tele.Snapshot()
+		}
 		out.verify = verifierViolations(ver)
 		return out, nil
 	})
@@ -226,6 +244,7 @@ func RunConvolution(o ConvOptions) (*ConvResult, error) {
 			Shares:     map[string]float64{},
 		}
 		pt.Diag = reps[pi*o.Reps].diag
+		pt.Profile = reps[pi*o.Reps].profile
 		for rep := 0; rep < o.Reps; rep++ {
 			job := reps[pi*o.Reps+rep]
 			if job.errMsg != "" && pt.Err == "" {
@@ -248,6 +267,7 @@ func RunConvolution(o ConvOptions) (*ConvResult, error) {
 			pt.AvgPerProc = map[string]float64{}
 			pt.Shares = map[string]float64{}
 			pt.Diag = nil
+			pt.Profile = nil
 			res.Points = append(res.Points, pt)
 			continue
 		}
@@ -397,6 +417,17 @@ func (r *ConvResult) WriteCSV(w io.Writer) error {
 		cells = append(cells, csvEscape(pt.Err))
 		if _, err := io.WriteString(w, csvLine(cells...)); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// LargestProfile returns the streaming telemetry summary of the largest
+// completed point (nil when Opts.Profile was off or every point failed).
+func (r *ConvResult) LargestProfile() *telemetry.Profile {
+	for i := len(r.Points) - 1; i >= 0; i-- {
+		if r.Points[i].Profile != nil {
+			return r.Points[i].Profile
 		}
 	}
 	return nil

@@ -10,6 +10,7 @@ import (
 	"repro/internal/convolution"
 	"repro/internal/machine"
 	"repro/internal/mpi"
+	"repro/internal/telemetry"
 )
 
 // vmHWM reads the process peak-RSS high-water mark in bytes, or 0 when
@@ -88,5 +89,71 @@ func TestExtremeSmokeRSSBudget(t *testing.T) {
 	t.Logf("peak RSS %.1f MiB (budget %d MiB)", float64(hwm)/(1<<20), budget>>20)
 	if hwm > budget {
 		t.Errorf("peak RSS %d bytes exceeds the %d-byte extreme-smoke budget", hwm, budget)
+	}
+}
+
+// TestExtremeTelemetryRSSBudget re-runs the 10k-rank smoke with the
+// streaming telemetry tool attached and holds it to the same RSS budget.
+// Telemetry's whole claim is constant memory: fixed section table, bounded
+// histograms/heatmap/reservoirs and per-shard slabs that piggyback on the
+// runtime's 256-rank sharding. If observability ever grows O(ranks × events)
+// state — the thing a trace file is — this gate trips at the same 256 MiB
+// the bare runtime is held to.
+func TestExtremeTelemetryRSSBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-rank smoke is not a -short test")
+	}
+	if raceEnabled {
+		t.Skip("race shadow memory dominates RSS")
+	}
+	const ranks = 10000
+	tl := telemetry.New(telemetry.Options{})
+	cfg := mpi.Config{
+		Ranks:   ranks,
+		Model:   machine.ExtremeCluster(),
+		Seed:    2017,
+		Lazy:    true,
+		Tools:   []mpi.Tool{tl},
+		Timeout: 5 * time.Minute,
+	}
+	params := convolution.Params{
+		Width: 5616, Height: 3744,
+		Steps: 2, Scale: 16, Seed: 2017, SkipKernel: true,
+	}
+	start := time.Now()
+	res, err := convolution.Run2D(cfg, params)
+	if err != nil {
+		t.Fatalf("10k-rank Run2D with telemetry: %v", err)
+	}
+	wall := time.Since(start)
+
+	p := tl.Snapshot()
+	if p.Ranks != ranks || p.MaterializedRanks != ranks {
+		t.Errorf("profile ranks = %d/%d materialized, want %d/%d",
+			p.Ranks, p.MaterializedRanks, ranks, ranks)
+	}
+	if !p.Finished {
+		t.Error("profile not marked finished after Run2D returned")
+	}
+	if len(p.Sections) == 0 || p.Messages == 0 {
+		t.Fatalf("degenerate profile: %d sections, %d messages",
+			len(p.Sections), p.Messages)
+	}
+	if p.Heatmap == nil {
+		t.Error("profile has no heatmap despite recorded traffic")
+	} else if len(p.Heatmap.Rows) > 256 {
+		t.Errorf("heatmap has %d rank rows, want <= 256 (bounded fold)", len(p.Heatmap.Rows))
+	}
+	t.Logf("10k-rank telemetry smoke: wall %v, virtual %.3fs, %d sections, %d messages",
+		wall, res.Report.WallTime, len(p.Sections), p.Messages)
+
+	hwm := vmHWM(t)
+	if hwm == 0 {
+		t.Skip("no /proc/self/status; RSS budget not checkable")
+	}
+	const budget = 256 << 20 // same budget as the bare-runtime gate
+	t.Logf("peak RSS %.1f MiB (budget %d MiB)", float64(hwm)/(1<<20), budget>>20)
+	if hwm > budget {
+		t.Errorf("peak RSS %d bytes with telemetry exceeds the %d-byte budget", hwm, budget)
 	}
 }

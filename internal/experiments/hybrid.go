@@ -13,6 +13,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/prof"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/verify"
 )
@@ -38,6 +39,9 @@ type HybridOptions struct {
 	// Diagnose attaches a trace collector per grid cell and reports the
 	// binding section's wait-state diagnosis in the CSV.
 	Diagnose bool
+	// Profile attaches the constant-memory streaming telemetry tool per
+	// cell; summaries land in HybridPoint.Profile.
+	Profile bool
 	// Verify attaches the runtime section/collective verifier to every cell;
 	// violations accumulate in HybridResult.Verify (the -verify bench flag).
 	Verify bool
@@ -122,6 +126,9 @@ type HybridPoint struct {
 	Totals map[string]float64
 	// Diag is the wait-state diagnosis (nil with Diagnose off).
 	Diag *PointDiagnosis
+	// Profile is the streaming telemetry summary (nil with Profile off, and
+	// for failed cells).
+	Profile *telemetry.Profile
 	// VerifyViolations is this cell's runtime-verifier report (nil with
 	// Verify off).
 	VerifyViolations []verify.Violation
@@ -181,6 +188,11 @@ func RunHybrid(o HybridOptions) (*HybridResult, error) {
 			collector = newDiagCollector()
 			cfg.Tools = append(cfg.Tools, collector)
 		}
+		var tele *telemetry.Tool
+		if o.Profile {
+			tele = telemetry.New(telemetry.Options{})
+			cfg.Tools = append(cfg.Tools, tele)
+		}
 		if _, err := lulesh.Run(cfg, params); err != nil {
 			// Degraded mode: record the root cause, let the sweep carry on.
 			return HybridPoint{
@@ -212,6 +224,9 @@ func RunHybrid(o HybridOptions) (*HybridResult, error) {
 		if collector != nil {
 			pt.Diag = diagnoseEvents(collector.Buffer().Events(), 0)
 		}
+		if tele != nil {
+			pt.Profile = tele.Snapshot()
+		}
 		pt.VerifyViolations = verifierViolations(ver)
 		return pt, nil
 	})
@@ -232,6 +247,18 @@ func RunHybrid(o HybridOptions) (*HybridResult, error) {
 	}
 	verify.SortViolations(res.Verify)
 	return res, nil
+}
+
+// LargestProfile returns the telemetry summary of the largest completed
+// cell — points are sorted by (ranks, threads), so this is the deepest
+// configuration that produced one (nil with Opts.Profile off).
+func (r *HybridResult) LargestProfile() *telemetry.Profile {
+	for i := len(r.Points) - 1; i >= 0; i-- {
+		if r.Points[i].Profile != nil {
+			return r.Points[i].Profile
+		}
+	}
+	return nil
 }
 
 // Point returns the measured point for (ranks, threads), or nil.

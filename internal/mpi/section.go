@@ -30,6 +30,12 @@ type sectionFrame struct {
 type rankSections struct {
 	stack  []sectionFrame
 	seqPos int // position in the canonical sequence (checking mode)
+	// exitData is the scratch ToolData handed to SectionLeave hooks. A
+	// function-local copy would escape through the hook call and cost one
+	// heap allocation per exit — even with no tools attached — which the
+	// allocation-free fast path cannot afford. Only this rank's goroutine
+	// touches it, and only between pop and hook return.
+	exitData ToolData
 }
 
 type seqEntry struct {
@@ -98,15 +104,16 @@ func (c *Comm) SectionExit(label string) {
 	if c.rs.world.cfg.CheckSections {
 		c.checkSequenceLocked(reg, rs, seqEntry{enter: false, label: label})
 	}
-	var data ToolData
+	rs.exitData = ToolData{}
 	if frame != nil {
-		data = frame.data
+		rs.exitData = frame.data
 		rs.stack = rs.stack[:len(rs.stack)-1]
 	}
+	data := &rs.exitData
 	reg.mu.Unlock()
 
 	for _, t := range c.rs.world.cfg.Tools {
-		t.SectionLeave(c, label, c.rs.now(), &data)
+		t.SectionLeave(c, label, c.rs.now(), data)
 	}
 }
 

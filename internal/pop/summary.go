@@ -1,0 +1,45 @@
+package pop
+
+// Summary-fed factor construction. The trace-driven path (FromAnalysis)
+// owns the replay; this file exports the same factor formulas for callers
+// that already hold per-rank totals — the streaming telemetry layer
+// (internal/telemetry) aggregates them online and never materializes an
+// event stream, so it cannot go through waitstate.Analyze.
+
+// RankTotals is one rank's contribution to a scope, in seconds. Useful may
+// arrive un-clamped; the factor formulas normalize it into [0, T]. The
+// fields mirror the unexported rankTotals rows FromAnalysis builds from a
+// trace, so both paths score identically given identical totals.
+type RankTotals struct {
+	// T is the rank's total time in the scope.
+	T float64
+	// Useful is T minus classified waits (and idle).
+	Useful float64
+	// Transfer is the transfer-wait component inside the scope.
+	Transfer float64
+	// OmpElapsed is thread-team region time, OmpSingle the single-thread
+	// duration of the same work, OmpBusy the allocated thread-seconds
+	// (Σ team × elapsed).
+	OmpElapsed float64
+	OmpSingle  float64
+	OmpBusy    float64
+	// MaxTeam is the largest team observed (0/1 = pure MPI).
+	MaxTeam int
+}
+
+// FromTotals assembles one scope's efficiency record from per-rank totals:
+// the POP factor tree plus its timing inputs. p is the divisor of the
+// load-balance mean, so ranks absent from rows count as fully idle;
+// degraded withholds the factors exactly like the trace-driven path does
+// for faulted runs.
+func FromTotals(name string, p int, rows []RankTotals, degraded bool) SectionEfficiency {
+	converted := make([]rankTotals, len(rows))
+	for i, r := range rows {
+		converted[i] = rankTotals{
+			T: r.T, useful: r.Useful, transfer: r.Transfer,
+			ompElapsed: r.OmpElapsed, ompSingle: r.OmpSingle,
+			ompBusy: r.OmpBusy, maxTeam: r.MaxTeam,
+		}
+	}
+	return newSection(name, p, converted, degraded)
+}

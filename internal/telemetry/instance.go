@@ -1,0 +1,107 @@
+package telemetry
+
+import "sync/atomic"
+
+// Fig. 3 instance tracking. An instance of a section is one synchronized
+// enter/leave round across the communicator's ranks; its metrics are
+// imb_in = Tin − Tmin per rank (entry imbalance) and
+// imb = (Tmax − Tmin) − Tsection per rank (section imbalance). A full
+// tracer keys instances per (comm, label, ordinal); the streaming layer
+// keeps a fixed ring of in-flight instances per section, claimed by CAS and
+// folded by the last leaver, so memory stays constant however many
+// instances a run produces.
+//
+// A slot's generation word packs (ordinal+1) << 32 | commID₁₆ << 16 | size:
+// a single atomic both claims the slot and publishes the communicator size
+// the folder needs, with no two-word ordering hazard. An instance arriving
+// more than ringSlots generations ahead of an unfinished one (possible only
+// under extreme real-time skew between rank goroutines — virtual time does
+// not bound real-time progress) finds its slot occupied and is skipped;
+// skips are counted, so imb aggregates are exact and deterministic exactly
+// when Skipped == 0, which every synchronized workload at practical skew
+// achieves.
+
+type instSlot struct {
+	gen    atomic.Uint64
+	leaves atomic.Int64
+	sumIn  atomic.Int64 // Σ pico(Tin)
+	sumOut atomic.Int64 // Σ pico(Tout)
+	minIn  atomic.Uint64
+	maxOut atomic.Uint64
+}
+
+type instRing struct {
+	slots [ringSlots]instSlot
+
+	instances atomic.Int64 // completed instances
+	samples   atomic.Int64 // Σ communicator sizes over completed instances
+	imbInPico atomic.Int64 // Σ_instances Σ_ranks (Tin − Tmin)
+	imbPico   atomic.Int64 // Σ_instances Σ_ranks ((Tmax−Tmin) − Tsection)
+	spanPico  atomic.Int64 // Σ_instances (Tmax − Tmin)
+	skipped   atomic.Int64
+}
+
+func newInstRing() *instRing { return &instRing{} }
+
+func packGen(idx uint32, commID uint64, size int) uint64 {
+	return uint64(idx+1)<<32 | (commID&0xFFFF)<<16 | uint64(size)
+}
+
+// enter claims (or joins) the instance and folds the rank's entry time.
+// The return reports whether the rank joined; a false return means the
+// matching leave must not contribute either.
+func (rg *instRing) enter(idx uint32, commID uint64, size int, t float64) bool {
+	if size <= 0 || size >= 1<<16 {
+		rg.skipped.Add(1)
+		return false
+	}
+	want := packGen(idx, commID, size)
+	s := &rg.slots[idx%ringSlots]
+	g := s.gen.Load()
+	if g != want {
+		if g != 0 || !s.gen.CompareAndSwap(0, want) {
+			if s.gen.Load() != want {
+				rg.skipped.Add(1)
+				return false
+			}
+		}
+	}
+	s.sumIn.Add(pico(t))
+	atomicMinT(&s.minIn, t)
+	return true
+}
+
+// leave folds the rank's exit time; the size-th leaver computes the
+// instance's imbalance contributions and recycles the slot. Each rank's
+// sum/extrema stores precede its leaves increment, so when the count
+// reaches size every contribution is visible to the folder.
+func (rg *instRing) leave(idx uint32, commID uint64, size int, _, tout float64) {
+	want := packGen(idx, commID, size)
+	s := &rg.slots[idx%ringSlots]
+	if s.gen.Load() != want {
+		return
+	}
+	s.sumOut.Add(pico(tout))
+	atomicMaxT(&s.maxOut, tout)
+	if s.leaves.Add(1) != int64(size) {
+		return
+	}
+	minIn, _ := loadT(&s.minIn)
+	maxOut, _ := loadT(&s.maxOut)
+	n := int64(size)
+	span := pico(maxOut) - pico(minIn)
+	rg.instances.Add(1)
+	rg.samples.Add(n)
+	rg.spanPico.Add(span)
+	rg.imbInPico.Add(s.sumIn.Load() - n*pico(minIn))
+	// Per rank: imb = (Tmax−Tmin) − Tsection with Tsection measured from the
+	// instance's Tmin (the exporter's Fig. 3 convention), so the sum
+	// telescopes to Σ (Tmax − Tout_r).
+	rg.imbPico.Add(n*pico(maxOut) - s.sumOut.Load())
+	s.leaves.Store(0)
+	s.sumIn.Store(0)
+	s.sumOut.Store(0)
+	s.minIn.Store(0)
+	s.maxOut.Store(0)
+	s.gen.Store(0)
+}

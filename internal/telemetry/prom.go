@@ -1,0 +1,176 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// PromOptions bounds the Prometheus exposition.
+type PromOptions struct {
+	// MaxSections caps the per-section label cardinality (default 24): the
+	// top sections by total time keep their own series, the remainder folds
+	// into the "(other)" label, and every suppressed series increments
+	// telemetry_series_dropped_total.
+	MaxSections int
+}
+
+func (o PromOptions) withDefaults() PromOptions {
+	if o.MaxSections <= 0 {
+		o.MaxSections = 24
+	}
+	return o
+}
+
+// perSectionFamilies is how many per-section series one section label emits
+// (seconds, instances, four wait causes, two imbalance kinds, bound).
+const perSectionFamilies = 9
+
+// WritePrometheus exposes the current snapshot in the Prometheus text
+// format. Cardinality is bounded: at most o.MaxSections section labels plus
+// "(other)", whatever the workload registers, and the running total of
+// series suppressed by the cap is itself exported as
+// telemetry_series_dropped_total.
+func (tl *Tool) WritePrometheus(w io.Writer, o PromOptions) error {
+	o = o.withDefaults()
+	p := tl.Snapshot()
+
+	kept := p.Sections
+	var folded SectionProfile
+	foldedAny := false
+	if len(kept) > o.MaxSections {
+		over := kept[o.MaxSections:]
+		kept = kept[:o.MaxSections]
+		folded = SectionProfile{Section: OtherLabel}
+		for i := range over {
+			s := &over[i]
+			folded.Count += s.Count
+			folded.TotalSeconds += s.TotalSeconds
+			folded.WaitSeconds += s.WaitSeconds
+			folded.LateSenderSeconds += s.LateSenderSeconds
+			folded.TransferSeconds += s.TransferSeconds
+			folded.CollWaitSeconds += s.CollWaitSeconds
+			folded.DeadWaitSeconds += s.DeadWaitSeconds
+			folded.Instances += s.Instances
+			// Means cannot fold without the sample weights; the folded slot
+			// reports totals only, and its per-section gauges are suppressed.
+			tl.promDropped.Add(perSectionFamilies)
+		}
+		foldedAny = true
+	}
+
+	bw := bufio.NewWriter(w)
+	sec := func(name, help, typ string, val func(*SectionProfile) (float64, bool)) {
+		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		emit := func(s *SectionProfile) {
+			if v, ok := val(s); ok {
+				fmt.Fprintf(bw, "%s{section=\"%s\"} %g\n", name, sanitizeLabel(s.Section), v)
+			}
+		}
+		for i := range kept {
+			emit(&kept[i])
+		}
+		if foldedAny {
+			emit(&folded)
+		}
+	}
+
+	sec("telemetry_section_seconds_total", "Inclusive section time summed over ranks.", "counter",
+		func(s *SectionProfile) (float64, bool) { return s.TotalSeconds, true })
+	sec("telemetry_section_instances_total", "Completed synchronized section instances.", "counter",
+		func(s *SectionProfile) (float64, bool) { return float64(s.Instances), true })
+
+	fmt.Fprintf(bw, "# HELP telemetry_section_wait_seconds_total Classified blocked wait inside the section.\n")
+	fmt.Fprintf(bw, "# TYPE telemetry_section_wait_seconds_total counter\n")
+	emitWaits := func(s *SectionProfile) {
+		label := sanitizeLabel(s.Section)
+		for _, c := range []struct {
+			cause string
+			v     float64
+		}{
+			{causeLateSender, s.LateSenderSeconds},
+			{causeTransfer, s.TransferSeconds},
+			{causeCollectiveWait, s.CollWaitSeconds},
+			{causeDeadPeer, s.DeadWaitSeconds},
+		} {
+			if c.v > 0 {
+				fmt.Fprintf(bw, "telemetry_section_wait_seconds_total{section=\"%s\",cause=\"%s\"} %g\n",
+					label, c.cause, c.v)
+			}
+		}
+	}
+	for i := range kept {
+		emitWaits(&kept[i])
+	}
+	if foldedAny {
+		emitWaits(&folded)
+	}
+
+	sec("telemetry_section_imb_in_seconds", "Mean entry imbalance Tin-Tmin per instance sample (Fig. 3).", "gauge",
+		func(s *SectionProfile) (float64, bool) { return s.ImbInMean, s.Instances > 0 })
+	sec("telemetry_section_imb_seconds", "Mean section imbalance (Tmax-Tmin)-Tsection per instance sample (Fig. 3).", "gauge",
+		func(s *SectionProfile) (float64, bool) { return s.ImbMean, s.Instances > 0 })
+	sec("telemetry_section_bound", "Live Eq. 6 partial speedup bound seq/avg_per_proc.", "gauge",
+		func(s *SectionProfile) (float64, bool) { return s.Bound, s.Bound > 0 })
+
+	if p.Global != nil && p.Global.Factors != nil {
+		f := p.Global.Factors
+		fmt.Fprintf(bw, "# HELP telemetry_pop_efficiency POP multiplicative efficiency factors for the whole run.\n")
+		fmt.Fprintf(bw, "# TYPE telemetry_pop_efficiency gauge\n")
+		for _, e := range []struct {
+			factor string
+			v      float64
+		}{
+			{"parallel", f.Parallel}, {"load-balance", f.LoadBalance}, {"comm", f.Comm},
+			{"transfer", f.Transfer}, {"serialisation", f.Serialisation},
+			{"thread", f.Thread}, {"omp-region", f.OmpRegion}, {"serial-region", f.SerialRegion},
+			{"total", f.Total},
+		} {
+			fmt.Fprintf(bw, "telemetry_pop_efficiency{factor=\"%s\"} %g\n", e.factor, e.v)
+		}
+	}
+
+	fmt.Fprintf(bw, "# HELP telemetry_messages_total Point-to-point messages sent.\n")
+	fmt.Fprintf(bw, "# TYPE telemetry_messages_total counter\ntelemetry_messages_total %d\n", p.Messages)
+	fmt.Fprintf(bw, "# HELP telemetry_message_bytes_total Point-to-point payload bytes sent.\n")
+	fmt.Fprintf(bw, "# TYPE telemetry_message_bytes_total counter\ntelemetry_message_bytes_total %d\n", p.MessageBytes)
+
+	fmt.Fprintf(bw, "# HELP telemetry_message_latency_seconds Send-to-receive latency of matched messages.\n")
+	fmt.Fprintf(bw, "# TYPE telemetry_message_latency_seconds histogram\n")
+	var cum int64
+	for _, b := range p.Latency {
+		cum += b.Count
+		fmt.Fprintf(bw, "telemetry_message_latency_seconds_bucket{le=\"%g\"} %d\n", b.Le, cum)
+	}
+	fmt.Fprintf(bw, "telemetry_message_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(bw, "telemetry_message_latency_seconds_sum %g\n", p.LatencySum)
+	fmt.Fprintf(bw, "telemetry_message_latency_seconds_count %d\n", cum)
+
+	fmt.Fprintf(bw, "# HELP telemetry_ranks Rank population by runtime state.\n")
+	fmt.Fprintf(bw, "# TYPE telemetry_ranks gauge\n")
+	fmt.Fprintf(bw, "telemetry_ranks{state=\"declared\"} %d\n", p.Ranks)
+	if p.ActiveRanks > 0 || p.MaterializedRanks > 0 {
+		fmt.Fprintf(bw, "telemetry_ranks{state=\"active\"} %d\n", p.ActiveRanks)
+		fmt.Fprintf(bw, "telemetry_ranks{state=\"materialized\"} %d\n", p.MaterializedRanks)
+	}
+
+	fmt.Fprintf(bw, "# HELP telemetry_wall_seconds Wall time covered by the profile so far.\n")
+	fmt.Fprintf(bw, "# TYPE telemetry_wall_seconds gauge\ntelemetry_wall_seconds %g\n", p.Wall)
+	fmt.Fprintf(bw, "# HELP telemetry_degraded 1 when faults or dead-peer waits degraded the run.\n")
+	fmt.Fprintf(bw, "# TYPE telemetry_degraded gauge\ntelemetry_degraded %d\n", boolInt(p.Degraded))
+
+	fmt.Fprintf(bw, "# HELP telemetry_series_dropped_total Per-section series suppressed by the cardinality cap.\n")
+	fmt.Fprintf(bw, "# TYPE telemetry_series_dropped_total counter\ntelemetry_series_dropped_total %d\n",
+		tl.promDropped.Load())
+	fmt.Fprintf(bw, "# HELP telemetry_section_table_overflow_total Events aggregated into the overflow section slot.\n")
+	fmt.Fprintf(bw, "# TYPE telemetry_section_table_overflow_total counter\ntelemetry_section_table_overflow_total %d\n",
+		p.SectionsDropped)
+	return bw.Flush()
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package telemetry
+
+// raceEnabled reports whether the race detector is active; allocation and
+// RSS pins are skipped under it (instrumentation allocates).
+const raceEnabled = true
