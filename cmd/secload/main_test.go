@@ -1,0 +1,44 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestStormSmoke runs a small in-process storm and checks the robustness
+// contract plus the report invariants secload is built to assert.
+func TestStormSmoke(t *testing.T) {
+	cfg := config{
+		Requests: 60, Concurrency: 16, Faulted: 0.2,
+		Tenants: 4, QueueDepth: 8,
+		Timeout: "30s", Seed: 7, timeout: 30 * time.Second,
+	}
+	rep, err := storm(cfg, t.Logf)
+	if err != nil {
+		t.Fatalf("storm broke the contract: %v", err)
+	}
+	r := rep.Requests
+	if r.Unanswered != 0 || rep.ContractBroken {
+		t.Fatalf("unanswered requests: %+v", r)
+	}
+	if r.Answered != r.Total || r.Accepted+r.Shed+r.Rejected != r.Answered {
+		t.Fatalf("request accounting does not balance: %+v", r)
+	}
+	if r.Accepted == 0 {
+		t.Fatal("storm admitted nothing")
+	}
+	j := rep.Jobs
+	if j.Done+j.Failed+j.Cancelled != r.Accepted {
+		t.Fatalf("job accounting does not balance: jobs %+v vs accepted %d", j, r.Accepted)
+	}
+	// Every fault-killed job recovers via the disarmed retry.
+	if j.Failed != 0 {
+		t.Fatalf("%d jobs failed under the default retry policy", j.Failed)
+	}
+	if j.Retried == 0 {
+		t.Fatal("faulted submissions never exercised the retry path")
+	}
+	if rep.Latency.Complete.P50 <= 0 || rep.Throughput <= 0 {
+		t.Fatalf("degenerate report: %+v", rep)
+	}
+}

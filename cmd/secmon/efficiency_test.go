@@ -59,7 +59,7 @@ func getEfficiency(t *testing.T, h http.Handler) efficiencyDoc {
 // leaves multiply to the parallel efficiency, plus the matching
 // section_efficiency_* gauges on /metrics.
 func TestEfficiencyEndpoint(t *testing.T) {
-	h := newServer().handler()
+	h := testHandler()
 	code, body := get(t, h, "/run?exp=conv&p=4&steps=6&scale=32&seed=2017&wait=1&seq=5")
 	if code != http.StatusOK {
 		t.Fatalf("run: code %d body %q", code, body)
@@ -121,7 +121,7 @@ func TestEfficiencyEndpoint(t *testing.T) {
 // degraded=true and every factor object null — and /metrics withholds the
 // per-section samples while flagging the degradation.
 func TestEfficiencyEndpointFaultedRun(t *testing.T) {
-	h := newServer().handler()
+	h := testHandler()
 	code, body := get(t, h,
 		"/run?exp=conv&p=4&steps=6&scale=32&seed=2017&wait=1&seq=0"+
 			"&fault=delay:src=*,dst=*,prob=1,secs=1e-6&fault-seed=9&deadline=30s")

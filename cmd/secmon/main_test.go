@@ -10,7 +10,17 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/mpi"
+	"repro/internal/serve"
 )
+
+// testHandler builds the handler exactly as main does: full observability,
+// default queue policy.
+func testHandler() http.Handler {
+	return serve.NewHandler(serve.NewService(serve.Options{Observe: true}), serve.HandlerOptions{})
+}
 
 // get issues a request against the monitor handler and returns status+body.
 func get(t *testing.T, h http.Handler, path string) (int, string) {
@@ -26,7 +36,7 @@ func get(t *testing.T, h http.Handler, path string) (int, string) {
 }
 
 func TestEndpointsBeforeAnyRun(t *testing.T) {
-	h := newServer().handler()
+	h := testHandler()
 
 	code, body := get(t, h, "/")
 	if code != http.StatusOK || !strings.Contains(body, "/run?exp=conv") {
@@ -39,6 +49,9 @@ func TestEndpointsBeforeAnyRun(t *testing.T) {
 	if code != http.StatusOK || !strings.Contains(body, "secmon_up 1") {
 		t.Fatalf("metrics without a run: code %d body %q", code, body)
 	}
+	if !strings.Contains(body, "serve_jobs_queued_total 0") {
+		t.Fatalf("metrics lack the service families: %q", body)
+	}
 	for _, path := range []string{"/sections", "/trace.json", "/spans.json", "/waitstate.json", "/critpath.json", "/verify.json", "/efficiency.json", "/profile.json", "/heatmap.csv"} {
 		if code, _ := get(t, h, path); code != http.StatusNotFound {
 			t.Fatalf("%s without a run: code %d, want 404", path, code)
@@ -47,7 +60,7 @@ func TestEndpointsBeforeAnyRun(t *testing.T) {
 }
 
 func TestRunRejectsBadParameters(t *testing.T) {
-	h := newServer().handler()
+	h := testHandler()
 	for _, path := range []string{
 		"/run?p=x",
 		"/run?steps=x",
@@ -72,16 +85,36 @@ func TestRunRejectsBadParameters(t *testing.T) {
 	}
 }
 
-func TestRunConflictWhileRunning(t *testing.T) {
-	s := newServer()
-	s.cur = &runState{running: true}
-	if code, _ := get(t, s.handler(), "/run?exp=conv&p=2"); code != http.StatusConflict {
-		t.Fatalf("concurrent run: code %d, want 409", code)
+// TestRunCompatConflict pins the pre-queue contract behind -compat /
+// compat=1: single flight with 409 while busy, admission again once idle.
+func TestRunCompatConflict(t *testing.T) {
+	release := make(chan struct{})
+	svc := serve.NewService(serve.Options{
+		Observe:   true,
+		SeqRunner: func(experiments.LiveOptions) (float64, error) { return 0, nil },
+		Runner: func(o experiments.LiveOptions) (*mpi.Report, error) {
+			<-release
+			return &mpi.Report{WallTime: 1}, nil
+		},
+	})
+	h := serve.NewHandler(svc, serve.HandlerOptions{Compat: true})
+	if code, body := get(t, h, "/run?exp=conv&p=2"); code != http.StatusOK {
+		t.Fatalf("first compat run: code %d body %q", code, body)
 	}
+	if code, _ := get(t, h, "/run?exp=conv&p=2"); code != http.StatusConflict {
+		t.Fatalf("concurrent compat run: code %d, want 409", code)
+	}
+	close(release)
 	// The guard is single-flight, not single-use: once the current run
 	// finishes, /run admits the next launch.
-	s.cur.running = false
-	if code, body := get(t, s.handler(), "/run?exp=conv&p=2&steps=4&scale=32&wait=1"); code != http.StatusOK {
+	deadline := time.Now().Add(10 * time.Second)
+	for svc.Active() {
+		if time.Now().After(deadline) {
+			t.Fatal("first run never finished")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if code, body := get(t, h, "/run?exp=conv&p=2&steps=4&scale=32&wait=1"); code != http.StatusOK {
 		t.Fatalf("run after finish: code %d body %q", code, body)
 	}
 }
@@ -90,7 +123,7 @@ func TestRunConflictWhileRunning(t *testing.T) {
 // fault/fault-seed/deadline knobs arm the plan, /faults.json serves the
 // canonical event log live, and /metrics exposes section_fault_total.
 func TestRunFaultKnobs(t *testing.T) {
-	h := newServer().handler()
+	h := testHandler()
 	for _, path := range []string{
 		"/run?exp=conv&p=2&fault=bogus",
 		"/run?exp=conv&p=2&fault=kill:rank=0&fault-seed=x",
@@ -163,12 +196,13 @@ func TestRunFaultKnobs(t *testing.T) {
 		t.Fatalf("metrics after faulty run lack section_fault_total: code %d", code)
 	}
 
-	// A fail-stop run surfaces the root cause but still serves its partial
-	// observability, including the kill event. Go's query parser drops any
-	// parameter containing the spec's `;` rule separator, so multi-rule
-	// plans arrive as repeated fault= parameters — one rule each.
+	// With retries disabled a fail-stop run surfaces the root cause but
+	// still serves its partial observability, including the kill event.
+	// Go's query parser drops any parameter containing the spec's `;` rule
+	// separator, so multi-rule plans arrive as repeated fault= parameters —
+	// one rule each.
 	code, body = get(t, h,
-		"/run?exp=conv&p=4&steps=6&scale=32&wait=1&seq=0"+
+		"/run?exp=conv&p=4&steps=6&scale=32&wait=1&seq=0&retry=0"+
 			"&fault=kill:rank=2,after=5&fault=delay:src=*,dst=*,prob=1,secs=1e-6")
 	if code != http.StatusOK || !strings.Contains(body, "fail-stop") {
 		t.Fatalf("killed run: code %d body %q", code, body)
@@ -180,13 +214,21 @@ func TestRunFaultKnobs(t *testing.T) {
 	if code != http.StatusOK || !strings.Contains(body, `"kill"`) {
 		t.Fatalf("faults after kill: code %d body %q", code, body)
 	}
+
+	// Default policy: the same kill plan is retried on a disarmed plan and
+	// the job recovers with the retry recorded.
+	code, body = get(t, h,
+		"/run?exp=conv&p=4&steps=6&scale=32&wait=1&seq=0&nocache=1&fault=kill:rank=2,after=5")
+	if code != http.StatusOK || !strings.Contains(body, `"retried": "injected_kill"`) {
+		t.Fatalf("kill not retried to success: code %d body %q", code, body)
+	}
 }
 
 // TestVerifyKnob drives the verify=1 launch parameter: the verifier
 // attaches to the run, /verify.json serves its report, and /metrics gains
 // the section_verify_violations_total family.
 func TestVerifyKnob(t *testing.T) {
-	h := newServer().handler()
+	h := testHandler()
 
 	// Without the knob the endpoint answers but reports itself disabled.
 	code, body := get(t, h, "/run?exp=conv&p=2&steps=4&scale=32&wait=1&seq=0")
@@ -218,7 +260,7 @@ func TestVerifyKnob(t *testing.T) {
 	}
 
 	code, body = get(t, h, "/run?exp=conv&p=2&steps=4&scale=32&wait=1&seq=0&verify=1")
-	if code != http.StatusOK || !strings.Contains(body, `"verify_ok":true`) {
+	if code != http.StatusOK || !strings.Contains(body, `"verify_ok": true`) {
 		t.Fatalf("verified run: code %d body %q", code, body)
 	}
 	code, body = get(t, h, "/verify.json")
@@ -241,7 +283,8 @@ func TestVerifyKnob(t *testing.T) {
 // in-flight responses complete, the listener closes, and Serve reports
 // ErrServerClosed rather than a hard kill.
 func TestGracefulShutdown(t *testing.T) {
-	srv := &http.Server{Handler: newServer().handler()}
+	svc := serve.NewService(serve.Options{Observe: true})
+	srv := &http.Server{Handler: serve.NewHandler(svc, serve.HandlerOptions{})}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -261,6 +304,10 @@ func TestGracefulShutdown(t *testing.T) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
+	// The service drains first (as main does on SIGTERM), then the listener.
+	if err := svc.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
 	if err := srv.Shutdown(ctx); err != nil {
 		t.Fatalf("shutdown: %v", err)
 	}
@@ -280,7 +327,7 @@ func TestGracefulShutdown(t *testing.T) {
 // TestFullRunAllEndpoints drives a small conv run to completion (wait=1)
 // and checks every endpoint serves consistent data for it.
 func TestFullRunAllEndpoints(t *testing.T) {
-	h := newServer().handler()
+	h := testHandler()
 
 	code, body := get(t, h, "/run?exp=conv&p=4&steps=6&scale=32&seed=2017&wait=1")
 	if code != http.StatusOK {
@@ -288,6 +335,7 @@ func TestFullRunAllEndpoints(t *testing.T) {
 	}
 	var run struct {
 		Status  string  `json:"status"`
+		JobID   string  `json:"job_id"`
 		P       int     `json:"p"`
 		TraceID string  `json:"trace_id"`
 		Wall    float64 `json:"wall_seconds"`
@@ -299,7 +347,7 @@ func TestFullRunAllEndpoints(t *testing.T) {
 	if run.Status != "finished" || run.Error != "" {
 		t.Fatalf("run did not finish cleanly: %+v", run)
 	}
-	if run.P != 4 || run.Wall <= 0 || len(run.TraceID) != 32 {
+	if run.P != 4 || run.Wall <= 0 || len(run.TraceID) != 32 || run.JobID == "" {
 		t.Fatalf("run response inconsistent: %+v", run)
 	}
 
@@ -313,6 +361,7 @@ func TestFullRunAllEndpoints(t *testing.T) {
 		"section_partial_speedup_bound",
 		"export_run_finished 1",
 		"dropped_events 0",
+		"serve_jobs_done_total 1",
 	} {
 		if !strings.Contains(body, needle) {
 			t.Errorf("metrics missing %q", needle)
@@ -462,6 +511,16 @@ func TestFullRunAllEndpoints(t *testing.T) {
 	if diff := share - 1; diff > 1e-9 || diff < -1e-9 {
 		t.Errorf("per-section shares sum to %g, want 1.0", share)
 	}
+
+	// The job surface serves the same run: registry row, document, artifact.
+	code, body = get(t, h, "/jobs")
+	if code != http.StatusOK || !strings.Contains(body, run.JobID) {
+		t.Fatalf("jobs: code %d body %q", code, body)
+	}
+	code, body = get(t, h, "/jobs/"+run.JobID+"/result.csv")
+	if code != http.StatusOK || !strings.HasPrefix(body, "t,") {
+		t.Fatalf("result.csv: code %d", code)
+	}
 }
 
 // TestTelemetryEndpoints drives a run to completion and checks the
@@ -470,7 +529,7 @@ func TestFullRunAllEndpoints(t *testing.T) {
 // the bounded rank×time wait view, and /metrics carries the
 // bounded-cardinality telemetry_* families.
 func TestTelemetryEndpoints(t *testing.T) {
-	h := newServer().handler()
+	h := testHandler()
 	code, body := get(t, h, "/run?exp=conv&p=4&steps=6&scale=32&seed=2017&wait=1")
 	if code != http.StatusOK {
 		t.Fatalf("run: code %d body %q", code, body)
@@ -575,7 +634,7 @@ func TestTelemetryEndpoints(t *testing.T) {
 // materializes rank state on demand rather than pre-allocating it), and
 // /metrics exposes the declared/active/materialized rank gauges.
 func TestExtremeSessionRun(t *testing.T) {
-	h := newServer().handler()
+	h := testHandler()
 	code, body := get(t, h, "/run?exp=conv2d&p=10000&wait=1&seq=0")
 	if code != http.StatusOK {
 		t.Fatalf("extreme run: code %d body %q", code, body)

@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/convolution"
@@ -112,6 +114,31 @@ func (o LiveOptions) withDefaults() (LiveOptions, error) {
 // fail with. Monitors report resolved values, not raw request input.
 func (o LiveOptions) Resolved() (LiveOptions, error) {
 	return o.withDefaults()
+}
+
+// CacheKey renders the run's identity for result caching: every field that
+// influences the simulated execution — workload, machine, geometry, seeds,
+// the fault plan (via its canonical key) and the deadlock deadline (it
+// decides how a wedged run fails). Tool attachments deliberately do not
+// participate: they observe the run without perturbing virtual time. Call
+// it on Resolved() options so defaulted and explicit spellings of the same
+// configuration share an entry.
+func (o LiveOptions) CacheKey() string {
+	model := ""
+	if o.Model != nil {
+		model = o.Model.Name
+	}
+	return strings.Join([]string{
+		o.Experiment,
+		model,
+		strconv.Itoa(o.Ranks),
+		strconv.Itoa(o.Steps),
+		strconv.Itoa(o.Scale),
+		strconv.FormatUint(o.Seed, 10),
+		strconv.Itoa(o.Threads),
+		o.Fault.Key(),
+		o.Deadline.String(),
+	}, "|")
 }
 
 // SeqBaseline measures the sequential wall time of the configured workload

@@ -423,3 +423,30 @@ func (p *Plan) String() string {
 	}
 	return b.String()
 }
+
+// Key renders the plan as a canonical cache-key fragment: the seed plus the
+// spec rendering, "" for a nil plan. Two plans with equal keys inject
+// byte-identical fault schedules into equal workloads (the package's core
+// determinism contract), so result caches may treat the key as a complete
+// description of the plan's effect on a run.
+func (p *Plan) Key() string {
+	if p == nil {
+		return ""
+	}
+	return strconv.FormatUint(p.Seed, 10) + "|" + p.String()
+}
+
+// HasKillRules reports whether any rule is a fail-stop. Serving layers use
+// it to decide whether a job's failure could have been caused by the plan
+// itself (and is therefore retryable on a clean re-run).
+func (p *Plan) HasKillRules() bool {
+	if p == nil {
+		return false
+	}
+	for _, r := range p.Rules {
+		if r.Kind == Kill {
+			return true
+		}
+	}
+	return false
+}

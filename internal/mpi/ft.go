@@ -51,6 +51,13 @@ func (e *RankError) Error() string {
 
 func (e *RankError) Unwrap() error { return e.Err }
 
+// Injected reports whether the failure is an injected fail-stop from a
+// fault plan rather than an application error. Retry policies key on it: an
+// injected kill models a transient infrastructure failure, so re-running
+// the job on a "healthy node" (without the plan) is sound, where retrying
+// an application failure is not.
+func (e *RankError) Injected() bool { return e.killed }
+
 // killPanic is the panic payload of an injected fail-stop; Run's recovery
 // translates it into a RankError with killed set.
 type killPanic struct {

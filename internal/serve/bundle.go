@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/export"
+	"repro/internal/mpi"
+	"repro/internal/prof"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+	"repro/internal/verify"
+)
+
+// collectorLimit caps each job's trace buffer; past it the analysis
+// carries a truncation warning instead of growing without bound.
+const collectorLimit = 4 << 20
+
+// rankGauges captures the runtime's live session gauges at Init so
+// /metrics can report rank bring-up while the ranks are still executing.
+// On a lazy run (exp=conv2d, or any session workload) the materialized
+// gauge climbs from 0 toward the active count.
+type rankGauges struct {
+	mpi.BaseTool
+	mu    sync.Mutex
+	stats *mpi.RuntimeStats
+}
+
+func (g *rankGauges) Init(w *mpi.WorldInfo) {
+	g.mu.Lock()
+	g.stats = w.Stats
+	g.mu.Unlock()
+}
+
+// write emits the Prometheus gauge family; a scrape before the first run's
+// Init emits nothing.
+func (g *rankGauges) write(w io.Writer) error {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	stats := g.stats
+	g.mu.Unlock()
+	if stats == nil {
+		return nil
+	}
+	_, err := fmt.Fprintf(w,
+		"# HELP mpi_ranks_declared Configured world size of the current run.\n"+
+			"# TYPE mpi_ranks_declared gauge\nmpi_ranks_declared %d\n"+
+			"# HELP mpi_ranks_active Ranks participating in the session.\n"+
+			"# TYPE mpi_ranks_active gauge\nmpi_ranks_active %d\n"+
+			"# HELP mpi_ranks_materialized Active ranks whose state the runtime has brought up so far.\n"+
+			"# TYPE mpi_ranks_materialized gauge\nmpi_ranks_materialized %d\n",
+		stats.DeclaredRanks(), stats.ActiveRanks(), stats.MaterializedRanks())
+	return err
+}
+
+// bundle is one attempt's tool chain. The trace collector is always
+// attached — it produces the canonical result artifact — while the rich
+// observability tools (recorder, profiler, telemetry, gauges) ride along
+// only when the service runs in Observe mode, and the verifier only when
+// the request asked for it.
+type bundle struct {
+	rec       *export.Recorder
+	profiler  *prof.Profiler
+	collector *trace.Collector
+	verifier  *verify.Tool
+	gauges    *rankGauges
+	tele      *telemetry.Tool
+}
+
+// newBundle assembles the tool chain for one attempt.
+func newBundle(observe, verifyOn bool) *bundle {
+	c := trace.NewCollector(collectorLimit)
+	c.Messages = true
+	c.Collectives = true
+	// Thread-team compute regions feed the POP hybrid split; pure-MPI
+	// experiments record none, so the flag costs them nothing.
+	c.Omp = true
+	b := &bundle{collector: c}
+	if observe {
+		b.rec = export.NewRecorder(export.Options{Messages: true, Collectives: true})
+		b.profiler = prof.New()
+		b.gauges = &rankGauges{}
+		b.tele = telemetry.New(telemetry.Options{})
+	}
+	if verifyOn {
+		b.verifier = verify.New()
+	}
+	return b
+}
+
+// tools returns the chain in attachment order (the profiler first, exactly
+// as the sweep drivers chain their reference profiler).
+func (b *bundle) tools() []mpi.Tool {
+	var out []mpi.Tool
+	if b.profiler != nil {
+		out = append(out, b.profiler)
+	}
+	if b.rec != nil {
+		out = append(out, b.rec)
+	}
+	out = append(out, b.collector)
+	if b.gauges != nil {
+		out = append(out, b.gauges)
+	}
+	if b.tele != nil {
+		out = append(out, b.tele)
+	}
+	if b.verifier != nil {
+		out = append(out, b.verifier)
+	}
+	return out
+}
+
+// setSeqTime feeds the sequential baseline into the tools that compute
+// Eq. 6 bounds from it.
+func (b *bundle) setSeqTime(seq float64) {
+	if b.rec != nil {
+		b.rec.SetSeqTime(seq)
+	}
+	if b.tele != nil {
+		b.tele.SetSeqTime(seq)
+	}
+}
+
+// eventsCSV renders the attempt's canonically sorted event stream — the
+// byte-identical artifact the cache and retry contracts are stated over.
+func (b *bundle) eventsCSV() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := trace.WriteEventsCSV(&buf, b.collector.Buffer().Events()); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

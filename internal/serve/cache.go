@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// resultCache is the bounded LRU of successful run artifacts, keyed on the
+// request key (resolved run identity + attachment knobs). It also knows how
+// to persist itself: Drain writes an index plus one CSV artifact file per
+// entry, and a restarted service loads them back, so warm keys answer
+// without executing anything.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	byKey map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key     string
+	res     *Result
+	created time.Time
+}
+
+// newResultCache builds a cache holding up to capacity entries; capacity
+// < 0 disables caching entirely (every get misses, every put is dropped).
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:   capacity,
+		ll:    list.New(),
+		byKey: make(map[string]*list.Element),
+	}
+}
+
+func (c *resultCache) get(key string) *Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res
+}
+
+func (c *resultCache) put(key string, res *Result) {
+	if c.cap < 0 || res == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, res: res, created: time.Now()})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// cacheIndex is the on-disk schema of the persisted cache.
+type cacheIndex struct {
+	Schema  int              `json:"schema"`
+	Entries []cacheIndexItem `json:"entries"`
+}
+
+type cacheIndexItem struct {
+	Key     string  `json:"key"`
+	File    string  `json:"file"`
+	Wall    float64 `json:"wall_seconds"`
+	Seq     float64 `json:"seq_seconds,omitempty"`
+	Created int64   `json:"created_unix"`
+}
+
+// save writes the cache to dir: artifact CSVs plus an index.json written
+// last (temp file + rename), so a crash mid-save leaves the previous index
+// intact. Entries are written oldest-first so a reload reconstructs the
+// same recency order.
+func (c *resultCache) save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	var idx cacheIndex
+	idx.Schema = 1
+	type payload struct {
+		file string
+		csv  []byte
+	}
+	var files []payload
+	n := 0
+	for el := c.ll.Back(); el != nil; el = el.Prev() { // oldest first
+		e := el.Value.(*cacheEntry)
+		n++
+		name := fmt.Sprintf("entry-%06d.csv", n)
+		idx.Entries = append(idx.Entries, cacheIndexItem{
+			Key: e.key, File: name,
+			Wall: e.res.Wall, Seq: e.res.Seq,
+			Created: e.created.Unix(),
+		})
+		files = append(files, payload{file: name, csv: e.res.CSV})
+	}
+	c.mu.Unlock()
+
+	for _, f := range files {
+		if err := os.WriteFile(filepath.Join(dir, f.file), f.csv, 0o644); err != nil {
+			return err
+		}
+	}
+	blob, err := json.MarshalIndent(&idx, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, "index.json.tmp")
+	if err := os.WriteFile(tmp, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, "index.json"))
+}
+
+// load warms the cache from a directory written by save. Best effort: a
+// missing index starts cold, a missing artifact skips its entry.
+func (c *resultCache) load(dir string) {
+	blob, err := os.ReadFile(filepath.Join(dir, "index.json"))
+	if err != nil {
+		return
+	}
+	var idx cacheIndex
+	if err := json.Unmarshal(blob, &idx); err != nil || idx.Schema != 1 {
+		return
+	}
+	for _, item := range idx.Entries { // oldest first, matching save
+		csv, err := os.ReadFile(filepath.Join(dir, item.File))
+		if err != nil {
+			continue
+		}
+		c.put(item.Key, &Result{Wall: item.Wall, Seq: item.Seq, CSV: csv})
+	}
+}

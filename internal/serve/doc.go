@@ -1,0 +1,80 @@
+// Package serve is the robustness layer that turns the secmon monitor into
+// a multi-tenant sweep service: it owns admission, scheduling, backpressure,
+// retries, result caching and the HTTP surface, so that hundreds of
+// concurrent /run requests degrade gracefully instead of falling over. The
+// cmd/secmon binary is a thin flag-parsing shell around this package;
+// cmd/secload is the in-repo load driver that hammers it.
+//
+// # Job model
+//
+// Every admitted request becomes a first-class job: /run answers 202 with a
+// job id, /jobs/{id} reports the lifecycle, and every analysis endpoint
+// accepts ?job= to select which run it describes. A job moves through
+//
+//	queued → running → done | failed | cancelled
+//
+// and never leaves a terminal state. Exactly one terminal transition
+// happens per job; Job.Wait returns when it has. Failed jobs carry the
+// deterministic root cause (mpi.RootCause over the run's error tree, the
+// same distillation the sweep CSVs' error column uses) plus a coarse
+// classification: injected_kill, deadlock or app.
+//
+// # Queue and fairness invariants
+//
+// Admission is a sched.FairQueue: per-tenant FIFOs of bounded depth
+// (-queue-depth), a bounded tenant table (-tenants), and token-per-tenant
+// round-robin dispatch onto at most -max-inflight concurrent simulations.
+// The invariants:
+//
+//   - Bounded memory: at most tenants × depth jobs are ever queued. A
+//     request that would exceed either bound is shed immediately — it is
+//     never silently dropped and never queued unboundedly.
+//   - Fairness: between two scheduling turns of one tenant, every other
+//     tenant with queued work gets exactly one turn. A tenant flooding its
+//     queue delays only itself.
+//   - No admission after Drain begins; queued jobs still run (or are
+//     cancelled when the drain budget expires), so every admitted job
+//     reaches a terminal state even across shutdown.
+//
+// # Backpressure
+//
+// Shedding answers 429 with a Retry-After computed from observed run
+// durations: an EWMA of recent wall-clock run times scaled by the current
+// backlog per worker slot. Clients that honor it converge on the service's
+// actual drain rate instead of retry-storming.
+//
+// # Deadlines
+//
+// Every job runs with a deadlock deadline (request deadline= parameter,
+// else the service default) propagated into mpi.Config.Deadline, so a
+// wedged simulation — injected drop deadlock, application hang — ends in a
+// DeadlockError report instead of pinning a worker slot forever. This is
+// what makes the inflight bound a real capacity guarantee.
+//
+// # Retries
+//
+// A job that dies to its own armed fault plan (an injected fail-stop, or a
+// deadlock while link faults were armed) is retried with jittered
+// exponential backoff, at most -retries extra attempts. The retry runs
+// with the plan disarmed: the injected fault models a transient
+// infrastructure failure, so the retry models rescheduling onto a healthy
+// node. Because workloads are deterministic in (seed, machine, geometry)
+// and tools never perturb virtual time, a successful retry produces a
+// result byte-identical to the clean-path run of the same configuration —
+// the idempotency contract the chaos tests pin. Application failures are
+// never retried.
+//
+// # Result cache
+//
+// Successful results are cached in a bounded LRU keyed on the resolved
+// run identity (experiment, machine, geometry, seeds, fault plan key,
+// deadline — experiments.LiveOptions.CacheKey). Identical in-flight
+// requests are single-flighted: a submit whose key matches a queued or
+// running job attaches to that job and shares its id and result. A cache
+// hit answers instantly with the stored artifact; cache-served jobs carry
+// no live observability bundle (nothing executed), so the analysis
+// endpoints direct callers to re-run with nocache=1 when they need a live
+// trace. Drain persists the cache index and artifacts to -cache-dir; a
+// restarted service warms itself from disk and serves byte-identical
+// artifacts for keys cached by its predecessor.
+package serve

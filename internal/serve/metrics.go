@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync/atomic"
+)
+
+// metrics is the service's own telemetry: cardinality-bounded like the
+// telemetry_* families of PR 8 — a fixed set of counters and one fixed-
+// bucket histogram, no per-job or per-tenant labels, so the exposition
+// size is constant regardless of traffic.
+type metrics struct {
+	queued    atomic.Uint64 // jobs admitted into the queue
+	running   atomic.Uint64 // jobs dispatched onto a worker slot
+	done      atomic.Uint64
+	failed    atomic.Uint64
+	shed      atomic.Uint64
+	retried   atomic.Uint64
+	cancelled atomic.Uint64
+	deduped   atomic.Uint64
+
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+
+	queueLatency latencyHistogram
+}
+
+// latencyHistogram is a fixed power-of-two bucket histogram (1ms .. 8.192s,
+// then +Inf). The sum accumulates integer microseconds so concurrent
+// observers produce an order-independent total.
+type latencyHistogram struct {
+	buckets   [nLatencyBuckets]atomic.Uint64
+	count     atomic.Uint64
+	sumMicros atomic.Uint64
+}
+
+const nLatencyBuckets = 14
+
+// latencyBucketLE returns bucket i's upper bound in seconds.
+func latencyBucketLE(i int) float64 { return 0.001 * float64(uint64(1)<<i) }
+
+func (h *latencyHistogram) observe(seconds float64) {
+	if seconds < 0 {
+		seconds = 0
+	}
+	for i := 0; i < nLatencyBuckets; i++ {
+		if seconds <= latencyBucketLE(i) {
+			h.buckets[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	h.sumMicros.Add(uint64(seconds * 1e6))
+}
+
+// counterFamily renders one Prometheus counter family.
+func counterFamily(w io.Writer, name, help string, v uint64) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	return err
+}
+
+// gaugeFamily renders one Prometheus gauge family.
+func gaugeFamily(w io.Writer, name, help string, v int) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	return err
+}
+
+// writePrometheus renders the counter and histogram families in the text
+// exposition format. Gauges that need live service state are written by
+// Service.WritePrometheus around this.
+func (m *metrics) writePrometheus(w io.Writer) error {
+	counters := []struct {
+		name, help string
+		v          *atomic.Uint64
+	}{
+		{"serve_jobs_queued_total", "Jobs admitted into the fair queue.", &m.queued},
+		{"serve_jobs_running_total", "Jobs dispatched onto a worker slot.", &m.running},
+		{"serve_jobs_done_total", "Jobs finished successfully.", &m.done},
+		{"serve_jobs_failed_total", "Jobs finished with a terminal error.", &m.failed},
+		{"serve_jobs_shed_total", "Requests shed at admission (HTTP 429).", &m.shed},
+		{"serve_jobs_retried_total", "Fault-attributed failures retried on a disarmed plan.", &m.retried},
+		{"serve_jobs_cancelled_total", "Jobs cancelled before completing.", &m.cancelled},
+		{"serve_jobs_deduped_total", "Submissions attached to an identical in-flight job.", &m.deduped},
+		{"serve_cache_hits_total", "Submissions answered from the result cache.", &m.cacheHits},
+		{"serve_cache_misses_total", "Submissions that had to execute.", &m.cacheMisses},
+	}
+	for _, c := range counters {
+		if err := counterFamily(w, c.name, c.help, c.v.Load()); err != nil {
+			return err
+		}
+	}
+	const hn = "serve_queue_latency_seconds"
+	if _, err := fmt.Fprintf(w, "# HELP %s Queue residency from admission to dispatch.\n# TYPE %s histogram\n", hn, hn); err != nil {
+		return err
+	}
+	var cum uint64
+	for i := 0; i < nLatencyBuckets; i++ {
+		cum += m.queueLatency.buckets[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", hn,
+			strconv.FormatFloat(latencyBucketLE(i), 'g', -1, 64), cum); err != nil {
+			return err
+		}
+	}
+	count := m.queueLatency.count.Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", hn, count); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", hn,
+		strconv.FormatFloat(float64(m.queueLatency.sumMicros.Load())/1e6, 'g', -1, 64), hn, count)
+	return err
+}
+
+// WritePrometheus renders the serve_* families: the counters and the
+// queue-latency histogram, plus point-in-time gauges for the queue,
+// inflight count, cache size and drain flag.
+func (s *Service) WritePrometheus(w io.Writer) error {
+	if err := s.metrics.writePrometheus(w); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	queued := s.queue.Len()
+	inflight := s.inflight
+	draining := 0
+	if s.draining {
+		draining = 1
+	}
+	s.mu.Unlock()
+	gauges := []struct {
+		name, help string
+		v          int
+	}{
+		{"serve_queue_depth", "Jobs currently queued across every tenant.", queued},
+		{"serve_inflight", "Jobs currently running.", inflight},
+		{"serve_cache_entries", "Results currently cached.", s.cache.len()},
+		{"serve_draining", "1 while the service is draining.", draining},
+	}
+	for _, g := range gauges {
+		if err := gaugeFamily(w, g.name, g.help, g.v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
