@@ -18,6 +18,9 @@ func TestRepoIsClean(t *testing.T) {
 	if !ok {
 		t.Fatal("cannot locate the repo root")
 	}
+	if n := len(analysis.All()); n != 8 {
+		t.Fatalf("analysis.All() returned %d passes, want 8 — the CI gate silently narrowed", n)
+	}
 	root := filepath.Dir(filepath.Dir(filepath.Dir(thisFile)))
 	pkgs, err := analysis.Load(analysis.LoadConfig{Dir: root}, "./...")
 	if err != nil {

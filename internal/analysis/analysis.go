@@ -24,8 +24,15 @@ type Analyzer struct {
 	Name string
 	// Doc is the one-paragraph description `seclint -help` prints.
 	Doc string
-	// Run executes the pass.
+	// Run executes the pass over one package. Exactly one of Run and
+	// RunProgram is set.
 	Run func(*Pass) error
+	// RunProgram, when set, executes the pass once over the whole loaded
+	// program — every root package plus its syntax-carrying dependencies,
+	// joined by the call graph — instead of once per package. The
+	// interprocedural passes (hotpathalloc, commdeadlock, lockorder) use
+	// this form.
+	RunProgram func(*ProgramPass) error
 }
 
 // Pass carries one package through one analyzer.
@@ -167,7 +174,8 @@ func inspectShallow(n ast.Node, visit func(ast.Node) bool) {
 	})
 }
 
-// All returns the full pass suite in reporting order.
+// All returns the full pass suite in reporting order: the five syntactic
+// passes, then the three interprocedural dataflow passes.
 func All() []*Analyzer {
 	return []*Analyzer{
 		Sectionpair,
@@ -175,5 +183,8 @@ func All() []*Analyzer {
 		UseAfterRelease,
 		CollectiveOrder,
 		RevokedErr,
+		HotPathAlloc,
+		CommDeadlock,
+		LockOrder,
 	}
 }

@@ -11,6 +11,9 @@ func TestSectionlabel(t *testing.T)    { RunFixture(t, Sectionlabel, "sectionlab
 func TestUseAfterRelease(t *testing.T) { RunFixture(t, UseAfterRelease, "useafterrelease") }
 func TestCollectiveOrder(t *testing.T) { RunFixture(t, CollectiveOrder, "collectiveorder") }
 func TestRevokedErr(t *testing.T)      { RunFixture(t, RevokedErr, "revokederr") }
+func TestHotPathAlloc(t *testing.T)    { RunFixture(t, HotPathAlloc, "hotpathalloc") }
+func TestCommDeadlock(t *testing.T)    { RunFixture(t, CommDeadlock, "commdeadlock") }
+func TestLockOrder(t *testing.T)       { RunFixture(t, LockOrder, "lockorder") }
 
 // TestLoadModulePackage exercises the module-path resolution branch of the
 // loader (as opposed to the fixture SrcRoot branch the suites above use):

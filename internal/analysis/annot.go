@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// seclint source directives. Like go:build or nolint markers, they are
+// ordinary comments with a rigid prefix:
+//
+//	//seclint:hotpath
+//	    On a function declaration: the function is a hot-path root. The
+//	    hotpathalloc pass proves it — and everything it transitively
+//	    calls — free of heap allocation.
+//
+//	//seclint:allocs-ok <justification>
+//	    On a function declaration: hotpathalloc treats the function as an
+//	    allocation-free leaf and does not descend into it (a cold failure
+//	    path, a one-time bring-up, an amortized slow path). On a statement
+//	    line (trailing, or alone on the line above): the allocation
+//	    findings on that line are suppressed. The justification is
+//	    mandatory; a bare allocs-ok is itself reported.
+//
+//	//seclint:disable <pass> <justification>
+//	    On a statement line (trailing, or alone on the line above):
+//	    suppresses the named pass's findings on that line. The
+//	    justification is mandatory.
+//
+// Directives are parsed from the comment text only; position decides what
+// they attach to.
+
+const (
+	directivePrefix = "//seclint:"
+
+	// DirHotpath marks a hot-path root function.
+	DirHotpath = "hotpath"
+	// DirAllocsOK exempts a function or line from hotpathalloc.
+	DirAllocsOK = "allocs-ok"
+	// DirDisable suppresses one pass on one line.
+	DirDisable = "disable"
+)
+
+// Directive is one parsed seclint comment.
+type Directive struct {
+	Kind string // DirHotpath, DirAllocsOK or DirDisable
+	// Pass is the pass a disable directive names; empty otherwise.
+	Pass string
+	// Reason is the justification text (everything after the marker, and
+	// after the pass name for disable). Empty reasons are reported.
+	Reason string
+	Pos    token.Pos
+}
+
+// parseDirective parses one comment, returning ok=false for comments that
+// are not seclint directives.
+func parseDirective(c *ast.Comment) (Directive, bool) {
+	text, ok := strings.CutPrefix(c.Text, directivePrefix)
+	if !ok {
+		return Directive{}, false
+	}
+	kind, rest, _ := strings.Cut(text, " ")
+	d := Directive{Kind: kind, Pos: c.Pos()}
+	rest = strings.TrimSpace(rest)
+	switch kind {
+	case DirHotpath:
+		// No payload.
+	case DirAllocsOK:
+		d.Reason = rest
+	case DirDisable:
+		d.Pass, d.Reason, _ = strings.Cut(rest, " ")
+		d.Reason = strings.TrimSpace(d.Reason)
+	default:
+		return Directive{}, false
+	}
+	return d, true
+}
+
+// funcDirectives returns the directives attached to a function declaration
+// through its doc comment.
+func funcDirectives(decl *ast.FuncDecl) []Directive {
+	if decl == nil || decl.Doc == nil {
+		return nil
+	}
+	var out []Directive
+	for _, c := range decl.Doc.List {
+		if d, ok := parseDirective(c); ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// lineDirectives indexes a package's line-scoped directives: every
+// directive comment claims its own line and the following line, so both the
+// trailing form and the standalone-line-above form suppress the statement
+// they annotate. Function doc comments are excluded — those directives are
+// function-scoped, not line-scoped.
+type lineDirectives struct {
+	// byLine maps file name and claimed line to the directives in force.
+	byLine map[string]map[int][]Directive
+}
+
+// newLineDirectives builds the index over a set of packages.
+func newLineDirectives(fset *token.FileSet, pkgs []*Package) *lineDirectives {
+	ld := &lineDirectives{byLine: map[string]map[int][]Directive{}}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			docs := map[*ast.Comment]bool{}
+			ast.Inspect(f, func(n ast.Node) bool {
+				if fn, ok := n.(*ast.FuncDecl); ok && fn.Doc != nil {
+					for _, c := range fn.Doc.List {
+						docs[c] = true
+					}
+				}
+				return true
+			})
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if docs[c] {
+						continue
+					}
+					d, ok := parseDirective(c)
+					if !ok {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					m := ld.byLine[pos.Filename]
+					if m == nil {
+						m = map[int][]Directive{}
+						ld.byLine[pos.Filename] = m
+					}
+					m[pos.Line] = append(m[pos.Line], d)
+					m[pos.Line+1] = append(m[pos.Line+1], d)
+				}
+			}
+		}
+	}
+	return ld
+}
+
+// at returns the directives claiming the given position.
+func (ld *lineDirectives) at(pos token.Position) []Directive {
+	if m := ld.byLine[pos.Filename]; m != nil {
+		return m[pos.Line]
+	}
+	return nil
+}
+
+// suppresses reports whether a finding of the named pass at pos is covered
+// by a disable directive (or, for hotpathalloc, an allocs-ok directive).
+func (ld *lineDirectives) suppresses(pass string, pos token.Position) bool {
+	for _, d := range ld.at(pos) {
+		if d.Kind == DirDisable && d.Pass == pass && d.Reason != "" {
+			return true
+		}
+		if d.Kind == DirAllocsOK && pass == "hotpathalloc" && d.Reason != "" {
+			return true
+		}
+	}
+	return false
+}

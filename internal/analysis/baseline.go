@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// A Baseline is the committed ledger of findings a repository has chosen
+// to live with: the CI gate fails on any finding NOT in the baseline, so
+// new debt cannot land silently while old debt is paid down entry by
+// entry. Entries match on (analyzer, file, message) but deliberately not
+// on line numbers — unrelated edits above a baselined finding must not
+// churn the file — and carry a count so two identical findings in one
+// file need two entries' worth of budget, not a blanket waiver.
+
+// BaselineEntry matches findings by analyzer, repo-relative slash-separated
+// file path, and exact message.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	// Count is how many simultaneous findings this entry absorbs
+	// (0 means 1).
+	Count int `json:"count,omitempty"`
+}
+
+// Baseline is the document committed as seclint.baseline.json.
+type Baseline struct {
+	// Comment is free-form provenance ("why is this file here").
+	Comment  string          `json:"comment,omitempty"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+func baselineKey(analyzer, file, message string) string {
+	return analyzer + "\x00" + file + "\x00" + message
+}
+
+// ReadBaseline loads a baseline file. A missing file is an empty
+// baseline, not an error, so repositories opt in by committing one.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// Filter splits findings into those not covered by the baseline (kept,
+// in their original order) and the number suppressed. Each entry absorbs
+// at most Count findings; extras past the budget are kept.
+func (b *Baseline) Filter(findings []Finding, baseDir string) (kept []Finding, suppressed int) {
+	budget := make(map[string]int, len(b.Findings))
+	for _, e := range b.Findings {
+		n := e.Count
+		if n <= 0 {
+			n = 1
+		}
+		budget[baselineKey(e.Analyzer, e.File, e.Message)] += n
+	}
+	kept = findings[:0:0]
+	for _, f := range findings {
+		key := baselineKey(f.Analyzer, relArtifact(f.Pos.Filename, baseDir), f.Message)
+		if budget[key] > 0 {
+			budget[key]--
+			suppressed++
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept, suppressed
+}
+
+// NewBaseline builds a baseline document covering exactly the given
+// findings, with identical findings coalesced into one counted entry and
+// entries sorted for a stable committed file.
+func NewBaseline(findings []Finding, baseDir string) *Baseline {
+	counts := map[BaselineEntry]int{}
+	for _, f := range findings {
+		counts[BaselineEntry{
+			Analyzer: f.Analyzer,
+			File:     relArtifact(f.Pos.Filename, baseDir),
+			Message:  f.Message,
+		}]++
+	}
+	b := &Baseline{
+		Comment:  "Accepted seclint findings. Entries match on (analyzer, file, message); remove one to re-arm the gate for that finding.",
+		Findings: make([]BaselineEntry, 0, len(counts)),
+	}
+	for e, n := range counts {
+		if n > 1 {
+			e.Count = n
+		}
+		b.Findings = append(b.Findings, e)
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// WriteTo renders the baseline as indented JSON with a trailing newline,
+// the form committed to the repository.
+func (b *Baseline) WriteTo(w io.Writer) (int64, error) {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return 0, err
+	}
+	data = append(data, '\n')
+	n, err := w.Write(data)
+	return int64(n), err
+}

@@ -1,0 +1,620 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// CommDeadlock builds a static communication graph from the program's
+// point-to-point call sites and reports schedules that block forever under
+// the runtime's semantics: Send is eager and never blocks, Recv blocks
+// until a matching envelope arrives. Three families of findings:
+//
+//  1. Recv from the caller's own rank with no Send-to-self that can
+//     precede it — nothing else can ever post that envelope.
+//
+//  2. Symmetric (shift/ring/xor) exchanges that Recv before they Send:
+//     when every rank runs `Recv(rank^k); Send(rank^k)` both partners
+//     block in Recv and the matching Sends are never reached. The check
+//     uses the function's CFG, so a Send on every path to the Recv clears
+//     it, and only unconditional exchanges (not guarded by rank-dependent
+//     branches, which master/worker and pipeline patterns use) are flagged.
+//
+//  3. Program-wide constant-tag matching: a Send whose tag no Recv in the
+//     program ever asks for (or vice versa) can only feed a timeout. The
+//     check arms only when every peer op uses compile-time-constant tags;
+//     one dynamic tag anywhere disarms it. AnyTag wildcards match all.
+//
+// A fourth, interprocedural check extends collectiveorder through the call
+// graph: calling a function that transitively performs collectives from
+// under a rank-dependent branch diverges the collective schedule across
+// ranks just as surely as a direct Bcast there would.
+var CommDeadlock = &Analyzer{
+	Name: "commdeadlock",
+	Doc: "static communication graph: self-deadlocks, recv-before-send exchanges, unmatched tags, divergent collective calls\n\n" +
+		"Models Send as eager (never blocks) and Recv as blocking, mirroring\n" +
+		"the runtime. Flags receives that nothing can ever satisfy: self-recv\n" +
+		"without a prior self-send, symmetric exchanges ordered Recv-first,\n" +
+		"constant tags with no program-wide match, and calls into\n" +
+		"collective-performing functions from rank-dependent branches.",
+	RunProgram: runCommDeadlock,
+}
+
+// sendPeerOps and recvPeerOps map runtime entry points to the argument
+// index of their peer rank; the tag always follows the peer. Sendrecv
+// combines both directions internally in the safe order, so its halves
+// participate in tag matching but are exempt from ordering checks.
+var sendPeerOps = map[string]int{
+	"Send": 0, "SendSized": 0, "SendGhost": 0, "Isend": 0,
+	"SendFloat64s": 0, "SendFloat64sSized": 0,
+}
+var recvPeerOps = map[string]int{
+	"Recv": 0, "RecvDiscard": 0, "Irecv": 0, "RecvFloat64s": 0,
+}
+var sendrecvOps = map[string]bool{
+	"Sendrecv": true, "SendrecvSized": true, "SendrecvGhost": true,
+	"SendrecvFloat64s": true, "SendrecvFloat64sInto": true,
+}
+
+// peerKind classifies a peer-rank expression symbolically.
+type peerKind int
+
+const (
+	peerUnknown peerKind = iota
+	peerConst            // literal or named constant rank
+	peerOffset           // rank + k (k may be negative or zero)
+	peerXor              // rank ^ k
+)
+
+type peerExpr struct {
+	kind peerKind
+	k    int64 // constant value, offset, or xor mask
+}
+
+// symmetric reports whether the peer expression denotes a pairwise
+// exchange partner: rank^k pairs ranks bijectively; rank±k forms a shift
+// chain. Offset zero is the self case, handled separately.
+func (p peerExpr) symmetric() bool {
+	return (p.kind == peerXor && p.k != 0) || (p.kind == peerOffset && p.k != 0)
+}
+
+// commOp is one point-to-point call site.
+type commOp struct {
+	site     CallSite
+	name     string
+	isSend   bool
+	peer     peerExpr
+	tag      constant.Value // nil when not compile-time constant
+	tagKnown bool
+	rankCond bool // guarded by a rank-dependent branch
+}
+
+func runCommDeadlock(pp *ProgramPass) error {
+	prog := pp.Program
+
+	// Pass 1: collect every comm op and every function's direct collective
+	// set, in deterministic function order.
+	opsByFunc := map[*Func][]commOp{}
+	var allOps []commOp
+	directColl := map[*Func][]string{}
+	for _, f := range prog.Funcs() {
+		rv := newRankVars(f)
+		ops := collectCommOps(f, rv)
+		if len(ops) > 0 {
+			opsByFunc[f] = ops
+			allOps = append(allOps, ops...)
+		}
+		for _, site := range f.Calls {
+			if name, ok := mpiEntry(site); ok && collectiveNames[name] {
+				directColl[f] = append(directColl[f], name)
+			}
+		}
+	}
+
+	// Intra-function ordering checks.
+	for _, f := range prog.Funcs() {
+		checkSelfRecv(pp, f, opsByFunc[f])
+		checkExchangeOrder(pp, f, opsByFunc[f])
+	}
+
+	checkTagMatching(pp, allOps)
+	checkCollectiveDivergence(pp, prog, directColl)
+	return nil
+}
+
+// mpiEntry resolves a call site to an mpi runtime entry point name, by
+// package name so fixtures and the real runtime match alike.
+func mpiEntry(site CallSite) (string, bool) {
+	obj := site.CalleeObj
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Name() != mpiPkgName {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+// collectCommOps gathers f's point-to-point call sites with their symbolic
+// peers, constant tags, and rank-dependent-guard status.
+func collectCommOps(f *Func, rv *rankVars) []commOp {
+	var ops []commOp
+	add := func(site CallSite, name string, isSend bool, peerArg ast.Expr, tagArg ast.Expr) {
+		op := commOp{site: site, name: name, isSend: isSend,
+			peer:     rv.classifyPeer(peerArg),
+			rankCond: rv.underRankCond(site.Call.Pos()),
+		}
+		if tagArg != nil {
+			if tv, ok := f.Pkg.Info.Types[tagArg]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+				op.tag, op.tagKnown = tv.Value, true
+			}
+		}
+		ops = append(ops, op)
+	}
+	for _, site := range f.Calls {
+		name, ok := mpiEntry(site)
+		if !ok {
+			continue
+		}
+		args := site.Call.Args
+		argAt := func(i int) ast.Expr {
+			if i < len(args) {
+				return args[i]
+			}
+			return nil
+		}
+		switch {
+		case isSendName(name):
+			add(site, name, true, argAt(0), argAt(1))
+		case isRecvName(name):
+			add(site, name, false, argAt(0), argAt(1))
+		case name == "SendGhostBatch":
+			// Peer is a slice; tag is arg 1. Participates in tag matching
+			// only.
+			add(site, name, true, nil, argAt(1))
+		case sendrecvOps[name]:
+			// Sendrecv(dst, sendTag, [data,] ..., src, recvTag): internally
+			// ordered send-first, so only tag matching applies. The recv tag
+			// is the final int argument; the send tag is arg 1.
+			op := commOp{site: site, name: name, isSend: true, peer: peerExpr{kind: peerUnknown}}
+			if tv, ok := f.Pkg.Info.Types[argAt(1)]; ok && argAt(1) != nil && tv.Value != nil && tv.Value.Kind() == constant.Int {
+				op.tag, op.tagKnown = tv.Value, true
+			}
+			ops = append(ops, op)
+			rop := commOp{site: site, name: name, isSend: false, peer: peerExpr{kind: peerUnknown}}
+			// Walk from the end past trailing non-int args (the Into
+			// variants take a destination slice last).
+			for i := len(args) - 1; i >= 0; i-- {
+				tv, ok := f.Pkg.Info.Types[args[i]]
+				if !ok || tv.Type == nil {
+					break
+				}
+				if b, isBasic := tv.Type.Underlying().(*types.Basic); isBasic && b.Info()&types.IsInteger != 0 {
+					if tv.Value != nil && tv.Value.Kind() == constant.Int {
+						rop.tag, rop.tagKnown = tv.Value, true
+					}
+					break
+				}
+			}
+			ops = append(ops, rop)
+		}
+	}
+	return ops
+}
+
+func isSendName(name string) bool { _, ok := sendPeerOps[name]; return ok }
+func isRecvName(name string) bool { _, ok := recvPeerOps[name]; return ok }
+
+// checkSelfRecv flags receives from the caller's own rank that no
+// send-to-self can precede: the runtime buffers sends eagerly, so a
+// self-exchange is legal only when the Send has already happened on every
+// path reaching the Recv.
+func checkSelfRecv(pp *ProgramPass, f *Func, ops []commOp) {
+	var selfSends []commOp
+	for _, op := range ops {
+		if op.isSend && op.peer.kind == peerOffset && op.peer.k == 0 {
+			selfSends = append(selfSends, op)
+		}
+	}
+	for _, op := range ops {
+		if op.isSend || !(op.peer.kind == peerOffset && op.peer.k == 0) {
+			continue
+		}
+		// Reachable without passing a send-to-self first?
+		blocked := func(n ast.Node) bool {
+			for _, s := range selfSends {
+				if n.Pos() <= s.site.Call.Pos() && s.site.Call.End() <= n.End() {
+					return true
+				}
+			}
+			return false
+		}
+		if f.CFG().ExecutesBefore(op.site.Call, blocked) {
+			pp.Reportf(op.site.Call.Pos(),
+				"%s from the caller's own rank can execute before any Send to self; no other rank can satisfy it", op.name)
+		}
+	}
+}
+
+// checkExchangeOrder flags unconditional symmetric exchanges that Recv
+// before they Send: with every rank blocking in Recv, the matching Sends
+// are never reached regardless of send buffering.
+func checkExchangeOrder(pp *ProgramPass, f *Func, ops []commOp) {
+	var sends []commOp
+	for _, op := range ops {
+		if op.isSend {
+			sends = append(sends, op)
+		}
+	}
+	if len(sends) == 0 {
+		return
+	}
+	for _, op := range ops {
+		if op.isSend || !op.peer.symmetric() || op.rankCond {
+			continue
+		}
+		// A send to the same symbolic peer must exist; otherwise this is a
+		// one-directional pattern (pipeline stage) and not an exchange.
+		match := -1
+		for i, s := range sends {
+			if s.peer == op.peer {
+				match = i
+				break
+			}
+		}
+		if match < 0 {
+			continue
+		}
+		blocked := func(n ast.Node) bool {
+			for _, s := range sends {
+				if n.Pos() <= s.site.Call.Pos() && s.site.Call.End() <= n.End() {
+					return true
+				}
+			}
+			return false
+		}
+		if f.CFG().ExecutesBefore(op.site.Call, blocked) {
+			pp.Reportf(op.site.Call.Pos(),
+				"symmetric exchange receives from %s before sending; every rank blocks in %s and the matching Send is never reached (send first, or use Sendrecv)",
+				op.peer.describe(), op.name)
+		}
+	}
+}
+
+// describe renders the symbolic peer for diagnostics.
+func (p peerExpr) describe() string {
+	switch p.kind {
+	case peerConst:
+		return fmt.Sprintf("rank %d", p.k)
+	case peerXor:
+		return fmt.Sprintf("rank^%d", p.k)
+	case peerOffset:
+		if p.k >= 0 {
+			return fmt.Sprintf("rank+%d", p.k)
+		}
+		return fmt.Sprintf("rank%d", p.k)
+	}
+	return "an unknown peer"
+}
+
+// checkTagMatching verifies constant send tags against constant recv tags
+// program-wide. The check arms per direction only when every op on the
+// other side has a compile-time-constant tag (one dynamic tag could match
+// anything); AnyTag (-1) receives match every send.
+func checkTagMatching(pp *ProgramPass, ops []commOp) {
+	const anyTag = -1
+	recvAllKnown, sendAllKnown := true, true
+	recvTags := map[int64]bool{}
+	sendTags := map[int64]bool{}
+	for _, op := range ops {
+		if op.isSend {
+			if !op.tagKnown {
+				sendAllKnown = false
+			} else if v, ok := constant.Int64Val(op.tag); ok {
+				sendTags[v] = true
+			}
+		} else {
+			if !op.tagKnown {
+				recvAllKnown = false
+			} else if v, ok := constant.Int64Val(op.tag); ok {
+				recvTags[v] = true
+			}
+		}
+	}
+	// Sorted op order keeps reporting deterministic; ops arrive in function
+	// position order already.
+	for _, op := range ops {
+		if !op.tagKnown {
+			continue
+		}
+		v, ok := constant.Int64Val(op.tag)
+		if !ok || v == anyTag {
+			continue
+		}
+		if op.isSend && recvAllKnown && !recvTags[v] && !recvTags[anyTag] {
+			pp.Reportf(op.site.Call.Pos(),
+				"%s with tag %d: no Recv in the program uses tag %d (or AnyTag); the message can never be received", op.name, v, v)
+		}
+		if !op.isSend && sendAllKnown && !sendTags[v] {
+			pp.Reportf(op.site.Call.Pos(),
+				"%s with tag %d: no Send in the program uses tag %d; the receive can never complete", op.name, v, v)
+		}
+	}
+}
+
+// checkCollectiveDivergence extends collectiveorder through the call
+// graph: a call to a function that transitively performs collectives,
+// issued from under a rank-dependent branch, splits the collective
+// schedule across ranks.
+func checkCollectiveDivergence(pp *ProgramPass, prog *Program, direct map[*Func][]string) {
+	// Transitive collective sets by fixpoint over static call edges.
+	trans := map[*Func]map[string]bool{}
+	for f, names := range direct {
+		set := map[string]bool{}
+		for _, n := range names {
+			set[n] = true
+		}
+		trans[f] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range prog.Funcs() {
+			for _, site := range f.Calls {
+				if site.Callee == nil {
+					continue
+				}
+				sub := trans[site.Callee]
+				if len(sub) == 0 {
+					continue
+				}
+				set := trans[f]
+				if set == nil {
+					set = map[string]bool{}
+					trans[f] = set
+				}
+				for n := range sub {
+					if !set[n] {
+						set[n] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	for _, f := range prog.Funcs() {
+		rv := newRankVars(f)
+		for _, site := range f.Calls {
+			callee := site.Callee
+			if callee == nil || callee.Pkg.Types.Name() == mpiPkgName {
+				// Direct runtime collectives under rank branches are
+				// collectiveorder's findings; re-flagging them here would
+				// double-report.
+				continue
+			}
+			set := trans[callee]
+			if len(set) == 0 {
+				continue
+			}
+			if !rv.underRankCond(site.Call.Pos()) {
+				continue
+			}
+			names := make([]string, 0, len(set))
+			for n := range set {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			pp.Reportf(site.Call.Pos(),
+				"call to %s under a rank-dependent branch performs collectives (%s); ranks taking the other branch diverge from the collective schedule",
+				callee.Name(), joinNames(names))
+		}
+	}
+}
+
+// joinNames joins up to four names, eliding the rest.
+func joinNames(names []string) string {
+	if len(names) > 4 {
+		return fmt.Sprintf("%s, … %d more", joinNames(names[:4]), len(names)-4)
+	}
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}
+
+// rankVars tracks, within one function, which variables hold (values
+// derived from) the caller's rank, which conditionals branch on them, and
+// the symbolic shape of peer expressions. The recognition mirrors
+// collectiveorder's intra-function walk so the two passes agree on what
+// "rank-dependent" means.
+type rankVars struct {
+	f    *Func
+	vars map[types.Object]bool
+	// defs maps each variable to its unique defining expression; variables
+	// assigned more than once map to nil and classify as unknown.
+	defs map[types.Object]ast.Expr
+	// rankConds are the source ranges of if/switch bodies guarded by a
+	// rank-dependent condition.
+	rankConds []posRange
+}
+
+type posRange struct{ lo, hi token.Pos }
+
+func newRankVars(f *Func) *rankVars {
+	rv := &rankVars{f: f, vars: map[types.Object]bool{}, defs: map[types.Object]ast.Expr{}}
+	info := f.Pkg.Info
+
+	// Record each variable's defining expression; a second assignment
+	// poisons the entry so classifyPeer stays conservative.
+	inspectShallow(f.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			if _, seen := rv.defs[obj]; seen {
+				rv.defs[obj] = nil
+			} else {
+				rv.defs[obj] = as.Rhs[i]
+			}
+		}
+		return true
+	})
+
+	// Seed: variables assigned from Rank()/WorldRank() calls; iterate to a
+	// fixpoint so rank arithmetic chains (left := rank - 1) propagate.
+	for changed := true; changed; {
+		changed = false
+		inspectShallow(f.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj == nil || rv.vars[obj] {
+					continue
+				}
+				if rv.mentionsRank(as.Rhs[i]) {
+					rv.vars[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Record rank-guarded regions.
+	inspectShallow(f.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.IfStmt:
+			if rv.mentionsRank(s.Cond) {
+				rv.rankConds = append(rv.rankConds, posRange{s.Body.Pos(), s.Body.End()})
+				if s.Else != nil {
+					rv.rankConds = append(rv.rankConds, posRange{s.Else.Pos(), s.Else.End()})
+				}
+			}
+		case *ast.SwitchStmt:
+			if s.Tag != nil && rv.mentionsRank(s.Tag) {
+				rv.rankConds = append(rv.rankConds, posRange{s.Body.Pos(), s.Body.End()})
+			}
+		}
+		return true
+	})
+	return rv
+}
+
+// mentionsRank reports whether e contains a Rank()/WorldRank() call or a
+// variable derived from one.
+func (rv *rankVars) mentionsRank(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if sel.Sel.Name == "Rank" || sel.Sel.Name == "WorldRank" {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			obj := rv.f.Pkg.Info.Uses[n]
+			if obj != nil && rv.vars[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// underRankCond reports whether pos sits inside a rank-guarded region.
+func (rv *rankVars) underRankCond(pos token.Pos) bool {
+	for _, r := range rv.rankConds {
+		if r.lo <= pos && pos < r.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// classifyPeer reduces a peer-rank argument to symbolic form, resolving
+// through uniquely-assigned local variables: peer := rank ^ 1 classifies
+// the Recv(peer, ...) argument as rank^1.
+func (rv *rankVars) classifyPeer(e ast.Expr) peerExpr {
+	return rv.classify(e, 0)
+}
+
+func (rv *rankVars) classify(e ast.Expr, depth int) peerExpr {
+	if e == nil || depth > 8 {
+		return peerExpr{kind: peerUnknown}
+	}
+	info := rv.f.Pkg.Info
+	if tv, ok := info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+		if v, ok := constant.Int64Val(tv.Value); ok {
+			return peerExpr{kind: peerConst, k: v}
+		}
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+			if sel.Sel.Name == "Rank" || sel.Sel.Name == "WorldRank" {
+				return peerExpr{kind: peerOffset, k: 0}
+			}
+		}
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		if def, ok := rv.defs[obj]; ok && def != nil {
+			return rv.classify(def, depth+1)
+		}
+	case *ast.BinaryExpr:
+		x := rv.classify(e.X, depth+1)
+		y := rv.classify(e.Y, depth+1)
+		switch e.Op {
+		case token.ADD:
+			if x.kind == peerOffset && y.kind == peerConst {
+				return peerExpr{kind: peerOffset, k: x.k + y.k}
+			}
+			if y.kind == peerOffset && x.kind == peerConst {
+				return peerExpr{kind: peerOffset, k: y.k + x.k}
+			}
+		case token.SUB:
+			if x.kind == peerOffset && y.kind == peerConst {
+				return peerExpr{kind: peerOffset, k: x.k - y.k}
+			}
+		case token.XOR:
+			if x.kind == peerOffset && x.k == 0 && y.kind == peerConst {
+				return peerExpr{kind: peerXor, k: y.k}
+			}
+			if y.kind == peerOffset && y.k == 0 && x.kind == peerConst {
+				return peerExpr{kind: peerXor, k: x.k}
+			}
+		}
+	}
+	return peerExpr{kind: peerUnknown}
+}

@@ -35,6 +35,12 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// Imports maps import paths to the fully loaded (syntax-carrying)
+	// dependency packages — fixture and in-module deps only; stdlib
+	// imports resolve through go/importer and carry no syntax. Program
+	// construction (callgraph.go) follows these edges so interprocedural
+	// passes can walk into dependency bodies.
+	Imports map[string]*Package
 	// TypeErrors holds the (non-fatal) type-checker complaints.
 	TypeErrors []error
 }
@@ -53,11 +59,21 @@ type LoadConfig struct {
 }
 
 type loader struct {
-	cfg       LoadConfig
-	fset      *token.FileSet
-	std       types.Importer
-	pkgs      map[string]*types.Package
-	loading   map[string]bool
+	cfg  LoadConfig
+	fset *token.FileSet
+	std  types.Importer
+	pkgs map[string]*types.Package
+	// full caches the complete (syntax-carrying) packages by import path.
+	// Every package is parsed and type-checked exactly once per Load, no
+	// matter how many times it is reached as a root or a dependency — the
+	// single-instance property that gives *types.Func objects program-wide
+	// identity, which the call graph (callgraph.go) depends on.
+	full    map[string]*Package
+	loading map[string]bool
+	// roots marks the directories named by the Load patterns; only these
+	// may include _test.go files (when cfg.Tests), and only when they are
+	// first reached through Load itself rather than an import edge.
+	roots     map[string]bool
 	moduleDir string
 	module    string
 }
@@ -78,7 +94,9 @@ func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
 		cfg:     cfg,
 		fset:    token.NewFileSet(),
 		pkgs:    map[string]*types.Package{},
+		full:    map[string]*Package{},
 		loading: map[string]bool{},
+		roots:   map[string]bool{},
 	}
 	l.std = importer.ForCompiler(l.fset, "source", nil)
 	l.moduleDir, l.module = findModule(cfg.Dir)
@@ -86,6 +104,9 @@ func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
 	dirs, err := l.expand(patterns)
 	if err != nil {
 		return nil, err
+	}
+	for _, d := range dirs {
+		l.roots[d] = true
 	}
 	var out []*Package
 	for _, d := range dirs {
@@ -271,9 +292,15 @@ func (l *loader) Import(path string) (*types.Package, error) {
 }
 
 // loadDir parses and type-checks one package directory. Dependency loads
-// (root = false) exclude test files regardless of cfg.Tests.
+// (root = false) exclude test files regardless of cfg.Tests. A package is
+// loaded at most once per Load: repeated visits — a dependency that is also
+// a root pattern, or a root imported by an earlier root — return the cached
+// instance, so type objects keep their identity across the whole program.
 func (l *loader) loadDir(dir string, root bool) (*Package, error) {
 	path := l.pathFor(dir)
+	if p, ok := l.full[path]; ok {
+		return p, nil
+	}
 	if l.loading[path] {
 		return nil, fmt.Errorf("analysis: import cycle through %s", path)
 	}
@@ -285,7 +312,7 @@ func (l *loader) loadDir(dir string, root bool) (*Package, error) {
 		return nil, err
 	}
 	names := append([]string(nil), bp.GoFiles...)
-	if root && l.cfg.Tests {
+	if root && l.roots[dir] && l.cfg.Tests {
 		names = append(names, bp.TestGoFiles...)
 	}
 	sort.Strings(names)
@@ -320,15 +347,58 @@ func (l *loader) loadDir(dir string, root bool) (*Package, error) {
 	}
 	pkg.Types = tpkg
 	l.pkgs[path] = tpkg
+	l.full[path] = pkg
+	// Attach the syntax-carrying dependencies (type checking through
+	// l.Import has already loaded them into the cache).
+	imports := append(append([]string(nil), bp.Imports...), bp.TestImports...)
+	for _, imp := range imports {
+		if dep, ok := l.full[imp]; ok && dep != pkg {
+			if pkg.Imports == nil {
+				pkg.Imports = map[string]*Package{}
+			}
+			pkg.Imports[imp] = dep
+		}
+	}
 	return pkg, nil
 }
 
-// Run executes the analyzers over the packages and returns the findings
-// sorted by position then message.
+// Run executes the analyzers over the packages and returns the findings in
+// a deterministic order — sorted by file, line, column, pass and message —
+// that is independent of the order pkgs were passed in or loaded.
+// Line-scoped `//seclint:disable <pass> <reason>` directives suppress
+// matching findings; a disable without a justification is itself reported.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 	var out []Finding
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
+	var program *Program
+	for _, a := range analyzers {
+		if a.RunProgram != nil && program == nil && len(pkgs) > 0 {
+			program = NewProgram(pkgs)
+		}
+	}
+	// Per-package passes run over the packages in path order regardless of
+	// the caller's slice order.
+	sorted := append([]*Package(nil), pkgs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Path < sorted[j].Path })
+	for _, a := range analyzers {
+		if a.RunProgram != nil {
+			if program == nil {
+				continue
+			}
+			pp := &ProgramPass{Analyzer: a, Program: program}
+			pp.Report = func(d Diagnostic) {
+				out = append(out, Finding{
+					Analyzer: a.Name,
+					Pos:      program.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+			if err := a.RunProgram(pp); err != nil {
+				return out, fmt.Errorf("%s: %w", a.Name, err)
+			}
+			continue
+		}
+		for _, pkg := range sorted {
+			pkg := pkg
 			pass := &Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
@@ -348,6 +418,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 			}
 		}
 	}
+	out = applyDirectives(out, pkgs, program)
 	sort.Slice(out, func(i, j int) bool {
 		pi, pj := out[i].Pos, out[j].Pos
 		if pi.Filename != pj.Filename {
@@ -359,9 +430,57 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 		if pi.Column != pj.Column {
 			return pi.Column < pj.Column
 		}
+		if out[i].Analyzer != out[j].Analyzer {
+			return out[i].Analyzer < out[j].Analyzer
+		}
 		return out[i].Message < out[j].Message
 	})
 	return out, nil
+}
+
+// applyDirectives filters findings covered by line-scoped disable
+// directives and reports unjustified directives.
+func applyDirectives(findings []Finding, pkgs []*Package, program *Program) []Finding {
+	if len(pkgs) == 0 {
+		return findings
+	}
+	var ld *lineDirectives
+	if program != nil {
+		ld = program.Directives()
+	} else {
+		ld = newLineDirectives(pkgs[0].Fset, pkgs)
+	}
+	fset := pkgs[0].Fset
+	out := findings[:0]
+	for _, f := range findings {
+		if !ld.suppresses(f.Analyzer, f.Pos) {
+			out = append(out, f)
+		}
+	}
+	// A suppression without a justification defeats the audit trail the
+	// baseline and directives exist to provide; flag it once per directive.
+	seen := map[token.Pos]bool{}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					d, ok := parseDirective(c)
+					if !ok || seen[d.Pos] {
+						continue
+					}
+					seen[d.Pos] = true
+					if (d.Kind == DirDisable || d.Kind == DirAllocsOK) && d.Reason == "" {
+						out = append(out, Finding{
+							Analyzer: "seclint",
+							Pos:      fset.Position(d.Pos),
+							Message:  fmt.Sprintf("seclint:%s without a justification: add a reason after the marker", d.Kind),
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
 }
 
 // Finding is one rendered diagnostic.

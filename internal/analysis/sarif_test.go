@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"bytes"
+	"flag"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from current output")
+
+func sampleFindings(t *testing.T) []Finding {
+	t.Helper()
+	return []Finding{
+		{
+			Analyzer: "hotpathalloc",
+			Pos:      token.Position{Filename: "/repo/internal/mpi/p2p.go", Line: 42, Column: 7},
+			Message:  "alloc on hot path in mpi.(Comm).Send: make allocates",
+		},
+		{
+			Analyzer: "commdeadlock",
+			Pos:      token.Position{Filename: "/repo/internal/serve/sweep.go", Line: 9, Column: 2},
+			Message:  "Recv from the caller's own rank can execute before any Send to self; no other rank can satisfy it",
+		},
+		{
+			Analyzer: "seclint",
+			Pos:      token.Position{Filename: "/repo/internal/mpi/comm.go", Line: 3, Column: 1},
+			Message:  "seclint:allocs-ok without a justification: add a reason after the marker",
+		},
+	}
+}
+
+// TestSARIFGolden pins the rendered SARIF document byte-for-byte: rule
+// table sorted by id and covering all eight passes plus the directive
+// meta-rule, repo-relative artifact URIs, and stable field order. Any
+// schema drift shows up as a golden diff (regenerate with -update).
+func TestSARIFGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, All(), sampleFindings(t), "/repo"); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	golden := filepath.Join("testdata", "sarif.golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatalf("writing golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("SARIF output differs from %s (re-run with -update after auditing the diff)\ngot:\n%s", golden, buf.String())
+	}
+}
+
+// TestSARIFDeterministic renders the same findings twice and demands
+// identical bytes — json maps or unsorted rule tables would break this.
+func TestSARIFDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteSARIF(&a, All(), sampleFindings(t), "/repo"); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	if err := WriteSARIF(&b, All(), sampleFindings(t), "/repo"); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two renderings of the same findings differ")
+	}
+}
+
+// TestBaselineRoundTrip: a baseline generated from a finding set
+// suppresses exactly that set — no more — and survives the write/read
+// cycle used by -write-baseline / -baseline.
+func TestBaselineRoundTrip(t *testing.T) {
+	findings := sampleFindings(t)
+	// Duplicate one finding (different line, same message) to exercise
+	// the count coalescing: one entry with Count=2 must absorb both.
+	dup := findings[0]
+	dup.Pos.Line = 99
+	findings = append(findings, dup)
+
+	b := NewBaseline(findings, "/repo")
+	if len(b.Findings) != 3 {
+		t.Fatalf("coalesced baseline has %d entries, want 3", len(b.Findings))
+	}
+
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.WriteTo(f); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rb, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatalf("ReadBaseline: %v", err)
+	}
+
+	kept, suppressed := rb.Filter(findings, "/repo")
+	if len(kept) != 0 || suppressed != len(findings) {
+		t.Errorf("baseline over its own findings: kept %d suppressed %d, want 0/%d", len(kept), suppressed, len(findings))
+	}
+
+	// A third identical finding exceeds the entry's count budget.
+	extra := append(append([]Finding(nil), findings...), dup)
+	kept, suppressed = rb.Filter(extra, "/repo")
+	if len(kept) != 1 || suppressed != len(findings) {
+		t.Errorf("over-budget finding: kept %d suppressed %d, want 1/%d", len(kept), suppressed, len(findings))
+	}
+
+	// A genuinely new finding passes through in order.
+	novel := Finding{Analyzer: "lockorder", Pos: token.Position{Filename: "/repo/a.go", Line: 1}, Message: "new"}
+	kept, _ = rb.Filter(append([]Finding{novel}, findings...), "/repo")
+	if len(kept) != 1 || kept[0].Message != "new" {
+		t.Errorf("novel finding not kept: %v", kept)
+	}
+}
+
+// TestReadBaselineMissing: a missing baseline file is an empty baseline.
+func TestReadBaselineMissing(t *testing.T) {
+	b, err := ReadBaseline(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatalf("missing baseline should not error: %v", err)
+	}
+	kept, suppressed := b.Filter(sampleFindings(t), "/repo")
+	if suppressed != 0 || len(kept) != 3 {
+		t.Errorf("empty baseline filtered findings: kept %d suppressed %d", len(kept), suppressed)
+	}
+}
+
+// TestDeterministicOrder is the load-order regression test: the same
+// fixture packages analyzed in opposite orders must yield the identical
+// findings sequence, because Run sorts packages and findings itself.
+func TestDeterministicOrder(t *testing.T) {
+	src := filepath.Join("testdata", "src")
+	forward, err := Load(LoadConfig{Dir: src, SrcRoot: src, Tests: true}, "commdeadlock", "lockorder")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	reverse, err := Load(LoadConfig{Dir: src, SrcRoot: src, Tests: true}, "lockorder", "commdeadlock")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	// Reverse the slice too, in case Load already normalizes.
+	for i, j := 0, len(reverse)-1; i < j; i, j = i+1, j-1 {
+		reverse[i], reverse[j] = reverse[j], reverse[i]
+	}
+	ff, err := Run(forward, All())
+	if err != nil {
+		t.Fatalf("run forward: %v", err)
+	}
+	rf, err := Run(reverse, All())
+	if err != nil {
+		t.Fatalf("run reverse: %v", err)
+	}
+	if len(ff) == 0 {
+		t.Fatal("fixtures produced no findings; the regression test is vacuous")
+	}
+	if len(ff) != len(rf) {
+		t.Fatalf("forward %d findings, reverse %d", len(ff), len(rf))
+	}
+	for i := range ff {
+		if ff[i] != rf[i] {
+			t.Errorf("finding %d differs by load order:\n  forward: %s\n  reverse: %s", i, ff[i], rf[i])
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Fixture for the commdeadlock pass. Tags are chosen so every send/recv
+// pair matches program-wide except the two deliberate orphans; the
+// exchange cases exercise the CFG ordering and the rank-dependent-branch
+// exemption.
+package commdeadlock
+
+import "mpi"
+
+// selfRecv blocks forever: nothing can post an envelope from our own rank
+// before we receive it.
+func selfRecv(c *mpi.Comm) {
+	rank := c.Rank()
+	_, _ = c.Recv(rank, 1) // want `Recv from the caller's own rank can execute before any Send to self`
+}
+
+// selfRecvOK is the legal self-exchange: the eager Send has already
+// buffered the envelope on every path reaching the Recv.
+func selfRecvOK(c *mpi.Comm) {
+	rank := c.Rank()
+	_ = c.Send(rank, 1, nil)
+	_, _ = c.Recv(rank, 1)
+}
+
+// exchangeBad is the classic butterfly deadlock: every rank blocks in Recv
+// and no rank ever reaches its Send.
+func exchangeBad(c *mpi.Comm) {
+	peer := c.Rank() ^ 1
+	b, _ := c.Recv(peer, 2) // want `symmetric exchange receives from rank\^1 before sending`
+	_ = c.Send(peer, 2, b)
+}
+
+// exchangeGood sends first; the partner's Recv is satisfied by the eager
+// buffer.
+func exchangeGood(c *mpi.Comm) {
+	peer := c.Rank() ^ 1
+	_ = c.Send(peer, 2, nil)
+	_, _ = c.Recv(peer, 2)
+}
+
+// shiftBad receives from the up-neighbor before sending to it: the chain
+// has no rank that sends first.
+func shiftBad(c *mpi.Comm) {
+	up := c.Rank() + 1
+	_, _ = c.Recv(up, 3) // want `symmetric exchange receives from rank\+1 before sending`
+	_ = c.Send(up, 3, nil)
+}
+
+// guarded is master/worker: the Recv sits under a rank-dependent branch,
+// so the orders legitimately differ across ranks.
+func guarded(c *mpi.Comm) {
+	peer := c.Rank() ^ 1
+	if c.Rank()%2 == 0 {
+		_, _ = c.Recv(peer, 4)
+		_ = c.Send(peer, 4, nil)
+	} else {
+		_ = c.Send(peer, 4, nil)
+		_, _ = c.Recv(peer, 4)
+	}
+}
+
+// orphans use tags no other op in the program mentions.
+func orphans(c *mpi.Comm) {
+	_ = c.Send(0, 99, nil) // want `no Recv in the program uses tag 99`
+	_, _ = c.Recv(0, 42)   // want `Recv with tag 42: no Send in the program uses tag 42`
+}
+
+// doCollective performs a collective on behalf of its callers.
+func doCollective(c *mpi.Comm) error {
+	return c.Barrier()
+}
+
+// divergent calls a collective-performing helper from under a
+// rank-dependent branch: ranks taking the other arm skip the Barrier.
+func divergent(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		_ = doCollective(c) // want `call to commdeadlock.doCollective under a rank-dependent branch performs collectives \(Barrier\)`
+	}
+}
+
+// convergent calls the same helper unconditionally: every rank reaches the
+// Barrier in the same order.
+func convergent(c *mpi.Comm) {
+	_ = doCollective(c)
+}

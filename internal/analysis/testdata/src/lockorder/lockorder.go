@@ -1,0 +1,86 @@
+// Fixture for the lockorder pass: a direct two-class inversion, an
+// inversion split across a helper function (caught via the callee's
+// acquire summary), a same-expression re-lock, and properly nested
+// counter-examples.
+package lockorder
+
+import "sync"
+
+type alpha struct{ mu sync.Mutex }
+type beta struct{ mu sync.Mutex }
+
+// abOrder and baOrder together close a cycle alpha.mu <-> beta.mu; both
+// edges are reported at their acquisition witnesses.
+func abOrder(x *alpha, y *beta) {
+	x.mu.Lock()
+	y.mu.Lock() // want `lock order inversion: beta.mu acquired while alpha.mu is held`
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+func baOrder(x *alpha, y *beta) {
+	y.mu.Lock()
+	x.mu.Lock() // want `lock order inversion: alpha.mu acquired while beta.mu is held`
+	x.mu.Unlock()
+	y.mu.Unlock()
+}
+
+type gamma struct{ mu sync.Mutex }
+type delta struct{ mu sync.Mutex }
+
+// lockDelta acquires delta.mu on behalf of its callers.
+func lockDelta(y *delta) {
+	y.mu.Lock()
+	y.mu.Unlock()
+}
+
+// gammaThenDelta contributes the edge gamma.mu -> delta.mu through
+// lockDelta's summary; deltaThenGamma closes the cycle directly.
+func gammaThenDelta(x *gamma, y *delta) {
+	x.mu.Lock()
+	lockDelta(y) // want `lock order inversion: delta.mu acquired while gamma.mu is held`
+	x.mu.Unlock()
+}
+
+func deltaThenGamma(x *gamma, y *delta) {
+	y.mu.Lock()
+	x.mu.Lock() // want `lock order inversion: gamma.mu acquired while delta.mu is held`
+	x.mu.Unlock()
+	y.mu.Unlock()
+}
+
+// relock deadlocks against itself: same expression, no intervening unlock.
+func relock(x *alpha) {
+	x.mu.Lock()
+	x.mu.Lock() // want `x\.mu locked while already held`
+	x.mu.Unlock()
+	x.mu.Unlock()
+}
+
+type epsilon struct{ mu sync.Mutex }
+type zeta struct{ mu sync.Mutex }
+
+// nested and nestedAgain always take epsilon.mu before zeta.mu: a
+// consistent order, no cycle, no findings.
+func nested(x *epsilon, y *zeta) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	y.mu.Lock()
+	defer y.mu.Unlock()
+}
+
+func nestedAgain(x *epsilon, y *zeta) {
+	x.mu.Lock()
+	y.mu.Lock()
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+// handOverHand locks two instances of one class: ordered by index at
+// runtime, invisible (and deliberately unflagged) at class level.
+func handOverHand(a, b *alpha) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}

@@ -67,6 +67,7 @@ func (p *payloadPool) get(n int) []byte {
 	}
 	c := classFor(n)
 	if c < 0 {
+		//seclint:allocs-ok oversize request: falls through the class pool by design
 		return make([]byte, n)
 	}
 	if v := p.classes[c].Get(); v != nil {
@@ -82,6 +83,7 @@ func (p *payloadPool) get(n int) []byte {
 	// Pool miss: whatever held still claims for this class was GC-reclaimed
 	// (or raced away); reset so future puts are not spuriously dropped.
 	p.held[c].Store(0)
+	//seclint:allocs-ok pool miss: amortized by recycling
 	return make([]byte, n, 1<<(c+minClassBits))
 }
 
@@ -106,6 +108,7 @@ func (p *payloadPool) put(b []byte) {
 	if v := p.boxes.Get(); v != nil {
 		box = v.(*[]byte)
 	} else {
+		//seclint:allocs-ok box-pool miss: amortized by recycling
 		box = new([]byte)
 	}
 	*box = b[:n]
@@ -118,6 +121,8 @@ func (p *payloadPool) put(b []byte) {
 // garbage collector reclaims unreleased payloads — and nil-safe. After
 // Release the caller must not read or write b, and must not Release it
 // again: the bytes will be handed to an unrelated future message.
+//
+//seclint:hotpath
 func Release(b []byte) {
 	payloads.put(b)
 }

@@ -60,6 +60,8 @@ func (w *World) newCommShared(group []int) *commShared {
 // newCommSharedClean builds and registers a communicator without the
 // failed-world auto-revocation — the constructor Shrink uses for the
 // survivors' communicator.
+//
+//seclint:allocs-ok communicator construction: once per world or shrink, off the steady path
 func (w *World) newCommSharedClean(group []int) *commShared {
 	w.commMu.Lock()
 	id := w.nextComm
@@ -126,6 +128,8 @@ func (c *Comm) World() *WorldInfo {
 // Compute executes nothing but charges w to the rank's virtual clock as
 // single-threaded work, including a sampled OS-noise detour. Benchmarks
 // call it right after doing the corresponding real computation.
+//
+//seclint:hotpath
 func (c *Comm) Compute(w WorkUnit) {
 	c.ComputeParallel(w, 1)
 }
@@ -134,6 +138,8 @@ func (c *Comm) Compute(w WorkUnit) {
 // including fork/join overhead and OS noise. Team sizes above the rank's
 // configured ThreadsPerRank are allowed: the placement already accounted
 // node occupancy with ThreadsPerRank, so passing more merely oversubscribes.
+//
+//seclint:hotpath
 func (c *Comm) ComputeParallel(w WorkUnit, team int) {
 	world := c.rs.world
 	model := world.cfg.Model
@@ -149,6 +155,7 @@ func (c *Comm) ComputeParallel(w WorkUnit, team int) {
 		single := world.placement.ComputeTime(c.WorldRank(), w, 1)
 		end := c.rs.now()
 		for _, o := range world.computeObs {
+			//seclint:allocs-ok tool hooks are //seclint:hotpath roots, proven allocation-free in their own right
 			o.ComputeRegion(c, team, start, end, single)
 		}
 		return

@@ -121,6 +121,8 @@ func (c *Comm) Revoke() {
 
 // revoke poisons every mailbox of the communicator and wakes ranks parked
 // in Split on it. Idempotent.
+//
+//seclint:allocs-ok revocation is a one-shot failure event
 func (cs *commShared) revoke(pi *poisonInfo) {
 	cs.revokeOnce.Do(func() {
 		cs.pi = pi
@@ -145,6 +147,8 @@ func (cs *commShared) contains(worldRank int) bool {
 // rank belongs to is revoked (waking all blocked peers), and pending
 // Shrink/Agree collectives re-evaluate their completion with the shrunk
 // live set. Called from the rank goroutine's recovery path.
+//
+//seclint:allocs-ok rank-failure bring-down path
 func (w *World) rankDied(rank int, re *RankError, t float64) {
 	w.ftMu.Lock()
 	w.dead[rank] = true
@@ -185,6 +189,8 @@ func (w *World) rankDied(rank int, re *RankError, t float64) {
 }
 
 // liveGroup returns the comm ranks of cs whose world ranks are still alive.
+//
+//seclint:allocs-ok failure recovery: rebuilds the surviving group once per fault
 func (w *World) liveGroup(cs *commShared) []int {
 	w.ftMu.Lock()
 	defer w.ftMu.Unlock()
@@ -269,6 +275,8 @@ func (st *ftState) arrive(rank int, flag bool, t float64) {
 // tryComplete completes the collective once every live member has arrived.
 // Rank deaths call it again, so the collective converges even when members
 // die while it is in flight.
+//
+//seclint:allocs-ok agreement completion during failure recovery
 func (st *ftState) tryComplete() {
 	w := st.cs.world
 	live := w.liveGroup(st.cs)

@@ -107,6 +107,8 @@ type boxShard struct {
 
 // materialize allocates the slab for a shard covering ranks [lo, lo+n) of
 // a group of groupLen members.
+//
+//seclint:allocs-ok lazy mailbox bring-up: once per shard
 func (sh *boxShard) materialize(groupLen, lo int) {
 	sh.mu.Lock()
 	if !sh.ready.Load() {
@@ -198,6 +200,8 @@ type Request struct {
 // eagerly, so Send never blocks on the receiver; it charges the sender's
 // software overhead and stamps the message with its model-derived arrival
 // time. data is copied.
+//
+//seclint:hotpath
 func (c *Comm) Send(dst, tag int, data []byte) error {
 	return c.sendInternal(dst, tag, data, len(data), len(data), false)
 }
@@ -206,6 +210,8 @@ func (c *Comm) Send(dst, tag int, data []byte) error {
 // gets data, but transfer time is modeled for virtualBytes. Scaled-down
 // benchmark executions use it to charge full-problem communication costs
 // while moving reduced real payloads (see DESIGN.md §5).
+//
+//seclint:hotpath
 func (c *Comm) SendSized(dst, tag int, data []byte, virtualBytes int) error {
 	if virtualBytes < 0 {
 		return fmt.Errorf("mpi: negative virtual size %d", virtualBytes)
@@ -220,6 +226,8 @@ func (c *Comm) SendSized(dst, tag int, data []byte, virtualBytes int) error {
 // executed kernel is skipped (convolution.Params.SkipKernel) and only the
 // clock effects of communication matter. A plain Recv of a ghost message
 // returns a zeroed buffer of length nbytes; RecvDiscard avoids even that.
+//
+//seclint:hotpath
 func (c *Comm) SendGhost(dst, tag, nbytes, virtualBytes int) error {
 	if nbytes < 0 {
 		return fmt.Errorf("mpi: negative ghost size %d", nbytes)
@@ -292,6 +300,7 @@ func (c *Comm) sendInternal(dst, tag int, data []byte, nbytes, vbytes int, ghost
 	}
 
 	for _, t := range w.cfg.Tools {
+		//seclint:allocs-ok tool hooks are //seclint:hotpath roots, proven allocation-free in their own right
 		t.MessageSent(c, dst, tag, vbytes, c.rs.now())
 	}
 	return nil
@@ -308,6 +317,8 @@ func (c *Comm) sendInternal(dst, tag int, data []byte, nbytes, vbytes int, ghost
 // plan armed the call degrades to per-message SendGhost so injected
 // link-fault schedules stay identical. On a revoked communicator a prefix
 // of the batch may already have been delivered when the error returns.
+//
+//seclint:hotpath
 func (c *Comm) SendGhostBatch(dsts []int, tag int, nbytes, vbytes []int) error {
 	if len(dsts) != len(nbytes) || len(dsts) != len(vbytes) {
 		return fmt.Errorf("mpi: SendGhostBatch length mismatch (%d dsts, %d nbytes, %d vbytes)",
@@ -417,6 +428,7 @@ func (c *Comm) SendGhostBatch(dsts []int, tag int, nbytes, vbytes []int) error {
 	}
 	for _, t := range w.cfg.Tools {
 		for k := 0; k < delivered; k++ {
+			//seclint:allocs-ok tool hooks are //seclint:hotpath roots, proven allocation-free in their own right
 			t.MessageSent(c, dsts[k], tag, vbytes[k], sendTs[k])
 		}
 	}
@@ -520,6 +532,7 @@ func (c *Comm) completeRecv(e *envelope, postT float64) {
 	}
 	m := MatchInfo{SendT: e.sendT, PostT: postT, Arrival: e.arrival}
 	for _, tool := range tools {
+		//seclint:allocs-ok tool hooks are //seclint:hotpath roots, proven allocation-free in their own right
 		tool.MessageRecv(c, e.src, e.tag, e.vbytes, c.rs.now(), m)
 	}
 }
@@ -613,6 +626,8 @@ func (c *Comm) Iprobe(src, tag int) (Status, bool, error) {
 // and returns its payload. Ownership of the payload transfers to the
 // caller: it stays valid indefinitely, and MAY be handed back to the
 // runtime's buffer pool with Release once decoded or consumed.
+//
+//seclint:hotpath
 func (c *Comm) Recv(src, tag int) ([]byte, Status, error) {
 	e, err := c.recvEnvelope(src, tag)
 	if err != nil {
@@ -628,6 +643,8 @@ func (c *Comm) Recv(src, tag int) ([]byte, Status, error) {
 // buffer (ghost messages never materialize one). It is the receive side of
 // SendGhost and the zero-allocation path for messages whose bytes the
 // caller never reads.
+//
+//seclint:hotpath
 func (c *Comm) RecvDiscard(src, tag int) (Status, error) {
 	e, err := c.recvEnvelope(src, tag)
 	if err != nil {
@@ -640,6 +657,8 @@ func (c *Comm) RecvDiscard(src, tag int) (Status, error) {
 
 // Sendrecv sends to dst and receives from src in one logically concurrent
 // operation, the stencil workhorse. Deadlock-free under eager buffering.
+//
+//seclint:hotpath
 func (c *Comm) Sendrecv(dst, sendTag int, data []byte, src, recvTag int) ([]byte, Status, error) {
 	return c.SendrecvSized(dst, sendTag, data, len(data), src, recvTag)
 }
@@ -701,6 +720,8 @@ func appendBytesToFloat64s(dst []float64, b []byte) []float64 {
 
 // SendFloat64s sends a float64 vector. The encoding runs through the
 // rank's scratch buffer, so the call allocates nothing.
+//
+//seclint:hotpath
 func (c *Comm) SendFloat64s(dst, tag int, xs []float64) error {
 	return c.sendFloat64sSized(dst, tag, xs, 8*len(xs))
 }

@@ -53,6 +53,7 @@ type sectionRegistry struct {
 	canonical []seqEntry
 }
 
+//seclint:allocs-ok registry construction at session bring-up
 func newSectionRegistry(ranks int) *sectionRegistry {
 	return &sectionRegistry{perRank: make([]rankSections, ranks)}
 }
@@ -60,6 +61,8 @@ func newSectionRegistry(ranks int) *sectionRegistry {
 // SectionEnter enters the labeled section on this communicator. It is
 // non-blocking; tools attached to the run receive the enter callback with a
 // pointer to the 32-byte data slot they may fill.
+//
+//seclint:hotpath
 func (c *Comm) SectionEnter(label string) {
 	if fi := c.rs.world.fi; fi != nil && fi.plan.KillSection(c.WorldRank(), label) {
 		panic(&killPanic{section: label, err: errFailStop})
@@ -75,6 +78,7 @@ func (c *Comm) SectionEnter(label string) {
 	reg.mu.Unlock()
 
 	for _, t := range c.rs.world.cfg.Tools {
+		//seclint:allocs-ok tool hooks are //seclint:hotpath roots, proven allocation-free in their own right
 		t.SectionEnter(c, label, c.rs.now(), &frame.data)
 	}
 }
@@ -83,18 +87,22 @@ func (c *Comm) SectionEnter(label string) {
 // innermost open section is a nesting violation: it is reported (and the
 // mismatched frame force-popped) so that a buggy caller cannot corrupt the
 // stack silently.
+//
+//seclint:hotpath
 func (c *Comm) SectionExit(label string) {
 	reg := c.shared.sections
 	reg.mu.Lock()
 	rs := &reg.perRank[c.rank]
 	var frame *sectionFrame
 	if n := len(rs.stack); n == 0 {
+		//seclint:allocs-ok section-mismatch error construction: failing path
 		c.rs.world.reportSectionError(fmt.Errorf(
 			"mpi: rank %d exited section %q with no section open (comm %d)",
 			c.rank, label, c.shared.id))
 	} else {
 		top := &rs.stack[n-1]
 		if top.label != label {
+			//seclint:allocs-ok section-mismatch error construction: failing path
 			c.rs.world.reportSectionError(fmt.Errorf(
 				"mpi: rank %d exited section %q but %q is innermost (comm %d)",
 				c.rank, label, top.label, c.shared.id))
@@ -113,6 +121,7 @@ func (c *Comm) SectionExit(label string) {
 	reg.mu.Unlock()
 
 	for _, t := range c.rs.world.cfg.Tools {
+		//seclint:allocs-ok tool hooks are //seclint:hotpath roots, proven allocation-free in their own right
 		t.SectionLeave(c, label, c.rs.now(), data)
 	}
 }
@@ -144,6 +153,8 @@ func (c *Comm) SectionStack() []string {
 // checkSequenceLocked verifies that this rank's event agrees with the
 // canonical sequence (established by whichever rank gets there first).
 // reg.mu must be held.
+//
+//seclint:allocs-ok debug-mode section auditing (Config.CheckSections), off by default
 func (c *Comm) checkSequenceLocked(reg *sectionRegistry, rs *rankSections, e seqEntry) {
 	pos := rs.seqPos
 	rs.seqPos++
@@ -173,8 +184,11 @@ func (c *Comm) checkSequenceLocked(reg *sectionRegistry, rs *rankSections, e seq
 
 // Section runs body inside an enter/exit pair — the idiomatic Go spelling
 // that guarantees perfect nesting by construction.
+//
+//seclint:hotpath
 func (c *Comm) Section(label string, body func() error) error {
 	c.SectionEnter(label)
 	defer c.SectionExit(label)
+	//seclint:allocs-ok runs the caller closure: its cost is measured and pinned at the caller
 	return body()
 }

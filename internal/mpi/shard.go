@@ -71,6 +71,8 @@ func (sh *rankShard) noteClock(t float64) {
 func (w *World) shardOf(rank int) *rankShard { return &w.shards[rank>>shardBits] }
 
 // isActive reports whether a world rank participates in the session.
+//
+//seclint:allocs-ok membership predicate: the closures installed at bring-up are index and bitset lookups
 func (w *World) isActive(rank int) bool {
 	return w.active == nil || w.active(rank)
 }
@@ -79,6 +81,8 @@ func (w *World) isActive(rank int) bool {
 // goroutines of its active ranks. Idempotent and safe from any goroutine;
 // the double-checked ready flag keeps the post-materialization cost at one
 // atomic load.
+//
+//seclint:allocs-ok lazy shard bring-up: once per shard, amortized across the session
 func (w *World) ensureShard(sh *rankShard) {
 	if sh.ready.Load() {
 		return
@@ -160,6 +164,8 @@ func (w *World) spawnAll() {
 
 // rankMain is one rank goroutine: the MPI_MAIN-wrapped execution of the
 // run's rank function, with panic recovery and death propagation.
+//
+//seclint:allocs-ok rank goroutine prologue and epilogue: once per rank, not per op
 func (w *World) rankMain(rs *rankState) {
 	defer w.wg.Done()
 	rank := rs.id

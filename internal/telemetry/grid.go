@@ -24,6 +24,7 @@ type grid struct {
 	heat  []int64 // rows × bins wait picoseconds
 }
 
+//seclint:allocs-ok bin-grid construction: once per shard
 func (g *grid) init(bins int, base float64, rowLo, rows int) {
 	g.bins = bins
 	g.base = base
@@ -51,6 +52,8 @@ func (g *grid) index(t float64) int {
 }
 
 // rescale folds bin pairs and doubles the width.
+//
+//seclint:allocs-ok log-grid refold: rare, amortized O(log T) over a run
 func (g *grid) rescale() {
 	fold := func(a []int64) {
 		half := len(a) / 2
@@ -114,6 +117,7 @@ type exReservoir struct {
 	items  []exemplar
 }
 
+//seclint:allocs-ok reservoir construction: once per shard
 func (r *exReservoir) init(k int) {
 	r.k = k
 	r.items = make([]exemplar, 0, k)

@@ -41,6 +41,7 @@ type instRing struct {
 	skipped   atomic.Int64
 }
 
+//seclint:allocs-ok instance-ring construction: once per section
 func newInstRing() *instRing { return &instRing{} }
 
 func packGen(idx uint32, commID uint64, size int) uint64 {

@@ -43,6 +43,8 @@ func (c *Collector) Dropped() int { return c.buf.Dropped() }
 func (c *Collector) Warning() string { return c.buf.Warning() }
 
 // SectionEnter implements mpi.Tool.
+//
+//seclint:hotpath
 func (c *Collector) SectionEnter(cm *mpi.Comm, label string, t float64, _ *mpi.ToolData) {
 	if !c.Sections {
 		return
@@ -51,6 +53,8 @@ func (c *Collector) SectionEnter(cm *mpi.Comm, label string, t float64, _ *mpi.T
 }
 
 // SectionLeave implements mpi.Tool.
+//
+//seclint:hotpath
 func (c *Collector) SectionLeave(cm *mpi.Comm, label string, t float64, _ *mpi.ToolData) {
 	if !c.Sections {
 		return
@@ -59,6 +63,8 @@ func (c *Collector) SectionLeave(cm *mpi.Comm, label string, t float64, _ *mpi.T
 }
 
 // MessageSent implements mpi.Tool.
+//
+//seclint:hotpath
 func (c *Collector) MessageSent(cm *mpi.Comm, dst, tag, bytes int, t float64) {
 	if !c.Messages {
 		return
@@ -69,6 +75,8 @@ func (c *Collector) MessageSent(cm *mpi.Comm, dst, tag, bytes int, t float64) {
 // MessageRecv implements mpi.Tool. The matched-pair timestamps ride along
 // so an offline replay (internal/waitstate) can classify wait states
 // without re-matching sends to receives.
+//
+//seclint:hotpath
 func (c *Collector) MessageRecv(cm *mpi.Comm, src, tag, bytes int, t float64, m mpi.MatchInfo) {
 	if !c.Messages {
 		return
@@ -80,6 +88,8 @@ func (c *Collector) MessageRecv(cm *mpi.Comm, src, tag, bytes int, t float64, m 
 }
 
 // CollectiveBegin implements mpi.Tool.
+//
+//seclint:hotpath
 func (c *Collector) CollectiveBegin(cm *mpi.Comm, name string, t float64) {
 	if !c.Collectives {
 		return
@@ -89,6 +99,8 @@ func (c *Collector) CollectiveBegin(cm *mpi.Comm, name string, t float64) {
 
 // CollectiveEnd implements mpi.Tool: the exit edge of a rank's collective
 // participation span (paired with the KindCollective begin event).
+//
+//seclint:hotpath
 func (c *Collector) CollectiveEnd(cm *mpi.Comm, name string, t float64) {
 	if !c.Collectives {
 		return
@@ -127,6 +139,8 @@ func (c *Collector) FaultEvent(ev fault.Event) {
 // inefficiency into its OpenMP-region and serial-region parts. Field reuse
 // per the KindOmpRegion docs: team in Bytes, start in PostT, single-thread
 // duration in ArrT.
+//
+//seclint:hotpath
 func (c *Collector) ComputeRegion(cm *mpi.Comm, team int, start, end, single float64) {
 	if !c.Omp {
 		return
